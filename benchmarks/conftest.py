@@ -1,0 +1,28 @@
+"""Benchmark-suite fixtures: result artifacts and table printing."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Print a formatted table and persist it under benchmarks/results/."""
+
+    def _record(name, text):
+        print()
+        print(text)
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return path
+
+    return _record

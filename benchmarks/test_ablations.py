@@ -1,0 +1,187 @@
+"""Ablation benchmarks for the design decisions called out in DESIGN.md.
+
+1. spinloop definition: the stricter literature definition (no stores in
+   the loop) misses CAS-acquire loops -> ck_spinlock_mcs stays buggy;
+2. alias exploration ("once atomic, always atomic"): without it, the
+   Figure 4 test-and-set lock's plain release store stays plain -> bug;
+3. implicit vs explicit barriers: forcing explicit fences at every
+   marked access costs substantially more than implicit SC atomics;
+4. pre-analysis inlining: without it, spinloops hidden behind helper
+   calls lose their cross-function controls.
+"""
+
+import pytest
+
+from repro.api import check_module, compile_source, port_module
+from repro.bench.corpus import BENCHMARKS
+from repro.bench.tables import _mean_cycles
+from repro.core.config import AtoMigConfig, PortingLevel
+
+
+def _check(module, **kwargs):
+    return check_module(module, model="wmm", max_steps=600, **kwargs)
+
+
+#: Figure 3, Spinloop 2 shape: the wait loop contains a (constant)
+#: store — the paper's definition still classifies it as a spinloop,
+#: the stricter literature definition (no stores at all) does not.
+_CONSTANT_STORE_SPINLOOP = """
+int flag = 0;
+int msg = 0;
+int hint = 0;
+
+void writer() {
+    msg = 42;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(writer);
+    do {
+        hint = 1;
+    } while (flag != 1);
+    int data = msg;
+    assert(data == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def test_ablation_strict_spinloop_definition(benchmark, record_table):
+    """The paper (§3.5): stricter definitions detect fewer sync points."""
+    module = compile_source(_CONSTANT_STORE_SPINLOOP, "spindef")
+
+    def run():
+        relaxed, rep_relaxed = port_module(module, PortingLevel.ATOMIG)
+        strict, rep_strict = port_module(
+            module,
+            PortingLevel.ATOMIG,
+            config=AtoMigConfig(strict_spinloop_definition=True),
+        )
+        return _check(relaxed), rep_relaxed, _check(strict), rep_strict
+
+    relaxed_result, rep_relaxed, strict_result, rep_strict = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    record_table(
+        "ablation_spindef",
+        "Ablation: spinloop definition (Figure 3, Spinloop-2 shape)\n"
+        f"paper definition : {'ok' if relaxed_result.ok else 'VIOLATION'} "
+        f"({rep_relaxed.num_spinloops} spinloops)\n"
+        f"strict definition: {'ok' if strict_result.ok else 'VIOLATION'} "
+        f"({rep_strict.num_spinloops} spinloops)",
+    )
+    assert relaxed_result.ok
+    assert rep_relaxed.num_spinloops >= 1
+    assert rep_strict.num_spinloops == 0  # the store disqualifies it
+    assert not strict_result.ok  # and the MP bug survives
+
+
+def test_ablation_alias_exploration(benchmark, record_table):
+    """Without sticky buddies, Figure 4's unlock store stays plain."""
+    module = compile_source(
+        BENCHMARKS["ck_spinlock_cas"].mc_source(), "tas"
+    )
+
+    def run():
+        with_alias, _ = port_module(module, PortingLevel.ATOMIG)
+        without, _ = port_module(
+            module,
+            PortingLevel.ATOMIG,
+            config=AtoMigConfig(alias_exploration=False),
+        )
+        return _check(with_alias), _check(without)
+
+    with_result, without_result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    record_table(
+        "ablation_alias",
+        "Ablation: alias exploration on ck_spinlock_cas (WMM)\n"
+        f"with sticky buddies   : {'ok' if with_result.ok else 'VIOLATION'}\n"
+        f"without sticky buddies: {'ok' if without_result.ok else 'VIOLATION'}",
+    )
+    assert with_result.ok
+    assert not without_result.ok
+
+
+def test_ablation_implicit_vs_explicit_barriers(benchmark, record_table):
+    """Implicit barriers are the cheaper transformation target [48]."""
+    module = compile_source(
+        BENCHMARKS["ck_spinlock_cas"].perf_source(), "cas_perf"
+    )
+
+    def run():
+        implicit, _ = port_module(module, PortingLevel.ATOMIG)
+        explicit, _ = port_module(
+            module,
+            PortingLevel.ATOMIG,
+            config=AtoMigConfig(force_explicit_barriers=True),
+        )
+        return _mean_cycles(implicit), _mean_cycles(explicit)
+
+    implicit_cycles, explicit_cycles = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    ratio = explicit_cycles / implicit_cycles
+    record_table(
+        "ablation_barriers",
+        "Ablation: implicit vs explicit barriers (ck_spinlock_cas)\n"
+        f"implicit (SC atomics): {implicit_cycles:.0f} cycles\n"
+        f"explicit (fences)    : {explicit_cycles:.0f} cycles "
+        f"({ratio:.2f}x)",
+    )
+    assert ratio > 1.1  # explicit fencing costs measurably more
+
+
+def test_ablation_inlining(benchmark, record_table):
+    """Cross-function spinloops need the pre-inlining pass (§3.5)."""
+    source = """
+int flag = 0;
+int msg = 0;
+
+int current_flag() { return flag; }
+
+void writer() {
+    msg = 42;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(writer);
+    while (current_flag() != 1) { }
+    int data = msg;
+    assert(data == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+    module = compile_source(source, "crossfn")
+
+    def run():
+        with_inline, rep_with = port_module(module, PortingLevel.ATOMIG)
+        without, rep_without = port_module(
+            module,
+            PortingLevel.ATOMIG,
+            config=AtoMigConfig(inline_before_analysis=False),
+        )
+        return (
+            _check(with_inline), rep_with,
+            _check(without), rep_without,
+        )
+
+    with_result, rep_with, without_result, rep_without = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    record_table(
+        "ablation_inline",
+        "Ablation: pre-analysis inlining (cross-function spinloop)\n"
+        f"with inlining   : {'ok' if with_result.ok else 'VIOLATION'} "
+        f"({len(rep_with.spin_controls)} control locations)\n"
+        f"without inlining: {'ok' if without_result.ok else 'VIOLATION'} "
+        f"({len(rep_without.spin_controls)} control locations)",
+    )
+    assert with_result.ok
+    assert rep_with.spin_controls  # flag was identified
+    assert not without_result.ok  # the helper hid the spin control

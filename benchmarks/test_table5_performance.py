@@ -1,0 +1,60 @@
+"""Table 5: performance impact of Naive vs AtoMig porting.
+
+Regenerates the paper's normalized-slowdown table on the VM cost model.
+Absolute factors depend on the modeled hardware (see EXPERIMENTS.md for
+paper-vs-measured); the asserted shape claims are the paper's:
+
+- AtoMig stays within a few percent of the original on the large
+  applications while Naive is consistently slower;
+- on every benchmark AtoMig is at least as fast as Naive;
+- AtoMig beats the expert explicit-barrier ports on some CK benchmarks
+  (the paper's "porting should be left to machines" observation).
+"""
+
+import pytest
+
+from repro.bench.tables import TABLE5_BENCHMARKS, format_table, table5
+
+APPS = ("mariadb", "postgresql", "leveldb", "memcached", "sqlite")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table5()
+
+
+def test_table5_performance(benchmark, record_table):
+    rows = benchmark.pedantic(table5, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        ["benchmark", "naive", "atomig", "paper_naive", "paper_atomig"],
+        title="Table 5: Naive and AtoMig slowdowns vs original",
+    )
+    record_table("table5", text)
+    by_name = {row["benchmark"]: row for row in rows}
+
+    for app in APPS:
+        row = by_name[app]
+        # AtoMig: low overhead on the big applications (paper: 0-4%).
+        assert row["atomig"] < 1.15, f"{app}: atomig {row['atomig']:.2f}"
+        # Naive costs at least as much as AtoMig everywhere.
+        assert row["naive"] >= row["atomig"] - 0.03
+
+    for name in TABLE5_BENCHMARKS:
+        row = by_name[name]
+        assert row["atomig"] <= row["naive"] + 0.05, (
+            f"{name}: atomig {row['atomig']:.2f} > naive {row['naive']:.2f}"
+        )
+
+    # The paper's headline observation on CK: the AtoMig port (implicit
+    # barriers) beats the expert explicit-barrier port on some
+    # structures (ck_ring / ck_spinlock_mcs in our runs).
+    assert any(
+        by_name[name]["atomig"] < 1.0
+        for name in ("ck_ring", "ck_spinlock_cas", "ck_spinlock_mcs")
+    )
+
+    # Average AtoMig overhead across the five applications is small
+    # (paper: 1.8%).
+    mean_app = sum(by_name[a]["atomig"] for a in APPS) / len(APPS)
+    assert mean_app < 1.10

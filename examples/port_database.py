@@ -1,0 +1,49 @@
+"""Porting an application-scale code base and measuring the cost.
+
+Mirrors the paper's §4.2-4.3 workflow on the SQLite-like workload model:
+compile, port with each strategy, compare detected patterns, inserted
+barriers, and the modeled runtime cost of each ported binary.
+
+Run:  python examples/port_database.py
+"""
+
+from repro import PortingLevel, compile_source, port_module, run_module
+from repro.bench.corpus import get_benchmark
+from repro.core.report import count_barriers
+
+
+def main():
+    benchmark = get_benchmark("sqlite")
+    module = compile_source(benchmark.perf_source(), name="sqlite_like")
+
+    print("== porting with every strategy ==")
+    ported = {}
+    for level in (PortingLevel.ORIGINAL, PortingLevel.ATOMIG,
+                  PortingLevel.NAIVE, PortingLevel.LASAGNE):
+        variant, report = port_module(module, level)
+        explicit, implicit = count_barriers(variant)
+        ported[level] = variant
+        print(f"  {level.value:8}: {explicit:4} explicit, "
+              f"{implicit:4} implicit barriers "
+              f"({report.num_spinloops} spinloops, "
+              f"{report.porting_seconds * 1000:.0f} ms to port)")
+
+    print()
+    print("== running each variant on the performance VM ==")
+    base = run_module(ported[PortingLevel.ORIGINAL])
+    print(f"  workload result: {base.exit_value} pages inserted")
+    for level in (PortingLevel.ORIGINAL, PortingLevel.ATOMIG,
+                  PortingLevel.NAIVE, PortingLevel.LASAGNE):
+        result = run_module(ported[level])
+        slowdown = result.cycles / base.cycles
+        print(f"  {level.value:8}: {result.cycles:9} cycles "
+              f"({slowdown:.2f}x)   [{result.stats.summary()}]")
+
+    print()
+    print("AtoMig protects the latch (the only synchronization variable)")
+    print("and leaves the B-tree page traffic plain; the Naive port pays")
+    print("an implicit barrier on every page access.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: port a TSO program to a weak memory model.
+
+Compiles the classic message-passing pattern (paper Figure 1), shows
+that it breaks under a weak memory model, ports it with AtoMig, and
+verifies the ported program.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PortingLevel, check_module, compile_source, port_module
+
+SOURCE = """
+int flag = 0;
+int msg = 0;
+
+void writer() {
+    msg = 42;           // initialize the message ...
+    flag = 1;           // ... then publish it (ordered on x86-TSO!)
+}
+
+int main() {
+    int t = thread_create(writer);
+    while (flag != 1) { }   // spin until published
+    int data = msg;
+    assert(data == 42);     // can fail on Arm without barriers
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def main():
+    module = compile_source(SOURCE, name="message_passing")
+
+    print("== model checking the original program ==")
+    for model in ("sc", "tso", "wmm"):
+        result = check_module(module, model=model)
+        verdict = "correct" if result.ok else f"BUG: {result.violation}"
+        print(f"  {model:>3}: {verdict}  ({result.states_explored} states)")
+
+    print()
+    print("== porting with AtoMig ==")
+    ported, report = port_module(module, PortingLevel.ATOMIG)
+    print(f"  {report.summary()}")
+    print(f"  spinloops detected: {report.spinloops}")
+
+    print()
+    print("== model checking the ported program ==")
+    result = check_module(ported, model="wmm")
+    verdict = "correct" if result.ok else f"BUG: {result.violation}"
+    print(f"  wmm: {verdict}  ({result.states_explored} states)")
+
+    assert result.ok, "AtoMig must fix the message-passing bug"
+    print()
+    print("The spinloop's flag accesses became SC atomics on both the")
+    print("reader and writer side; msg stayed a plain access.")
+
+
+if __name__ == "__main__":
+    main()

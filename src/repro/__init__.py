@@ -1,0 +1,46 @@
+"""AtoMig reproduction: automatic migration of TSO code to weak memory models.
+
+This package reproduces the system described in "AtoMig: Automatically
+Migrating Millions Lines of Code from TSO to WMM" (ASPLOS 2023) as a
+self-contained Python library.  It contains:
+
+- a Mini-C frontend (:mod:`repro.lang`) and an LLVM-like typed IR
+  (:mod:`repro.ir`) with a lowering pass (:mod:`repro.lower`);
+- the AtoMig static analyses and program transformations
+  (:mod:`repro.analysis`, :mod:`repro.core`) plus the Naive and
+  Lasagne-like baseline porters (:mod:`repro.transform`);
+- an operational weak-memory-model checker (:mod:`repro.mc`), used in
+  place of GenMC to validate ported programs;
+- a multithreaded IR interpreter with an Arm-calibrated barrier cost
+  model (:mod:`repro.vm`) used for the performance experiments;
+- the benchmark corpus and table harnesses (:mod:`repro.bench`).
+
+Typical usage::
+
+    from repro import compile_source, port_module, PortingLevel
+
+    module = compile_source(source_text)
+    ported = port_module(module, level=PortingLevel.ATOMIG)
+"""
+
+from repro.api import (
+    PortingLevel,
+    check_module,
+    compile_source,
+    port_module,
+    run_module,
+)
+from repro.core.config import AtoMigConfig
+from repro.core.report import PortingReport
+
+__all__ = [
+    "AtoMigConfig",
+    "PortingLevel",
+    "PortingReport",
+    "check_module",
+    "compile_source",
+    "port_module",
+    "run_module",
+]
+
+__version__ = "1.0.0"

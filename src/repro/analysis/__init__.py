@@ -1,0 +1,19 @@
+"""Static analyses underpinning AtoMig's pattern detection."""
+
+from repro.analysis.cfg import predecessors, reverse_postorder
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, find_loops
+from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.analysis.influence import InfluenceAnalysis
+from repro.analysis.callgraph import CallGraph
+
+__all__ = [
+    "CallGraph",
+    "DominatorTree",
+    "InfluenceAnalysis",
+    "Loop",
+    "NonLocalInfo",
+    "find_loops",
+    "predecessors",
+    "reverse_postorder",
+]

@@ -1,0 +1,95 @@
+"""Call graph with recursion detection, used by the pre-inlining pass."""
+
+from repro.ir import instructions as ins
+
+
+class CallGraph:
+    """Static call graph of a module (direct calls only)."""
+
+    def __init__(self, module):
+        self.module = module
+        self.callees = {name: set() for name in module.functions}
+        self.callers = {name: set() for name in module.functions}
+        self.thread_entries = set()
+        for function in module.functions.values():
+            for instr in function.instructions():
+                if isinstance(instr, ins.Call):
+                    self.callees[function.name].add(instr.callee.name)
+                    self.callers[instr.callee.name].add(function.name)
+                elif isinstance(instr, ins.ThreadCreate):
+                    self.thread_entries.add(instr.callee.name)
+
+    def recursive_functions(self):
+        """Names of functions in call-graph cycles (incl. self-recursion)."""
+        index_counter = [0]
+        indices, lowlink = {}, {}
+        on_stack, stack = set(), []
+        recursive = set()
+
+        def strongconnect(node):
+            work = [(node, iter(sorted(self.callees[node])))]
+            indices[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while work:
+                current, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in indices:
+                        indices[child] = lowlink[child] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(self.callees[child]))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[current] = min(lowlink[current], indices[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == indices[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1:
+                        recursive.update(component)
+                    elif current in self.callees[current]:
+                        recursive.add(current)
+
+        for name in self.module.functions:
+            if name not in indices:
+                strongconnect(name)
+        return recursive
+
+    def bottom_up_order(self):
+        """Function names ordered callees-first (cycles broken arbitrarily)."""
+        visited = set()
+        order = []
+
+        for name in sorted(self.module.functions):
+            if name in visited:
+                continue
+            stack = [(name, iter(sorted(self.callees[name])))]
+            visited.add(name)
+            while stack:
+                current, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child not in visited:
+                        visited.add(child)
+                        stack.append((child, iter(sorted(self.callees[child]))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+        return order

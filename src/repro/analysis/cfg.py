@@ -1,0 +1,46 @@
+"""Control-flow graph utilities over IR functions."""
+
+
+def predecessors(function):
+    """Map each block to the list of its predecessor blocks."""
+    preds = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors():
+            preds[successor].append(block)
+    return preds
+
+
+def reverse_postorder(function):
+    """Blocks in reverse postorder from the entry (unreachable excluded)."""
+    visited = set()
+    order = []
+    # Iterative DFS to avoid recursion limits on generated code.
+    stack = [(function.entry, iter(function.entry.successors()))]
+    visited.add(function.entry)
+    while stack:
+        block, successors = stack[-1]
+        advanced = False
+        for successor in successors:
+            if successor not in visited:
+                visited.add(successor)
+                stack.append((successor, iter(successor.successors())))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def reachable_blocks(function):
+    """The set of blocks reachable from the entry block."""
+    seen = set()
+    worklist = [function.entry]
+    while worklist:
+        block = worklist.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        worklist.extend(block.successors())
+    return seen

@@ -1,0 +1,58 @@
+"""Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm."""
+
+from repro.analysis.cfg import predecessors, reverse_postorder
+
+
+class DominatorTree:
+    """Immediate-dominator tree for one function's CFG."""
+
+    def __init__(self, function):
+        self.function = function
+        self.rpo = reverse_postorder(function)
+        self._rpo_index = {block: index for index, block in enumerate(self.rpo)}
+        self.idom = {}
+        self._compute()
+
+    def _compute(self):
+        preds = predecessors(self.function)
+        entry = self.function.entry
+        idom = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                candidates = [p for p in preds[block] if p in idom]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for pred in candidates[1:]:
+                    new_idom = self._intersect(idom, new_idom, pred)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self.idom = idom
+
+    def _intersect(self, idom, a, b):
+        index = self._rpo_index
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a, b):
+        """True when block ``a`` dominates block ``b``."""
+        if a is b:
+            return True
+        runner = b
+        entry = self.function.entry
+        while runner is not entry:
+            runner = self.idom.get(runner)
+            if runner is None:
+                return False
+            if runner is a:
+                return True
+        return a is entry

@@ -1,0 +1,118 @@
+"""Instruction-influence analysis (§3.5).
+
+Given a value (typically a loop exit condition), compute the closure of
+values and memory accesses that influence it within a region: which
+non-local loads feed it, through which local stack slots, and whether an
+opaque call is involved.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.memdep import MemoryDependence
+from repro.analysis.nonlocal_ import NonLocalInfo, pointer_root
+from repro.ir import instructions as ins
+from repro.ir.values import Argument, Constant, GlobalVar
+
+
+@dataclass
+class InfluenceResult:
+    """What influences a value inside a region."""
+
+    #: Non-local memory reads (loads / RMWs / CAS) in the closure.
+    nonlocal_accesses: set = field(default_factory=set)
+    #: Loads of function-local stack slots in the closure.
+    local_loads: set = field(default_factory=set)
+    #: In-region stores to local slots that may feed the value.
+    local_stores: set = field(default_factory=set)
+    #: True when a call result is part of the closure (opaque).
+    has_call: bool = False
+
+    @property
+    def has_nonlocal(self):
+        return bool(self.nonlocal_accesses) or self.has_call
+
+
+class InfluenceAnalysis:
+    """Influence queries for one function (results are value-closure walks)."""
+
+    def __init__(self, function, nonlocal_info=None, memdep=None):
+        self.function = function
+        self.nonlocal_info = nonlocal_info or NonLocalInfo(function)
+        self.memdep = memdep or MemoryDependence(function)
+
+    def closure(self, value, region):
+        """Influence closure of ``value`` scoped to ``region`` blocks."""
+        result = InfluenceResult()
+        worklist = [value]
+        visited = set()
+        while worklist:
+            current = worklist.pop()
+            if id(current) in visited:
+                continue
+            visited.add(id(current))
+            if current is None or isinstance(current, (Constant, Argument)):
+                continue
+            if isinstance(current, GlobalVar):
+                # The *address* of a global is a constant, not a read.
+                continue
+            if isinstance(current, ins.Load):
+                self._visit_load(current, region, result, worklist)
+            elif isinstance(current, (ins.Cmpxchg, ins.AtomicRMW)):
+                # RMW results read memory like a load does.
+                if self.nonlocal_info.is_nonlocal_pointer(current.pointer):
+                    result.nonlocal_accesses.add(current)
+                worklist.extend(current.operands)
+            elif isinstance(current, ins.Call):
+                result.has_call = True
+                worklist.extend(current.operands)
+            elif isinstance(current, ins.Instruction):
+                worklist.extend(current.operands)
+        return result
+
+    def _visit_load(self, load, region, result, worklist):
+        # Address dependencies always count (indirect non-local deps).
+        worklist.append(load.pointer)
+        if self.nonlocal_info.is_nonlocal_pointer(load.pointer):
+            result.nonlocal_accesses.add(load)
+            return
+        result.local_loads.add(load)
+        if load.block in region:
+            for store in self.memdep.reaching_stores(load, region):
+                if store not in result.local_stores:
+                    result.local_stores.add(store)
+                    worklist.append(store.value)
+
+    # -- helpers used by the spinloop detector --------------------------------
+
+    def stored_value_is_constant(self, store):
+        """True when the store always writes the same value (paper's
+        "constant store" exception in Figure 3, Spinloop 2)."""
+        return isinstance(store.value, Constant)
+
+    def nonlocal_stores_matching(self, accesses, region):
+        """In-region stores that hit the same locations as ``accesses``.
+
+        Matching is by location key (same criterion as alias
+        exploration) or by identical pointer root for keyless locations.
+        """
+        keys = set()
+        roots = set()
+        for access in accesses:
+            key = self.nonlocal_info.location_key(access.accessed_pointer())
+            if key is not None:
+                keys.add(key)
+            roots.add(pointer_root(access.accessed_pointer()))
+        matching = set()
+        for block in region:
+            for instr in block.instructions:
+                if not isinstance(instr, (ins.Store, ins.AtomicRMW, ins.Cmpxchg)):
+                    continue
+                pointer = instr.accessed_pointer()
+                if not self.nonlocal_info.is_nonlocal_pointer(pointer):
+                    continue
+                key = self.nonlocal_info.location_key(pointer)
+                if (key is not None and key in keys) or pointer_root(
+                    pointer
+                ) in roots:
+                    matching.add(instr)
+        return matching

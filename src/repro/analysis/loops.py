@@ -1,0 +1,103 @@
+"""Natural-loop detection (§3.3: "a loop is identified by its loop header").
+
+A back edge is an edge ``u -> h`` where ``h`` dominates ``u``.  The
+natural loop of the back edge contains ``h`` plus every node that can
+reach ``u`` without passing through ``h``.  Loops sharing a header are
+merged, as in LLVM's LoopInfo.
+"""
+
+from repro.analysis.cfg import predecessors
+from repro.analysis.dominators import DominatorTree
+from repro.ir.instructions import CondBr
+
+
+class Loop:
+    """One natural loop: header block, body set, and its exits."""
+
+    def __init__(self, header, body):
+        self.header = header
+        self.body = body  # set of blocks, includes header
+
+    def exit_edges(self):
+        """All ``(block, successor)`` edges leaving the loop."""
+        edges = []
+        for block in self.body:
+            for successor in block.successors():
+                if successor not in self.body:
+                    edges.append((block, successor))
+        return edges
+
+    def exit_conditions(self):
+        """The condition values controlling each loop exit.
+
+        For an exit edge taken by a conditional branch, that branch's
+        condition.  For an unconditional exit (e.g. a ``break`` block),
+        the conditions of the in-loop conditional branches that lead to
+        it, found by walking predecessors until conditional branches are
+        reached — an approximation of control dependence adequate for
+        ``-O0``-shaped CFGs.
+        """
+        conditions = []
+        seen = set()
+        preds = None
+        for block, _successor in self.exit_edges():
+            terminator = block.terminator
+            if isinstance(terminator, CondBr):
+                if terminator not in seen:
+                    seen.add(terminator)
+                    conditions.append(terminator.cond)
+                continue
+            if preds is None:
+                preds = predecessors(self.header.function)
+            worklist = [block]
+            visited = set()
+            while worklist:
+                current = worklist.pop()
+                if current in visited:
+                    continue
+                visited.add(current)
+                for pred in preds[current]:
+                    if pred not in self.body:
+                        continue
+                    pterm = pred.terminator
+                    if isinstance(pterm, CondBr):
+                        if pterm not in seen:
+                            seen.add(pterm)
+                            conditions.append(pterm.cond)
+                    else:
+                        worklist.append(pred)
+        return conditions
+
+    def instructions(self):
+        for block in self.body:
+            yield from block.instructions
+
+    def contains(self, instr):
+        return instr.block in self.body
+
+    def __repr__(self):
+        labels = sorted(block.label for block in self.body)
+        return f"Loop(header={self.header.label}, body={labels})"
+
+
+def find_loops(function, domtree=None):
+    """Find all natural loops in ``function``; returns a list of Loops."""
+    domtree = domtree or DominatorTree(function)
+    preds = predecessors(function)
+    loops_by_header = {}
+    for block in function.blocks:
+        for successor in block.successors():
+            if successor in domtree.idom and domtree.dominates(successor, block):
+                body = loops_by_header.setdefault(successor, {successor})
+                _collect_body(block, successor, preds, body)
+    return [Loop(header, body) for header, body in loops_by_header.items()]
+
+
+def _collect_body(latch, header, preds, body):
+    worklist = [latch]
+    while worklist:
+        block = worklist.pop()
+        if block in body:
+            continue
+        body.add(block)
+        worklist.extend(preds[block])

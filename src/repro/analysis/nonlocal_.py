@@ -1,0 +1,130 @@
+"""Non-local memory classification and location keys.
+
+The paper (§3.3): "A memory access is non-local in a function if it may
+also be accessed from outside that function; e.g., a global variable, a
+function argument passed by reference, or a stack variable whose address
+is taken and escapes the function scope."
+
+This module classifies access roots and derives *location keys*, the
+hashable identities used by alias exploration (§3.4):
+
+- ``("global", name)`` for direct accesses to a global scalar or to the
+  elements of a global array of scalars;
+- ``("field", struct_name, slot_offset)`` for struct-field accesses, no
+  matter how the struct was reached (type-based matching);
+- ``None`` when the location cannot be named statically (e.g. a plain
+  ``int*`` argument) — such accesses can still be transformed directly
+  but cannot seed buddy propagation.
+"""
+
+from repro.ir import instructions as ins
+from repro.ir.values import Argument, GlobalVar
+
+
+def pointer_root(pointer):
+    """Walk ``gep``/``cast`` chains back to the base of a pointer."""
+    value = pointer
+    while True:
+        if isinstance(value, ins.Gep):
+            value = value.base
+        elif isinstance(value, ins.Cast):
+            value = value.value
+        else:
+            return value
+
+
+def gep_signature(pointer):
+    """Type-based key for a pointer, or None when not field-shaped.
+
+    Uses the innermost struct-field step of the ``gep`` chain, so
+    ``p->state`` and ``nodes[i].state`` produce the same key — the
+    paper's "same type and offsets" criterion applied at field
+    granularity.
+    """
+    value = pointer
+    while isinstance(value, (ins.Gep, ins.Cast)):
+        if isinstance(value, ins.Cast):
+            value = value.value
+            continue
+        for step in reversed(value.path):
+            if step[0] == "field":
+                struct_type, field_index = step[1], step[2]
+                offset = sum(
+                    ftype.size for _, ftype in struct_type.fields[:field_index]
+                )
+                return ("field", struct_type.name, offset)
+        value = value.base
+    return None
+
+
+class NonLocalInfo:
+    """Per-function escape analysis for allocas plus root classification."""
+
+    def __init__(self, function):
+        self.function = function
+        self.escaped = self._compute_escaped()
+
+    def _compute_escaped(self):
+        """Allocas whose address may leave the function.
+
+        A pointer value "derives" another through gep/cast.  An alloca
+        escapes when any derived pointer is stored *as a value*, passed
+        to a call or thread spawn, returned, or used as the desired
+        value of an atomic exchange.
+        """
+        derived_from = {}
+        for instr in self.function.instructions():
+            if isinstance(instr, ins.Gep):
+                derived_from.setdefault(instr.base, []).append(instr)
+            elif isinstance(instr, ins.Cast):
+                derived_from.setdefault(instr.value, []).append(instr)
+
+        escaping_values = set()
+        for instr in self.function.instructions():
+            if isinstance(instr, ins.Store):
+                escaping_values.add(instr.value)
+            elif isinstance(instr, (ins.Call, ins.ThreadCreate)):
+                escaping_values.update(instr.operands)
+            elif isinstance(instr, ins.Ret) and instr.has_value:
+                escaping_values.add(instr.value)
+            elif isinstance(instr, ins.Cmpxchg):
+                escaping_values.add(instr.desired)
+            elif isinstance(instr, ins.AtomicRMW):
+                escaping_values.add(instr.value)
+
+        escaped = set()
+        for instr in self.function.instructions():
+            if not isinstance(instr, ins.Alloca):
+                continue
+            worklist = [instr]
+            seen = set()
+            while worklist:
+                value = worklist.pop()
+                if value in seen:
+                    continue
+                seen.add(value)
+                if value in escaping_values:
+                    escaped.add(instr)
+                    break
+                worklist.extend(derived_from.get(value, ()))
+        return escaped
+
+    def is_nonlocal_pointer(self, pointer):
+        """True when the pointed-to memory may be accessed by others."""
+        root = pointer_root(pointer)
+        if isinstance(root, ins.Alloca):
+            return root in self.escaped
+        if isinstance(root, (GlobalVar, Argument)):
+            return True
+        # Heap pointers, loaded pointers, call results: all non-local.
+        return True
+
+    def location_key(self, pointer):
+        """Location key for alias exploration, or None."""
+        signature = gep_signature(pointer)
+        if signature is not None:
+            return signature
+        root = pointer_root(pointer)
+        if isinstance(root, GlobalVar):
+            return ("global", root.name)
+        return None

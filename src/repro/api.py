@@ -1,0 +1,76 @@
+"""Top-level convenience API.
+
+These four functions cover the whole workflow of Figure 2 in the paper:
+compile an application to IR, port it (AtoMig or a baseline), model-check
+the result, and run it under the performance VM.
+"""
+
+from repro.core.config import AtoMigConfig, PortingLevel
+
+
+def compile_source(source, name="module"):
+    """Compile Mini-C ``source`` text into an IR :class:`Module`.
+
+    Runs the lexer, parser, semantic analysis and the ``-O0``-style
+    lowering, then verifies the produced IR.
+    """
+    from repro.ir.verifier import verify_module
+    from repro.lang.parser import parse
+    from repro.lang.sema import analyze
+    from repro.lower.lowering import lower_program
+
+    program = analyze(parse(source))
+    module = lower_program(program, module_name=name)
+    verify_module(module)
+    return module
+
+
+def port_module(module, level=PortingLevel.ATOMIG, config=None):
+    """Port ``module`` for a weak memory model.
+
+    Returns ``(ported_module, report)``.  The input module is cloned,
+    never mutated, so original/ported variants can be compared.
+
+    ``level`` selects the strategy (AtoMig, its Expl/Spin ablations, the
+    Naive porter, or the Lasagne-like baseline); ``config`` overrides
+    individual AtoMig knobs.
+    """
+    from repro.core.pipeline import run_porting
+
+    return run_porting(module, level=level, config=config)
+
+
+def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000):
+    """Exhaustively model-check ``module`` starting from ``main``.
+
+    ``model`` is ``"sc"``, ``"tso"`` or ``"wmm"``.  Returns a
+    :class:`repro.mc.explorer.CheckResult` whose ``violation`` field
+    holds a counterexample trace when an assertion can fail.
+    """
+    from repro.mc.explorer import check_module as _check
+
+    return _check(module, model=model, max_steps=max_steps, max_states=max_states)
+
+
+def run_module(module, entry="main", schedule_seed=0, cost_model=None):
+    """Execute ``module`` on the performance VM.
+
+    Returns a :class:`repro.vm.interp.RunResult` with the program exit
+    value, per-class dynamic operation counts (the paper's Table 4) and
+    modeled cycle cost (Tables 5-6).
+    """
+    from repro.vm.interp import run_module as _run
+
+    return _run(
+        module, entry=entry, schedule_seed=schedule_seed, cost_model=cost_model
+    )
+
+
+__all__ = [
+    "AtoMigConfig",
+    "PortingLevel",
+    "check_module",
+    "compile_source",
+    "port_module",
+    "run_module",
+]

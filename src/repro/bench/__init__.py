@@ -1,0 +1,5 @@
+"""Benchmark corpus and table harnesses for the paper's evaluation."""
+
+from repro.bench.corpus import BENCHMARKS, Benchmark, get_benchmark
+
+__all__ = ["BENCHMARKS", "Benchmark", "get_benchmark"]

@@ -1,0 +1,189 @@
+"""Registry of all benchmark programs used by tests and harnesses."""
+
+from dataclasses import dataclass, field
+
+from repro.bench.programs import (
+    apps,
+    ck_ring,
+    ck_sequence,
+    ck_spinlock_cas,
+    ck_spinlock_mcs,
+    classic_locks,
+    clht,
+    lf_hash,
+    message_passing,
+    phoenix,
+)
+
+
+@dataclass
+class Benchmark:
+    """One benchmark: sources for model checking and performance runs."""
+
+    name: str
+    description: str
+    #: Builds the litmus-scale model-checking client (or None).
+    mc_source: object = None
+    #: Builds the performance client (TSO input code).
+    perf_source: object = None
+    #: Builds the expert hand-ported WMM variant (CK benchmarks only);
+    #: when present it is the Table 5 "original" baseline.
+    expert_source: object = None
+    #: Paper's Table 5 slowdowns, for EXPERIMENTS.md comparison.
+    paper_naive: float = None
+    paper_atomig: float = None
+    tags: tuple = ()
+
+
+BENCHMARKS = {}
+
+
+def _register(benchmark):
+    BENCHMARKS[benchmark.name] = benchmark
+    return benchmark
+
+
+def get_benchmark(name):
+    return BENCHMARKS[name]
+
+
+_register(Benchmark(
+    name="message_passing",
+    description="Figures 1/5: spinloop-published message",
+    mc_source=message_passing.mc_source,
+    perf_source=message_passing.perf_source,
+    tags=("figure", "litmus"),
+))
+
+_register(Benchmark(
+    name="ck_ring",
+    description="Concurrency Kit SPSC ring buffer",
+    mc_source=ck_ring.mc_source,
+    perf_source=ck_ring.perf_source,
+    expert_source=ck_ring.expert_source,
+    paper_naive=4.43,
+    paper_atomig=0.85,
+    tags=("ck", "table2", "table5"),
+))
+
+_register(Benchmark(
+    name="ck_sequence",
+    description="Concurrency Kit seqlock (Figure 6)",
+    mc_source=ck_sequence.mc_source,
+    perf_source=ck_sequence.perf_source,
+    expert_source=ck_sequence.expert_source,
+    paper_naive=5.35,
+    paper_atomig=0.91,
+    tags=("ck", "table2", "table5", "figure"),
+))
+
+_register(Benchmark(
+    name="ck_spinlock_cas",
+    description="Concurrency Kit CAS spinlock (Figure 4)",
+    mc_source=ck_spinlock_cas.mc_source,
+    perf_source=ck_spinlock_cas.perf_source,
+    expert_source=ck_spinlock_cas.expert_source,
+    paper_naive=3.75,
+    paper_atomig=0.63,
+    tags=("ck", "table2", "table5", "figure"),
+))
+
+_register(Benchmark(
+    name="ck_spinlock_mcs",
+    description="Concurrency Kit MCS queue lock",
+    mc_source=ck_spinlock_mcs.mc_source,
+    perf_source=ck_spinlock_mcs.perf_source,
+    expert_source=ck_spinlock_mcs.expert_source,
+    paper_naive=5.29,
+    paper_atomig=0.64,
+    tags=("ck", "table2", "table5"),
+))
+
+_register(Benchmark(
+    name="lf_hash",
+    description="MariaDB lock-free hash (Figure 7 bug)",
+    mc_source=lf_hash.mc_source,
+    perf_source=lf_hash.perf_source,
+    paper_naive=3.05,
+    paper_atomig=1.01,
+    tags=("table2", "table5", "figure"),
+))
+
+_register(Benchmark(
+    name="treiber_stack",
+    description="Treiber lock-free stack (extended corpus)",
+    mc_source=classic_locks.treiber_stack_mc_source,
+    perf_source=classic_locks.treiber_stack_perf_source,
+    tags=("extended",),
+))
+
+_register(Benchmark(
+    name="dpdk_ring",
+    description="DPDK-style SPSC ring with compiler barriers (§1 anecdote)",
+    mc_source=classic_locks.dpdk_ring_mc_source,
+    tags=("extended",),
+))
+
+_register(Benchmark(
+    name="peterson",
+    description="Peterson's lock with the mandatory x86 mfence",
+    mc_source=classic_locks.peterson_tso_source,
+    tags=("extended",),
+))
+
+_register(Benchmark(
+    name="clht_lb",
+    description="CLHT lock-based hash table (no WMM original exists)",
+    mc_source=clht.lb_mc_source,
+    perf_source=clht.lb_perf_source,
+    paper_naive=1.89,
+    paper_atomig=1.10,
+    tags=("table5",),
+))
+
+_register(Benchmark(
+    name="clht_lf",
+    description="CLHT lock-free hash table (no WMM original exists)",
+    mc_source=clht.lf_mc_source,
+    perf_source=clht.lf_perf_source,
+    paper_naive=2.01,
+    paper_atomig=1.40,
+    tags=("table5",),
+))
+
+# The five large applications (runtime workload models).
+_APP_PAPER_NUMBERS = {
+    "mariadb": (1.27, 1.01),
+    "postgresql": (1.35, 1.04),
+    "leveldb": (1.66, 1.01),
+    "memcached": (1.01, 1.00),
+    "sqlite": (2.49, 1.03),
+}
+for _name, _builder in apps.APP_BENCHMARKS.items():
+    _naive, _atomig = _APP_PAPER_NUMBERS[_name]
+    _register(Benchmark(
+        name=_name,
+        description=f"{_name} runtime workload model",
+        perf_source=_builder,
+        paper_naive=_naive,
+        paper_atomig=_atomig,
+        tags=("app", "table5"),
+    ))
+
+# Phoenix suite (Table 6); paper numbers are (naive, lasagne, atomig).
+PHOENIX_PAPER_NUMBERS = {
+    "histogram": (2.80, 2.51, 1.00),
+    "kmeans": (1.07, 1.60, 1.03),
+    "linear_regression": (1.02, 1.90, 1.00),
+    "matrix_multiply": (1.01, 1.49, 1.01),
+    "string_match": (1.70, 1.35, 1.01),
+}
+for _name, _builder in phoenix.PHOENIX_BENCHMARKS.items():
+    _register(Benchmark(
+        name=f"phoenix_{_name}",
+        description=f"Phoenix 2.0 {_name}",
+        perf_source=_builder,
+        paper_naive=PHOENIX_PAPER_NUMBERS[_name][0],
+        paper_atomig=PHOENIX_PAPER_NUMBERS[_name][2],
+        tags=("phoenix", "table6"),
+    ))

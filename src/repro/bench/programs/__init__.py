@@ -1,0 +1,10 @@
+"""Mini-C sources for every benchmark in the paper's evaluation.
+
+Each module exports source builders:
+
+- ``mc_source()``    — a litmus-scale client for the model checker;
+- ``perf_source()``  — a larger client for the performance VM;
+- ``expert_source()`` (CK benchmarks) — the hand-ported weak-memory
+  variant with explicit barriers, used as the paper's "original"
+  baseline in Table 5.
+"""

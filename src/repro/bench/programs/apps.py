@@ -1,0 +1,305 @@
+"""Runtime workload models of the five large applications (§4.2-4.3).
+
+The paper measures MariaDB/PostgreSQL/LevelDB/Memcached/SQLite with
+their own benchmark drivers (mtr, pgbench, db_bench, memtier).  We model
+each application as a request-processing loop whose *shared-memory
+intensity* — the fraction of work touching shared globals versus private
+computation — matches the relative Naive-porting overheads of Table 5:
+
+==============  ==================  ========================================
+application     paper Naive / AtoMig  workload model
+==============  ==================  ========================================
+MariaDB         1.27 / 1.01          row cache + latch, moderate shared use
+PostgreSQL      1.35 / 1.04          buffer pool + WAL insert spinlock
+LevelDB         1.66 / 1.01          memtable array + version publication
+Memcached       1.01 / 1.00          hash of private request data dominates
+SQLite          2.49 / 1.03          B-tree page array walked in shared mem
+==============  ==================  ========================================
+
+Each workload has a client thread and a worker thread synchronizing via
+spinlock/flag patterns that AtoMig must detect, plus the bulk of the
+request work, whose private/shared split drives the Naive overhead.
+"""
+
+_LOCK = """
+int latch = 0;
+
+void latch_lock() {
+    while (atomic_cmpxchg_explicit(&latch, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void latch_unlock() {
+    latch = 0;
+}
+"""
+
+
+def mariadb_like_source(requests=150):
+    """Row lookups through a shared row cache guarded by a latch, with
+    moderate per-request private parsing work."""
+    return _LOCK + f"""
+int row_cache[256];
+int rows_hit = 0;
+
+int parse_query(int q) {{
+    int h = q;
+    for (int i = 0; i < 40; i++) {{
+        int local = h * 31 + i;
+        h = local % 65536;
+    }}
+    return h;
+}}
+
+int lookup(int key) {{
+    latch_lock();
+    int slot = key % 256;
+    int v = row_cache[slot];
+    if (v == 0) {{
+        row_cache[slot] = key + 1;
+        v = key + 1;
+    }}
+    rows_hit = rows_hit + 1;
+    latch_unlock();
+    return v;
+}}
+
+void client() {{
+    for (int q = 0; q < {requests}; q++) {{
+        int h = parse_query(q * 13 + 7);
+        int v = lookup(h);
+        assert(v != 0);
+    }}
+}}
+
+int main() {{
+    int t = thread_create(client);
+    client();
+    thread_join(t);
+    assert(rows_hit == 2 * {requests});
+    return rows_hit;
+}}
+"""
+
+
+def postgresql_like_source(requests=150):
+    """Buffer-pool pins under a spinlock plus WAL record assembly."""
+    return _LOCK + f"""
+int buffer_pool[128];
+int buffer_pins[128];
+int wal_pos = 0;
+int wal[4096];
+
+int plan_query(int q) {{
+    int cost = q;
+    for (int i = 0; i < 25; i++) {{
+        int c = cost * 7 + i * 3;
+        cost = c % 10007;
+    }}
+    return cost;
+}}
+
+void wal_insert(int rec) {{
+    latch_lock();
+    int pos = wal_pos;
+    wal[pos % 4096] = rec;
+    wal_pos = pos + 1;
+    latch_unlock();
+}}
+
+void touch_buffer(int page) {{
+    latch_lock();
+    int slot = page % 128;
+    buffer_pins[slot] = buffer_pins[slot] + 1;
+    buffer_pool[slot] = page;
+    latch_unlock();
+}}
+
+void client() {{
+    for (int q = 0; q < {requests}; q++) {{
+        int cost = plan_query(q);
+        touch_buffer(cost);
+        wal_insert(cost * 2 + 1);
+    }}
+}}
+
+int main() {{
+    int t = thread_create(client);
+    client();
+    thread_join(t);
+    assert(wal_pos == 2 * {requests});
+    return wal_pos;
+}}
+"""
+
+
+def leveldb_like_source(requests=500):
+    """Memtable inserts published through a version counter; readers
+    walk the shared memtable array (heavier shared traffic)."""
+    return f"""
+volatile int version = 0;
+int memtable_key[512];
+int memtable_val[512];
+int count = 0;
+int done = 0;
+
+void writer() {{
+    for (int q = 0; q < {requests}; q++) {{
+        int n = count;
+        memtable_key[n % 512] = q + 1;
+        memtable_val[n % 512] = q * 2 + 1;
+        count = n + 1;
+        if (q % 8 == 0) {{
+            version = version + 1;
+        }}
+    }}
+    done = 1;
+}}
+
+int read_scan() {{
+    int v = version;
+    int sum = 0;
+    int n = count;
+    for (int i = 0; i < n % 512; i++) {{
+        sum = sum + memtable_val[i];
+    }}
+    if (v != version) {{
+        return 0 - 1;
+    }}
+    return sum;
+}}
+
+int main() {{
+    int t = thread_create(writer);
+    int good = 0;
+    while (done == 0) {{
+        if (read_scan() >= 0) {{
+            good = good + 1;
+        }}
+    }}
+    thread_join(t);
+    assert(count == {requests});
+    if (good < 0) {{
+        return 0 - 1;  // unreachable: scans validate or retry
+    }}
+    return count;
+}}
+"""
+
+
+def memcached_like_source(requests=200):
+    """Hashing of private request buffers dominates; shared state is a
+    tiny stats block and an item table touched once per request."""
+    return _LOCK + f"""
+int item_table[64];
+volatile int stats_gets = 0;
+
+int hash_request(int q) {{
+    int buffer[16];
+    for (int i = 0; i < 16; i++) {{
+        buffer[i] = q * 31 + i * 7;
+    }}
+    int h = 5381;
+    for (int r = 0; r < 4; r++) {{
+        for (int i = 0; i < 16; i++) {{
+            h = (h * 33 + buffer[i]) % 1000003;
+        }}
+    }}
+    return h;
+}}
+
+void handle(int q) {{
+    int h = hash_request(q);
+    latch_lock();
+    item_table[h % 64] = h;
+    stats_gets = stats_gets + 1;
+    latch_unlock();
+}}
+
+void client() {{
+    for (int q = 0; q < {requests}; q++) {{
+        handle(q);
+        if (stats_gets > 4 * {requests}) {{
+            return;  // overload guard: reads the volatile stats
+        }}
+    }}
+}}
+
+int main() {{
+    int t = thread_create(client);
+    client();
+    thread_join(t);
+    assert(stats_gets == 2 * {requests});
+    return stats_gets;
+}}
+"""
+
+
+def sqlite_like_source(requests=60):
+    """B-tree style page walks directly over shared page memory: the
+    most shared-memory-intensive of the five (Naive hurts most here)."""
+    return _LOCK + f"""
+int pages[1024];
+int page_count = 0;
+
+void btree_insert(int key) {{
+    latch_lock();
+    int n = page_count;
+    int pos = 0;
+    while (pos < n && pages[pos] < key) {{
+        pos = pos + 1;
+    }}
+    int i = n;
+    while (i > pos) {{
+        pages[i] = pages[i - 1];
+        i = i - 1;
+    }}
+    pages[pos] = key;
+    page_count = n + 1;
+    latch_unlock();
+}}
+
+int btree_sum() {{
+    latch_lock();
+    int sum = 0;
+    for (int i = 0; i < page_count; i++) {{
+        sum = sum + pages[i];
+    }}
+    latch_unlock();
+    return sum;
+}}
+
+void client(int base, int count) {{
+    for (int q = 0; q < count; q++) {{
+        btree_insert(base + q * 2);
+        if (q % 8 == 0) {{
+            btree_sum();
+        }}
+    }}
+}}
+
+void helper(int base) {{
+    client(base, {requests} / 8);
+}}
+
+int main() {{
+    // SQLite serializes access: the bulk of the work is one writer;
+    // the background thread only issues a few requests, so the latch
+    // is mostly uncontended (as in the paper's benchmark runs).
+    int t = thread_create(helper, 1);
+    client(0, {requests});
+    thread_join(t);
+    assert(page_count == {requests} + {requests} / 8);
+    return page_count;
+}}
+"""
+
+
+APP_BENCHMARKS = {
+    "mariadb": mariadb_like_source,
+    "postgresql": postgresql_like_source,
+    "leveldb": leveldb_like_source,
+    "memcached": memcached_like_source,
+    "sqlite": sqlite_like_source,
+}

@@ -1,0 +1,98 @@
+"""Concurrency Kit's SPSC ring buffer (ck_ring), ported to Mini-C.
+
+Producer writes the entry then publishes by bumping ``tail``; consumer
+reads ``tail``, consumes the entry, then bumps ``head``.  TSO's store
+order makes the plain version safe on x86; on WMM the entry store can
+pass the tail publication (and the consumer's entry load can float),
+corrupting dequeued values.  The expert aarch64 port brackets the
+publication points with explicit fences.
+"""
+
+_RING_TSO = """
+int ring[{slots}];
+volatile int head = 0;
+volatile int tail = 0;
+
+void enqueue(int value) {{
+    while (tail - head == {slots}) {{ }}
+    ring[tail % {slots}] = value;
+    tail = tail + 1;
+}}
+
+int dequeue() {{
+    while (tail - head == 0) {{ }}
+    int value = ring[head % {slots}];
+    head = head + 1;
+    return value;
+}}
+"""
+
+_RING_EXPERT = """
+int ring[{slots}];
+volatile int head = 0;
+volatile int tail = 0;
+
+void enqueue(int value) {{
+    while (tail - head == {slots}) {{ }}
+    ring[tail % {slots}] = value;
+    atomic_thread_fence(memory_order_seq_cst);
+    tail = tail + 1;
+}}
+
+int dequeue() {{
+    while (tail - head == 0) {{ }}
+    atomic_thread_fence(memory_order_seq_cst);
+    int value = ring[head % {slots}];
+    atomic_thread_fence(memory_order_seq_cst);
+    head = head + 1;
+    return value;
+}}
+"""
+
+_MC_CLIENT = """
+void producer() {{
+    enqueue(11);
+    enqueue(22);
+}}
+
+int main() {{
+    int t = thread_create(producer);
+    int a = dequeue();
+    int b = dequeue();
+    assert(a == 11);
+    assert(b == 22);
+    thread_join(t);
+    return 0;
+}}
+"""
+
+_PERF_CLIENT = """
+void producer() {{
+    for (int i = 1; i <= {items}; i++) {{
+        enqueue(i);
+    }}
+}}
+
+int main() {{
+    int t = thread_create(producer);
+    int sum = 0;
+    for (int i = 1; i <= {items}; i++) {{
+        sum = sum + dequeue();
+    }}
+    thread_join(t);
+    assert(sum == {items} * ({items} + 1) / 2);
+    return sum;
+}}
+"""
+
+
+def mc_source(slots=2):
+    return _RING_TSO.format(slots=slots) + _MC_CLIENT.format()
+
+
+def perf_source(items=600, slots=8):
+    return _RING_TSO.format(slots=slots) + _PERF_CLIENT.format(items=items)
+
+
+def expert_source(items=600, slots=8):
+    return _RING_EXPERT.format(slots=slots) + _PERF_CLIENT.format(items=items)

@@ -1,0 +1,120 @@
+"""Concurrency Kit's seqlock (ck_sequence), ported to Mini-C (Figure 6).
+
+A writer bumps a sequence counter around updates of a multi-word
+payload; readers retry until they observe the same even sequence value
+before and after reading.  Depends on store-store and load-load program
+order — both broken on WMM, and *not* fixable by SC atomics on the
+counter alone: the payload reads need explicit barriers (the paper's
+optimistic-control transformation).
+"""
+
+_TSO = """
+volatile int seq = 0;
+int payload[{width}];
+
+void write_record(int value) {{
+    seq++;
+    for (int i = 0; i < {width}; i++) {{
+        payload[i] = value;
+    }}
+    seq++;
+}}
+
+int read_record() {{
+    int s;
+    int sum;
+    do {{
+        s = seq;
+        sum = 0;
+        for (int i = 0; i < {width}; i++) {{
+            sum = sum + payload[i];
+        }}
+    }} while (s % 2 != 0 || s != seq);
+    assert(sum % {width} == 0);
+    return sum / {width};
+}}
+"""
+
+_EXPERT = """
+volatile int seq = 0;
+int payload[{width}];
+
+void write_record(int value) {{
+    seq++;
+    atomic_thread_fence(memory_order_seq_cst);
+    for (int i = 0; i < {width}; i++) {{
+        payload[i] = value;
+    }}
+    atomic_thread_fence(memory_order_seq_cst);
+    seq++;
+}}
+
+int read_record() {{
+    int s;
+    int sum;
+    do {{
+        s = seq;
+        atomic_thread_fence(memory_order_seq_cst);
+        sum = 0;
+        for (int i = 0; i < {width}; i++) {{
+            sum = sum + payload[i];
+        }}
+        atomic_thread_fence(memory_order_seq_cst);
+    }} while (s % 2 != 0 || s != seq);
+    assert(sum % {width} == 0);
+    return sum / {width};
+}}
+"""
+
+_MC_CLIENT = """
+void writer() {{
+    write_record(7);
+}}
+
+int main() {{
+    int t = thread_create(writer);
+    int value = read_record();
+    assert(value == 0 || value == 7);
+    thread_join(t);
+    return value;
+}}
+"""
+
+_PERF_CLIENT = """
+void writer() {{
+    for (int r = 1; r <= {rounds}; r++) {{
+        write_record(r);
+    }}
+    done = 1;
+}}
+
+int main() {{
+    int t = thread_create(writer);
+    int total = 0;
+    while (done == 0) {{
+        total = total + read_record();
+    }}
+    thread_join(t);
+    return total;
+}}
+"""
+
+
+def mc_source(width=2):
+    return _TSO.format(width=width) + _MC_CLIENT.format()
+
+
+def perf_source(rounds=250, width=8):
+    return (
+        "int done = 0;\n"
+        + _TSO.format(width=width)
+        + _PERF_CLIENT.format(rounds=rounds)
+    )
+
+
+def expert_source(rounds=250, width=8):
+    return (
+        "int done = 0;\n"
+        + _EXPERT.format(width=width)
+        + _PERF_CLIENT.format(rounds=rounds)
+    )

@@ -1,0 +1,89 @@
+"""Concurrency Kit's CAS spinlock (ck_spinlock_cas), ported to Mini-C.
+
+The TSO variant is Figure 4's test-and-set lock: a relaxed
+compare-exchange acquire loop and a *plain store* release — correct on
+x86, broken on WMM (critical-section accesses may float past the
+unlock).  The expert variant is CK's aarch64 port, which brackets the
+release with explicit full fences.
+"""
+
+_BODY = """
+void cs_update(int r) {{
+    int c = counter;
+    for (int i = 0; i < {payload}; i++) {{
+        shared_data[i] = shared_data[i] + r;
+    }}
+    counter = c + 1;
+}}
+
+void worker(int rounds) {{
+    for (int r = 0; r < rounds; r++) {{
+        lock();
+        cs_update(r);
+        unlock();
+    }}
+}}
+
+void thread_fn(int rounds) {{
+    worker(rounds);
+}}
+
+int main() {{
+    int t = thread_create(thread_fn, {rounds});
+    worker({rounds});
+    thread_join(t);
+    assert(counter == 2 * {rounds});
+    return counter;
+}}
+"""
+
+
+def _tso_lock():
+    return """
+int lock_word = 0;
+int counter = 0;
+int shared_data[64];
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void unlock() {
+    lock_word = 0;
+}
+"""
+
+
+def _expert_lock():
+    # CK's aarch64 port: explicit barriers around acquire and release.
+    return """
+int lock_word = 0;
+int counter = 0;
+int shared_data[64];
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+    atomic_thread_fence(memory_order_seq_cst);
+}
+
+void unlock() {
+    atomic_thread_fence(memory_order_seq_cst);
+    lock_word = 0;
+}
+"""
+
+
+def mc_source():
+    return _tso_lock() + _BODY.format(rounds=1, payload=1)
+
+
+def perf_source(rounds=150, payload=24):
+    return _tso_lock() + _BODY.format(rounds=rounds, payload=payload)
+
+
+def expert_source(rounds=150, payload=24):
+    return _expert_lock() + _BODY.format(rounds=rounds, payload=payload)

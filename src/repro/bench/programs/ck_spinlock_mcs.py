@@ -1,0 +1,115 @@
+"""Concurrency Kit's MCS queue lock (ck_spinlock_mcs), ported to Mini-C.
+
+Each thread enqueues a private node by atomically swapping the tail
+pointer, then spins on its own node's flag — the "message passing using
+a spinloop" pattern the paper cites for MCS (§3.3).  The handoff
+(``next->locked = 0``) is a plain store on TSO; on WMM both the handoff
+and the critical-section stores can leak, so barriers are required.
+"""
+
+_MCS_TSO = """
+struct mcs_node { int locked; struct mcs_node *next; };
+
+struct mcs_node *mcs_tail;
+struct mcs_node nodes[2];
+int counter = 0;
+int shared_data[64];
+
+void mcs_lock(int me) {
+    struct mcs_node *node = &nodes[me];
+    node->locked = 1;
+    node->next = NULL;
+    struct mcs_node *prev = atomic_exchange_explicit(&mcs_tail, node, memory_order_relaxed);
+    if (prev != NULL) {
+        prev->next = node;
+        while (node->locked != 0) { cpu_relax(); }
+    }
+}
+
+void mcs_unlock(int me) {
+    struct mcs_node *node = &nodes[me];
+    if (node->next == NULL) {
+        if (atomic_cmpxchg_explicit(&mcs_tail, node, NULL, memory_order_relaxed) == node) {
+            return;
+        }
+        while (node->next == NULL) { cpu_relax(); }
+    }
+    struct mcs_node *succ = node->next;
+    succ->locked = 0;
+}
+"""
+
+_MCS_EXPERT = """
+struct mcs_node { int locked; struct mcs_node *next; };
+
+struct mcs_node *mcs_tail;
+struct mcs_node nodes[2];
+int counter = 0;
+int shared_data[64];
+
+void mcs_lock(int me) {
+    struct mcs_node *node = &nodes[me];
+    node->locked = 1;
+    node->next = NULL;
+    atomic_thread_fence(memory_order_seq_cst);
+    struct mcs_node *prev = atomic_exchange_explicit(&mcs_tail, node, memory_order_relaxed);
+    if (prev != NULL) {
+        prev->next = node;
+        atomic_thread_fence(memory_order_seq_cst);
+        while (node->locked != 0) { cpu_relax(); }
+    }
+    atomic_thread_fence(memory_order_seq_cst);
+}
+
+void mcs_unlock(int me) {
+    struct mcs_node *node = &nodes[me];
+    atomic_thread_fence(memory_order_seq_cst);
+    if (node->next == NULL) {
+        if (atomic_cmpxchg_explicit(&mcs_tail, node, NULL, memory_order_relaxed) == node) {
+            return;
+        }
+        while (node->next == NULL) { cpu_relax(); }
+    }
+    struct mcs_node *succ = node->next;
+    succ->locked = 0;
+    atomic_thread_fence(memory_order_seq_cst);
+}
+"""
+
+_CLIENT = """
+void worker(int me) {{
+    for (int r = 0; r < {rounds}; r++) {{
+        mcs_lock(me);
+        int c = counter;
+        for (int i = 0; i < {payload}; i++) {{
+            shared_data[i] = shared_data[i] + me;
+        }}
+        counter = c + 1;
+        mcs_unlock(me);
+    }}
+}}
+
+void thread_fn(int me) {{
+    worker(me);
+}}
+
+int main() {{
+    int t = thread_create(thread_fn, 1);
+    worker(0);
+    thread_join(t);
+    assert(counter == 2 * {rounds});
+    return counter;
+}}
+"""
+
+
+def mc_source():
+    return _MCS_TSO + _CLIENT.format(rounds=1, payload=1)
+
+
+def perf_source(rounds=150, payload=24):
+    return _MCS_TSO + _CLIENT.format(rounds=rounds, payload=payload)
+
+
+def expert_source(rounds=150, payload=24):
+    return _MCS_EXPERT + _CLIENT.format(rounds=rounds, payload=payload)

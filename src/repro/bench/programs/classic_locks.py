@@ -1,0 +1,257 @@
+"""Classic mutual-exclusion algorithms and lock-free structures.
+
+Extended validation corpus beyond the paper's Table 2:
+
+- **Peterson's lock** — the textbook case needing store-load ordering:
+  broken even on x86-TSO without a fence; the TSO-era variant therefore
+  carries an ``mfence``, which AtoMig's inline-asm frontend pass maps to
+  a portable SC fence.
+- **Dekker's core** (the SB kernel with turn arbitration).
+- **Treiber stack** — CAS-based lock-free push/pop over heap nodes.
+- **DPDK-style SPSC ring** — the library from the paper's motivating
+  industry anecdote (§1): volatile head/tail indices, data slots
+  published by index bump, plus an x86 compiler barrier in exactly the
+  place DPDK's x86 backend puts one.
+"""
+
+
+def peterson_tso_source():
+    """Peterson with the mandatory x86 fence (correct on TSO)."""
+    return """
+int interested0 = 0;
+int interested1 = 0;
+int turn = 0;
+int counter = 0;
+
+void lock0() {
+    interested0 = 1;
+    turn = 1;
+    __asm__("mfence");
+    while (interested1 == 1 && turn == 1) { }
+}
+
+void unlock0() {
+    interested0 = 0;
+}
+
+void lock1() {
+    interested1 = 1;
+    turn = 0;
+    __asm__("mfence");
+    while (interested0 == 1 && turn == 0) { }
+}
+
+void unlock1() {
+    interested1 = 0;
+}
+
+void other() {
+    lock1();
+    int c = counter;
+    counter = c + 1;
+    unlock1();
+}
+
+int main() {
+    int t = thread_create(other);
+    lock0();
+    int c = counter;
+    counter = c + 1;
+    unlock0();
+    thread_join(t);
+    assert(counter == 2);
+    return 0;
+}
+"""
+
+
+def peterson_broken_source():
+    """Peterson *without* the fence: broken on TSO already (SB)."""
+    return peterson_tso_source().replace('    __asm__("mfence");\n', "")
+
+
+def dekker_core_source():
+    """The store-buffering kernel at the heart of Dekker's algorithm."""
+    return """
+int req0 = 0;
+int req1 = 0;
+int in_cs = 0;
+
+void side1() {
+    req1 = 1;
+    __asm__("mfence");
+    if (req0 == 0) {
+        int c = in_cs;
+        in_cs = c + 1;
+    }
+}
+
+int main() {
+    int t = thread_create(side1);
+    req0 = 1;
+    __asm__("mfence");
+    if (req1 == 0) {
+        int c = in_cs;
+        in_cs = c + 1;
+    }
+    thread_join(t);
+    assert(in_cs <= 1);
+    return 0;
+}
+"""
+
+
+def treiber_stack_mc_source():
+    """Two concurrent pushes, then sequential pops: LIFO + no loss."""
+    return """
+struct cell { int value; struct cell *below; };
+
+struct cell *top;
+struct cell cells[4];
+_Atomic int cell_next = 0;
+
+void push(int value) {
+    int idx = atomic_fetch_add(&cell_next, 1);
+    struct cell *cell = &cells[idx];
+    cell->value = value;
+    while (1) {
+        struct cell *old = top;
+        cell->below = old;
+        if (atomic_cmpxchg_explicit(&top, old, cell, memory_order_relaxed) == old) {
+            return;
+        }
+    }
+}
+
+int pop() {
+    while (1) {
+        struct cell *old = top;
+        if (old == NULL) {
+            return -1;
+        }
+        struct cell *below = old->below;
+        if (atomic_cmpxchg_explicit(&top, old, below, memory_order_relaxed) == old) {
+            return old->value;
+        }
+    }
+}
+
+void pusher() {
+    push(11);
+}
+
+int main() {
+    int t = thread_create(pusher);
+    push(22);
+    int a = pop();      // races with the concurrent push(11)
+    thread_join(t);
+    int b = pop();
+    int c = pop();
+    assert(pop() == -1);
+    // Exactly {11, 22} were pushed; one pop came up empty at most.
+    assert(a == 11 || a == 22);
+    assert(a + b + c == 32);  // 11 + 22 + (-1)
+    return 0;
+}
+"""
+
+
+def treiber_stack_perf_source(ops=150):
+    return f"""
+struct cell {{ int value; struct cell *below; }};
+
+struct cell *top;
+struct cell cells[{2 * ops}];
+_Atomic int cell_next = 0;
+
+void push(int value) {{
+    int idx = atomic_fetch_add(&cell_next, 1);
+    struct cell *cell = &cells[idx];
+    cell->value = value;
+    while (1) {{
+        struct cell *old = top;
+        cell->below = old;
+        if (atomic_cmpxchg_explicit(&top, old, cell, memory_order_relaxed) == old) {{
+            return;
+        }}
+    }}
+}}
+
+int pop() {{
+    while (1) {{
+        struct cell *old = top;
+        if (old == NULL) {{
+            return -1;
+        }}
+        struct cell *below = old->below;
+        if (atomic_cmpxchg_explicit(&top, old, below, memory_order_relaxed) == old) {{
+            return old->value;
+        }}
+    }}
+}}
+
+void worker() {{
+    for (int i = 0; i < {ops}; i++) {{
+        push(i + 1);
+        if (i % 2 == 1) {{
+            pop();
+        }}
+    }}
+}}
+
+int main() {{
+    int t = thread_create(worker);
+    worker();
+    thread_join(t);
+    int drained = 0;
+    while (pop() != -1) {{
+        drained = drained + 1;
+    }}
+    assert(drained == {ops});
+    return drained;
+}}
+"""
+
+
+def dpdk_ring_mc_source(slots=2):
+    """The §1 industry anecdote: a DPDK-style SPSC ring.
+
+    Note the compiler barrier between the slot write and the tail bump
+    — sufficient on x86 (TSO keeps stores ordered; the barrier only
+    stops compiler reordering), silently broken on Arm.
+    """
+    return f"""
+int slots[{slots}];
+volatile int prod_tail = 0;
+volatile int cons_head = 0;
+
+void ring_enqueue(int value) {{
+    while (prod_tail - cons_head == {slots}) {{ }}
+    slots[prod_tail % {slots}] = value;
+    __asm__("" ::: "memory");
+    prod_tail = prod_tail + 1;
+}}
+
+int ring_dequeue() {{
+    while (prod_tail - cons_head == 0) {{ }}
+    int value = slots[cons_head % {slots}];
+    __asm__("" ::: "memory");
+    cons_head = cons_head + 1;
+    return value;
+}}
+
+void producer() {{
+    ring_enqueue(101);
+    ring_enqueue(202);
+}}
+
+int main() {{
+    int t = thread_create(producer);
+    int a = ring_dequeue();
+    int b = ring_dequeue();
+    assert(a == 101);
+    assert(b == 202);
+    thread_join(t);
+    return 0;
+}}
+"""

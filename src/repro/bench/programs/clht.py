@@ -1,0 +1,172 @@
+"""CLHT (cache-line hash table, David et al.), ported to Mini-C.
+
+CLHT was developed solely for x86 (§4.3); the paper uses it to
+demonstrate *end-to-end* porting where no expert WMM version exists,
+so the baseline is simply the TSO code recompiled for aarch64 (which is
+bound to exhibit WMM effects — the paper's footnote "+").
+
+- ``clht_lb``: lock-based variant — one spin lock per bucket;
+- ``clht_lf``: lock-free variant — sequence-style version counter per
+  bucket with optimistic readers (this is why AtoMig's overhead is
+  highest here, 1.40x: optimistic controls bring explicit fences).
+"""
+
+_HASH = """
+int clht_hash(int key) {{
+    int h = key;
+    for (int i = 0; i < 6; i++) {{
+        int mixed = h * 31 + i * 7 + (h >> 3);
+        h = mixed % 1000003;
+    }}
+    if (h < 0) {{ h = 0 - h; }}
+    return h;
+}}
+"""
+
+_LB = """
+enum {{ BUCKETS = {buckets}, SLOTS = 4 }};
+
+int bucket_lock[{buckets}];
+int bucket_key[{slots_total}];
+int bucket_val[{slots_total}];
+
+void lb_lock(int b) {{
+    while (atomic_cmpxchg_explicit(&bucket_lock[b], 0, 1, memory_order_relaxed) != 0) {{
+        cpu_relax();
+    }}
+}}
+
+void lb_unlock(int b) {{
+    bucket_lock[b] = 0;
+}}
+
+int clht_put(int key, int val) {{
+    int b = clht_hash(key) % {buckets};
+    lb_lock(b);
+    for (int i = 0; i < SLOTS; i++) {{
+        int slot = b * SLOTS + i;
+        if (bucket_key[slot] == 0 || bucket_key[slot] == key) {{
+            bucket_key[slot] = key;
+            bucket_val[slot] = val;
+            lb_unlock(b);
+            return 1;
+        }}
+    }}
+    lb_unlock(b);
+    return 0;
+}}
+
+int clht_get(int key) {{
+    int b = clht_hash(key) % {buckets};
+    lb_lock(b);
+    for (int i = 0; i < SLOTS; i++) {{
+        int slot = b * SLOTS + i;
+        if (bucket_key[slot] == key) {{
+            int v = bucket_val[slot];
+            lb_unlock(b);
+            return v;
+        }}
+    }}
+    lb_unlock(b);
+    return -1;
+}}
+"""
+
+_LF = """
+enum {{ BUCKETS = {buckets}, SLOTS = 4 }};
+
+volatile int bucket_ver[{buckets}];
+int bucket_key[{slots_total}];
+int bucket_val[{slots_total}];
+int put_lock = 0;
+
+int clht_put(int key, int val) {{
+    int b = clht_hash(key) % {buckets};
+    while (atomic_cmpxchg_explicit(&put_lock, 0, 1, memory_order_relaxed) != 0) {{ }}
+    bucket_ver[b] = bucket_ver[b] + 1;
+    int done = 0;
+    for (int i = 0; i < SLOTS; i++) {{
+        int slot = b * SLOTS + i;
+        if (done == 0 && (bucket_key[slot] == 0 || bucket_key[slot] == key)) {{
+            bucket_key[slot] = key;
+            bucket_val[slot] = val;
+            done = 1;
+        }}
+    }}
+    bucket_ver[b] = bucket_ver[b] + 1;
+    put_lock = 0;
+    return done;
+}}
+
+int clht_get(int key) {{
+    int b = clht_hash(key) % {buckets};
+    int v;
+    int result;
+    do {{
+        v = bucket_ver[b];
+        result = -1;
+        for (int i = 0; i < SLOTS; i++) {{
+            int slot = b * SLOTS + i;
+            if (bucket_key[slot] == key) {{
+                result = bucket_val[slot];
+            }}
+        }}
+    }} while (v % 2 != 0 || v != bucket_ver[b]);
+    return result;
+}}
+"""
+
+_MC_CLIENT = """
+void writer() {{
+    clht_put(5, 50);
+    clht_put(5, 60);
+}}
+
+int main() {{
+    int t = thread_create(writer);
+    int v = clht_get(5);
+    assert(v == -1 || v == 50 || v == 60);
+    thread_join(t);
+    return 0;
+}}
+"""
+
+_PERF_CLIENT = """
+void writer() {{
+    for (int i = 1; i <= {ops}; i++) {{
+        clht_put(i % 61 + 1, i);
+    }}
+}}
+
+int main() {{
+    int t = thread_create(writer);
+    int hits = 0;
+    for (int i = 1; i <= {ops}; i++) {{
+        if (clht_get(i % 61 + 1) >= 0) {{
+            hits = hits + 1;
+        }}
+    }}
+    thread_join(t);
+    return hits;
+}}
+"""
+
+
+def lb_mc_source(buckets=2):
+    table = _HASH.format() + _LB.format(buckets=buckets, slots_total=buckets * 4)
+    return table + _MC_CLIENT.format()
+
+
+def lb_perf_source(ops=200, buckets=16):
+    table = _HASH.format() + _LB.format(buckets=buckets, slots_total=buckets * 4)
+    return table + _PERF_CLIENT.format(ops=ops)
+
+
+def lf_mc_source(buckets=2):
+    table = _HASH.format() + _LF.format(buckets=buckets, slots_total=buckets * 4)
+    return table + _MC_CLIENT.format()
+
+
+def lf_perf_source(ops=200, buckets=16):
+    table = _HASH.format() + _LF.format(buckets=buckets, slots_total=buckets * 4)
+    return table + _PERF_CLIENT.format(ops=ops)

@@ -1,0 +1,156 @@
+"""MariaDB's lock-free hash (lf-hash), ported to Mini-C.
+
+The model-checking client abstracts the Figure 7 bug: ``l_find``'s
+validation loop reads a node's ``state`` and ``key`` and retries on an
+inconsistent snapshot, while ``l_delete`` invalidates the node with a
+relaxed compare-exchange and then clears the key with a plain store.
+Two WMM reorderings break it: the find-side ``key`` load escaping the
+validation loop, and the delete-side ``key`` store overtaking the
+CAS's store half (Armv8 release-store semantics).
+
+The performance client runs a bucketed lock-free table with CAS-based
+inserts, searching readers and invalidating deleters — the "parallel
+searches, insertions and deletions" workload of §4.3.
+"""
+
+
+def mc_source():
+    return """
+struct node { int state; int key; };
+struct node n;
+
+enum { INVALID = 0, VALID = 1 };
+
+void l_delete() {
+    if (atomic_cmpxchg_explicit(&n.state, VALID, INVALID, memory_order_relaxed) == VALID) {
+        n.key = 0;
+    }
+}
+
+int main() {
+    n.state = VALID;
+    n.key = 77;
+    int t = thread_create(l_delete);
+    int state;
+    int key;
+    do {
+        state = n.state;
+        key = n.key;
+    } while (state != n.state);
+    assert(state == INVALID || key != 0);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def perf_source(ops=80, buckets=64, nodes=None):
+    # Each insert consumes a fresh pool node; reuse would create cycles
+    # in the bucket lists, so the pool is sized to the total insert
+    # count of both mutator threads.
+    if nodes is None:
+        nodes = 2 * ops
+    return f"""
+struct node {{ int state; int key; int val[6]; struct node *next; }};
+
+enum {{ INVALID = 0, VALID = 1 }};
+
+struct node *bucket_head[{buckets}];
+struct node pool[{nodes}];
+_Atomic int pool_next = 0;
+int found_sum = 0;
+
+int hash_key(int key) {{
+    int h = key;
+    for (int i = 0; i < 18; i++) {{
+        int mixed = h * 31 + i * 7 + (h >> 3);
+        h = mixed % 1000003;
+    }}
+    if (h < 0) {{ h = 0 - h; }}
+    return h;
+}}
+
+struct node *alloc_node() {{
+    int idx = atomic_fetch_add(&pool_next, 1);
+    return &pool[idx % {nodes}];
+}}
+
+void l_insert(int key, int val) {{
+    struct node *node = alloc_node();
+    node->key = key;
+    for (int v = 0; v < 6; v++) {{
+        node->val[v] = val + v;
+    }}
+    node->state = VALID;
+    int b = hash_key(key) % {buckets};
+    while (1) {{
+        struct node *head = bucket_head[b];
+        node->next = head;
+        if (atomic_cmpxchg_explicit(&bucket_head[b], head, node, memory_order_relaxed) == head) {{
+            return;
+        }}
+    }}
+}}
+
+int l_find(int key) {{
+    int b = hash_key(key) % {buckets};
+    struct node *cur = bucket_head[b];
+    while (cur != NULL) {{
+        int state;
+        int k;
+        do {{
+            state = cur->state;
+            k = cur->key;
+        }} while (state != cur->state);
+        if (state == VALID && k == key) {{
+            int sum = 0;
+            for (int v = 0; v < 6; v++) {{
+                sum = sum + cur->val[v];
+            }}
+            return sum;
+        }}
+        cur = cur->next;
+    }}
+    return -1;
+}}
+
+void l_delete(int key) {{
+    int b = hash_key(key) % {buckets};
+    struct node *cur = bucket_head[b];
+    while (cur != NULL) {{
+        if (cur->key == key) {{
+            if (atomic_cmpxchg_explicit(&cur->state, VALID, INVALID, memory_order_relaxed) == VALID) {{
+                return;
+            }}
+        }}
+        cur = cur->next;
+    }}
+}}
+
+void mutator(int base) {{
+    for (int i = base; i < base + {ops}; i++) {{
+        l_insert(i * 7 % 97, i);
+        if (i % 3 == 0) {{
+            l_delete((i - 6) * 7 % 97);
+        }}
+    }}
+}}
+
+int main() {{
+    // Parallel searches, insertions and deletions (§4.3): two mutator
+    // threads keep invalidating the lines the searching reader walks.
+    int t1 = thread_create(mutator, 0);
+    int t2 = thread_create(mutator, {ops});
+    int sum = 0;
+    for (int i = 0; i < {ops}; i++) {{
+        int v = l_find(i * 7 % 97);
+        if (v >= 0) {{
+            sum = sum + v;
+        }}
+    }}
+    thread_join(t1);
+    thread_join(t2);
+    found_sum = sum;
+    return sum;
+}}
+"""

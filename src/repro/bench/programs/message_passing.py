@@ -1,0 +1,59 @@
+"""Figure 1 / Figure 5: the message-passing pattern.
+
+A writer initializes a message and raises a flag; a reader spins on the
+flag and then consumes the message.  Correct on TSO (stores stay
+ordered), broken on WMM without barriers.
+"""
+
+
+def mc_source():
+    """Litmus-scale client: one writer, reader asserts the payload."""
+    return """
+int flag = 0;
+int msg = 0;
+
+void writer() {
+    msg = 42;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(writer);
+    int data;
+    while (flag != 1) { }
+    data = msg;
+    assert(data == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def perf_source(rounds=400):
+    """Performance client: repeated ping-pong message passing."""
+    return f"""
+int flag = 0;
+int ack = 0;
+int msg = 0;
+
+void writer() {{
+    for (int r = 1; r <= {rounds}; r++) {{
+        msg = r * 3;
+        flag = r;
+        while (ack != r) {{ }}
+    }}
+}}
+
+int main() {{
+    int t = thread_create(writer);
+    int sum = 0;
+    for (int r = 1; r <= {rounds}; r++) {{
+        while (flag != r) {{ }}
+        sum = sum + msg;
+        ack = r;
+    }}
+    thread_join(t);
+    assert(sum == 3 * ({rounds} * ({rounds} + 1)) / 2);
+    return sum;
+}}
+"""

@@ -1,0 +1,311 @@
+"""The Phoenix 2.0 map-reduce benchmarks (Table 6), ported to Mini-C.
+
+These are trivially parallel programs whose threads synchronize only by
+being joined — no shared-memory spinloops at all.  That is exactly why
+they discriminate so well between porters:
+
+- AtoMig finds (almost) nothing to transform -> ~1.0x;
+- Naive converts every global-array access to an SC atomic -> overhead
+  proportional to the shared-memory intensity of the kernel (histogram
+  is store-heavy and suffers most, matrix_multiply and kmeans keep
+  accumulators in locals/registers and barely notice);
+- the Lasagne-like porter pays an explicit fence per block of shared
+  accesses.
+
+Each kernel runs several rounds so the (write-heavy, one-off) input
+initialization is amortized, as in the original suite where inputs are
+mmap'd files.  Data comes from a deterministic LCG written in Mini-C.
+"""
+
+_PRELUDE = """
+int lcg_state = 12345;
+
+int lcg_next() {{
+    lcg_state = (lcg_state * 1103515245 + 12345) % 2147483648;
+    if (lcg_state < 0) {{ lcg_state = 0 - lcg_state; }}
+    return lcg_state;
+}}
+"""
+
+
+def histogram_source(pixels=2400, bins=64, rounds=4):
+    """Per-thread halves of an image histogrammed into shared bins."""
+    return _PRELUDE.format() + f"""
+int image[{pixels}];
+int bins_a[{bins}];
+int bins_b[{bins}];
+
+void fill() {{
+    for (int i = 0; i < {pixels}; i++) {{
+        image[i] = lcg_next() % {bins};
+    }}
+}}
+
+void worker_range(int lo, int hi, int which) {{
+    for (int i = lo; i < hi; i++) {{
+        int b = image[i];
+        if (which == 0) {{
+            bins_a[b] = bins_a[b] + 1;
+        }} else {{
+            bins_b[b] = bins_b[b] + 1;
+        }}
+    }}
+}}
+
+void second_half() {{
+    worker_range({pixels} / 2, {pixels}, 1);
+}}
+
+int main() {{
+    fill();
+    for (int r = 0; r < {rounds}; r++) {{
+        int t = thread_create(second_half);
+        worker_range(0, {pixels} / 2, 0);
+        thread_join(t);
+    }}
+    int total = 0;
+    for (int b = 0; b < {bins}; b++) {{
+        total = total + bins_a[b] + bins_b[b];
+    }}
+    assert(total == {rounds} * {pixels});
+    return total;
+}}
+"""
+
+
+def kmeans_source(points=600, clusters=4, iters=4):
+    """K-means: distance computation dominates; per-thread partial sums
+    accumulate in locals (as -O2 register-allocates them) and are
+    written back once per iteration."""
+    return _PRELUDE.format() + f"""
+int px[{points}];
+int py[{points}];
+int cx[{clusters}];
+int cy[{clusters}];
+int assign_a[{points}];
+int sumx[{clusters * 2}];
+int sumy[{clusters * 2}];
+int cnt[{clusters * 2}];
+
+void fill() {{
+    for (int i = 0; i < {points}; i++) {{
+        px[i] = lcg_next() % 1000;
+        py[i] = lcg_next() % 1000;
+    }}
+    for (int c = 0; c < {clusters}; c++) {{
+        cx[c] = lcg_next() % 1000;
+        cy[c] = lcg_next() % 1000;
+    }}
+}}
+
+void assign_range(int lo, int hi, int which) {{
+    int lsx[{clusters}];
+    int lsy[{clusters}];
+    int lcnt[{clusters}];
+    for (int c = 0; c < {clusters}; c++) {{
+        lsx[c] = 0;
+        lsy[c] = 0;
+        lcnt[c] = 0;
+    }}
+    for (int i = lo; i < hi; i++) {{
+        int best = 0;
+        int best_d = 2000000000;
+        for (int c = 0; c < {clusters}; c++) {{
+            int dx = px[i] - cx[c];
+            int dy = py[i] - cy[c];
+            int d = dx * dx + dy * dy;
+            if (d < best_d) {{
+                best_d = d;
+                best = c;
+            }}
+        }}
+        assign_a[i] = best;
+        lsx[best] = lsx[best] + px[i];
+        lsy[best] = lsy[best] + py[i];
+        lcnt[best] = lcnt[best] + 1;
+    }}
+    for (int c = 0; c < {clusters}; c++) {{
+        int s = which * {clusters} + c;
+        sumx[s] = lsx[c];
+        sumy[s] = lsy[c];
+        cnt[s] = lcnt[c];
+    }}
+}}
+
+void second_half() {{
+    assign_range({points} / 2, {points}, 1);
+}}
+
+int main() {{
+    fill();
+    for (int it = 0; it < {iters}; it++) {{
+        int t = thread_create(second_half);
+        assign_range(0, {points} / 2, 0);
+        thread_join(t);
+        for (int c = 0; c < {clusters}; c++) {{
+            int n = cnt[c] + cnt[{clusters} + c];
+            if (n > 0) {{
+                cx[c] = (sumx[c] + sumx[{clusters} + c]) / n;
+                cy[c] = (sumy[c] + sumy[{clusters} + c]) / n;
+            }}
+        }}
+    }}
+    return cx[0] + cy[0];
+}}
+"""
+
+
+def linear_regression_source(points=2500, rounds=5):
+    """Accumulators stay in locals: almost no shared stores."""
+    return _PRELUDE.format() + f"""
+int xs[{points}];
+int ys[{points}];
+int part_sx[2];
+int part_sy[2];
+int part_sxx[2];
+int part_sxy[2];
+
+void fill() {{
+    for (int i = 0; i < {points}; i++) {{
+        xs[i] = lcg_next() % 100;
+        ys[i] = 3 * xs[i] + lcg_next() % 10;
+    }}
+}}
+
+void reduce_range(int lo, int hi, int which) {{
+    int sx = 0;
+    int sy = 0;
+    int sxx = 0;
+    int sxy = 0;
+    for (int i = lo; i < hi; i++) {{
+        int x = xs[i];
+        int y = ys[i];
+        sx = sx + x;
+        sy = sy + y;
+        sxx = sxx + x * x;
+        sxy = sxy + x * y;
+    }}
+    part_sx[which] = sx;
+    part_sy[which] = sy;
+    part_sxx[which] = sxx;
+    part_sxy[which] = sxy;
+}}
+
+void second_half() {{
+    reduce_range({points} / 2, {points}, 1);
+}}
+
+int main() {{
+    fill();
+    for (int r = 0; r < {rounds}; r++) {{
+        int t = thread_create(second_half);
+        reduce_range(0, {points} / 2, 0);
+        thread_join(t);
+    }}
+    int sx = part_sx[0] + part_sx[1];
+    int sxy = part_sxy[0] + part_sxy[1];
+    assert(sxy != 0);
+    return sx;
+}}
+"""
+
+
+def matrix_multiply_source(n=24, rounds=2):
+    """Classic triple loop; the accumulator lives in a local."""
+    return _PRELUDE.format() + f"""
+int a[{n * n}];
+int b[{n * n}];
+int c[{n * n}];
+
+void fill() {{
+    for (int i = 0; i < {n} * {n}; i++) {{
+        a[i] = lcg_next() % 10;
+        b[i] = lcg_next() % 10;
+    }}
+}}
+
+void mul_rows(int lo, int hi) {{
+    for (int i = lo; i < hi; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            int acc = 0;
+            for (int k = 0; k < {n}; k++) {{
+                acc = acc + a[i * {n} + k] * b[k * {n} + j];
+            }}
+            c[i * {n} + j] = acc;
+        }}
+    }}
+}}
+
+void second_half() {{
+    mul_rows({n} / 2, {n});
+}}
+
+int main() {{
+    fill();
+    for (int r = 0; r < {rounds}; r++) {{
+        int t = thread_create(second_half);
+        mul_rows(0, {n} / 2);
+        thread_join(t);
+    }}
+    return c[0];
+}}
+"""
+
+
+def string_match_source(haystack=2500, needles=4, rounds=4):
+    """Scan for key strings; matches are flagged into a shared array."""
+    return _PRELUDE.format() + f"""
+int text[{haystack}];
+int needle[{needles}];
+int match_pos[{haystack}];
+
+void fill() {{
+    for (int i = 0; i < {haystack}; i++) {{
+        text[i] = lcg_next() % 26;
+    }}
+    for (int k = 0; k < {needles}; k++) {{
+        needle[k] = text[37 + k];
+    }}
+}}
+
+void scan_range(int lo, int hi) {{
+    for (int i = lo; i < hi; i++) {{
+        int ok = 1;
+        for (int k = 0; k < {needles}; k++) {{
+            if (text[i + k] != needle[k]) {{
+                ok = 0;
+                k = {needles};
+            }}
+        }}
+        match_pos[i] = ok;
+    }}
+}}
+
+void second_half() {{
+    scan_range(({haystack} - {needles}) / 2, {haystack} - {needles});
+}}
+
+int main() {{
+    fill();
+    for (int r = 0; r < {rounds}; r++) {{
+        int t = thread_create(second_half);
+        scan_range(0, ({haystack} - {needles}) / 2);
+        thread_join(t);
+    }}
+    int matches = 0;
+    for (int i = 0; i < {haystack} - {needles}; i++) {{
+        matches = matches + match_pos[i];
+    }}
+    assert(matches >= 1);
+    return matches;
+}}
+"""
+
+
+PHOENIX_BENCHMARKS = {
+    "histogram": histogram_source,
+    "kmeans": kmeans_source,
+    "linear_regression": linear_regression_source,
+    "matrix_multiply": matrix_multiply_source,
+    "string_match": string_match_source,
+}

@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro`` or the ``atomig`` script.
+
+Subcommands mirror the library workflow:
+
+- ``atomig port file.c``    — port a Mini-C file, print the report / IR;
+- ``atomig check file.c``   — model-check under sc/tso/wmm;
+- ``atomig run file.c``     — execute on the performance VM;
+- ``atomig litmus [NAME]``  — run the calibration litmus tests;
+- ``atomig tables [N ...]`` — regenerate the paper's evaluation tables.
+"""
+
+import argparse
+import sys
+
+from repro.api import check_module, compile_source, port_module, run_module
+from repro.core.config import AtoMigConfig, PortingLevel
+
+_LEVELS = {level.value: level for level in PortingLevel}
+
+
+def _load(path, name=None):
+    with open(path) as handle:
+        source = handle.read()
+    if path.endswith(".ir"):
+        from repro.ir.parser import parse_module
+
+        return parse_module(source)
+    return compile_source(source, name or path)
+
+
+def _add_level_arg(parser):
+    parser.add_argument(
+        "--level",
+        choices=sorted(_LEVELS),
+        default="atomig",
+        help="porting strategy (default: atomig)",
+    )
+
+
+def _build_config(args):
+    if not (args.polling or args.barrier_seeds or args.strict_spinloops
+            or args.no_inline or args.no_alias):
+        return None
+    return AtoMigConfig(
+        detect_polling_loops=args.polling,
+        compiler_barrier_seeds=args.barrier_seeds,
+        strict_spinloop_definition=args.strict_spinloops,
+        inline_before_analysis=not args.no_inline,
+        alias_exploration=not args.no_alias,
+    )
+
+
+def _add_config_args(parser):
+    parser.add_argument("--polling", action="store_true",
+                        help="enable the polling-loop extension (paper §6)")
+    parser.add_argument("--barrier-seeds", action="store_true",
+                        help="enable compiler-barrier seeding (paper §6)")
+    parser.add_argument("--strict-spinloops", action="store_true",
+                        help="use the stricter spinloop definition (ablation)")
+    parser.add_argument("--no-inline", action="store_true",
+                        help="disable pre-analysis inlining (ablation)")
+    parser.add_argument("--no-alias", action="store_true",
+                        help="disable alias exploration (ablation)")
+
+
+def cmd_port(args):
+    module = _load(args.file)
+    ported, report = port_module(
+        module, _LEVELS[args.level], config=_build_config(args)
+    )
+    print(report.summary())
+    if report.spinloops:
+        print(f"spinloops: {report.spinloops}")
+    if report.optimistic_loops:
+        print(f"optimistic loops: {report.optimistic_loops}")
+    if report.fences_inserted:
+        print(f"explicit fences inserted: {report.fences_inserted}")
+    for note in report.notes:
+        print(f"note: {note}")
+    if args.emit_ir:
+        from repro.ir.printer import print_module
+
+        text = print_module(ported)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"ported IR written to {args.output}")
+        else:
+            print(text)
+    return 0
+
+
+def cmd_check(args):
+    module = _load(args.file)
+    if args.level != "original":
+        module, _report = port_module(
+            module, _LEVELS[args.level], config=_build_config(args)
+        )
+    failures = 0
+    for model in args.models:
+        result = check_module(
+            module, model=model, max_steps=args.max_steps
+        )
+        status = "ok" if result.ok else f"VIOLATION: {result.violation}"
+        extra = " (truncated)" if result.truncated else ""
+        print(f"{model:>3}: {status}  "
+              f"[{result.states_explored} states{extra}]")
+        if not result.ok:
+            failures += 1
+            if args.trace:
+                for step in result.trace[-args.trace:]:
+                    print(f"      {step}")
+    return 1 if failures else 0
+
+
+def cmd_run(args):
+    module = _load(args.file)
+    if args.level != "original":
+        module, _report = port_module(
+            module, _LEVELS[args.level], config=_build_config(args)
+        )
+    result = run_module(module, schedule_seed=args.seed)
+    print(f"exit value: {result.exit_value}")
+    if result.output:
+        print(f"output: {result.output}")
+    print(f"cycles: {result.cycles}")
+    print(f"stats: {result.stats.summary()}")
+    return 0
+
+
+def cmd_diff(args):
+    from repro.core.diff import diff_modules
+
+    module = _load(args.file)
+    ported, report = port_module(
+        module, _LEVELS[args.level], config=_build_config(args)
+    )
+    print(report.summary())
+    print()
+    print(diff_modules(module, ported).render())
+    return 0
+
+
+def cmd_litmus(args):
+    from repro.mc.litmus import LITMUS_TESTS, expected_verdict, run_litmus
+
+    names = args.names or sorted(LITMUS_TESTS)
+    mismatches = 0
+    for name in names:
+        if name not in LITMUS_TESTS:
+            print(f"unknown litmus test {name!r}; "
+                  f"available: {', '.join(sorted(LITMUS_TESTS))}")
+            return 2
+        verdicts = []
+        for model in ("sc", "tso", "wmm"):
+            result = run_litmus(name, model)
+            expected = expected_verdict(name, model)
+            mark = "ok " if result.ok else "bug"
+            suffix = "" if result.ok == expected else " [MISMATCH]"
+            if result.ok != expected:
+                mismatches += 1
+            verdicts.append(f"{model}={mark}{suffix}")
+        print(f"{name:15s} {'  '.join(verdicts)}")
+    return 1 if mismatches else 0
+
+
+def cmd_tables(args):
+    from repro.bench import tables as T
+
+    selected = args.numbers or [1, 2, 3, 4, 5, 6]
+    printers = {
+        1: lambda: T.format_table(
+            T.table1(),
+            ["approach", "safe", "efficient", "scalable", "practical"],
+            title="Table 1: Comparison of Porting Approaches"),
+        2: lambda: T.format_table(
+            T.table2(),
+            ["benchmark", "original", "expl", "spin", "atomig",
+             "matches_paper"],
+            title="Table 2: Verification results (WMM)"),
+        3: lambda: T.format_table(
+            T.table3(),
+            ["application", "sloc", "spinloops", "optiloops",
+             "build_seconds", "atomig_seconds", "build_ratio",
+             "atomig_explicit", "atomig_implicit", "naive_implicit"],
+            title="Table 3: AtoMig statistics (synthetic, 1/100 scale)"),
+        4: lambda: T.format_table(
+            T.table4(),
+            ["counter", "original", "atomig"],
+            title="Table 4: dynamic barriers (Memcached)"),
+        5: lambda: T.format_table(
+            T.table5(),
+            ["benchmark", "naive", "atomig", "paper_naive", "paper_atomig"],
+            title="Table 5: Naive / AtoMig slowdowns"),
+        6: lambda: T.format_table(
+            T.table6(),
+            ["benchmark", "naive", "lasagne", "atomig",
+             "paper_naive", "paper_lasagne", "paper_atomig"],
+            title="Table 6: Phoenix"),
+    }
+    for number in selected:
+        if number not in printers:
+            print(f"no table {number}")
+            return 2
+        print(printers[number]())
+        print()
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="atomig",
+        description="AtoMig reproduction: port TSO programs to WMM.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    port = sub.add_parser("port", help="port a Mini-C file")
+    port.add_argument("file")
+    _add_level_arg(port)
+    _add_config_args(port)
+    port.add_argument("--emit-ir", action="store_true",
+                      help="print the ported IR")
+    port.add_argument("-o", "--output", help="write the ported IR here")
+    port.set_defaults(func=cmd_port)
+
+    check = sub.add_parser("check", help="model-check a Mini-C file")
+    check.add_argument("file")
+    check.add_argument("--models", nargs="+", default=["wmm"],
+                       choices=["sc", "tso", "wmm"])
+    check.add_argument("--max-steps", type=int, default=2500)
+    check.add_argument("--trace", type=int, default=0, metavar="N",
+                       help="print the last N trace steps on violation")
+    _add_level_arg(check)
+    _add_config_args(check)
+    check.set_defaults(func=cmd_check)
+
+    run = sub.add_parser("run", help="execute on the performance VM")
+    run.add_argument("file")
+    run.add_argument("--seed", type=int, default=0)
+    _add_level_arg(run)
+    _add_config_args(run)
+    run.set_defaults(func=cmd_run)
+
+    diff = sub.add_parser(
+        "diff", help="show which accesses a port strengthened, and why"
+    )
+    diff.add_argument("file")
+    _add_level_arg(diff)
+    _add_config_args(diff)
+    diff.set_defaults(func=cmd_diff)
+
+    litmus = sub.add_parser("litmus", help="run calibration litmus tests")
+    litmus.add_argument("names", nargs="*")
+    litmus.set_defaults(func=cmd_litmus)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables")
+    tables.add_argument("numbers", nargs="*", type=int)
+    tables.set_defaults(func=cmd_tables)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

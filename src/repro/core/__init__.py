@@ -1,0 +1,6 @@
+"""AtoMig's core: configuration, detection passes and transformations."""
+
+from repro.core.config import AtoMigConfig, PortingLevel
+from repro.core.report import PortingReport
+
+__all__ = ["AtoMigConfig", "PortingLevel", "PortingReport"]

@@ -1,0 +1,53 @@
+"""Alias exploration: sticky buddies (§3.4).
+
+For every marked access we find all other accesses in the module to the
+same memory location and mark them too ("once atomic, always atomic").
+Globals match by name; pointer-based struct accesses match by type and
+field offset via the ``gep`` signature — the scalable, type-based scheme
+the paper chooses over inter-procedural alias analysis.
+
+The module-wide access map is built once; lookups are constant time, and
+already-stickied accesses are skipped, exactly as §3.5 describes.
+"""
+
+from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.ir import instructions as ins
+
+
+class AccessIndex:
+    """Module-wide map from location key to memory-access instructions."""
+
+    def __init__(self, module):
+        self.module = module
+        self.by_key = {}
+        self._build()
+
+    def _build(self):
+        for function in self.module.functions.values():
+            info = NonLocalInfo(function)
+            for instr in function.instructions():
+                if not instr.is_memory_access():
+                    continue
+                key = info.location_key(instr.accessed_pointer())
+                if key is not None:
+                    self.by_key.setdefault(key, []).append(instr)
+
+    def accesses_for(self, key):
+        return self.by_key.get(key, ())
+
+
+def explore_aliases(module, seed_keys, index=None):
+    """Mark every access matching ``seed_keys`` as a sticky buddy.
+
+    Returns ``(marked_instructions, index)``; the index is reusable
+    across calls on the same module.
+    """
+    index = index or AccessIndex(module)
+    marked = set()
+    for key in seed_keys:
+        for instr in index.accesses_for(key):
+            if "sticky" in instr.marks:
+                continue  # once stickied, always stickied
+            instr.marks.add("sticky")
+            marked.add(instr)
+    return marked, index

@@ -1,0 +1,72 @@
+"""Explicit-annotation analysis (§3.2).
+
+Three annotation kinds hint at shared-memory synchronization:
+
+1. C11 atomics — already atomic, but TSO-era code habitually uses
+   insufficient memory orders, so every atomic order is raised to SC;
+2. ``volatile`` — suppresses compiler optimizations but gives no
+   hardware ordering; all volatile accesses become SC atomics;
+3. x86 inline assembly — already mapped to portable fences by the
+   frontend pass (:mod:`repro.lower.asm_map`), so it arrives here as
+   marked ``fence`` instructions.
+
+The pass returns the set of location keys it touched so alias
+exploration can propagate "once atomic, always atomic" to their buddies.
+"""
+
+from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.values import GlobalVar
+
+
+class AnnotationResult:
+    """Outcome of the explicit-annotation pass."""
+
+    def __init__(self):
+        #: Memory-access instructions strengthened or confirmed atomic.
+        self.marked_instructions = set()
+        #: Location keys of those accesses (seed for alias exploration).
+        self.location_keys = set()
+        #: Number of accesses whose order was changed.
+        self.conversions = 0
+
+
+def analyze_annotations(module, blacklist=()):
+    """Run the explicit-annotation pass on ``module`` in place."""
+    result = AnnotationResult()
+    blacklist = set(blacklist)
+    for function in module.functions.values():
+        info = NonLocalInfo(function)
+        for instr in function.instructions():
+            if isinstance(instr, (ins.Load, ins.Store)):
+                if instr.volatile and not _blacklisted(instr, blacklist):
+                    _mark(instr, info, result)
+                elif instr.order.is_atomic:
+                    _mark(instr, info, result)
+            elif isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
+                # RMW operations are atomic by construction; raise to SC.
+                _mark(instr, info, result)
+    return result
+
+
+def _blacklisted(instr, blacklist):
+    """True for accesses to blacklisted volatiles (devices, signals)."""
+    if not blacklist:
+        return False
+    pointer = instr.accessed_pointer()
+    from repro.analysis.nonlocal_ import pointer_root
+
+    root = pointer_root(pointer)
+    return isinstance(root, GlobalVar) and root.name in blacklist
+
+
+def _mark(instr, info, result):
+    if instr.order is not MemoryOrder.SEQ_CST:
+        instr.order = MemoryOrder.SEQ_CST
+        result.conversions += 1
+    instr.marks.add("annotation")
+    result.marked_instructions.add(instr)
+    key = info.location_key(instr.accessed_pointer())
+    if key is not None:
+        result.location_keys.add(key)

@@ -1,0 +1,117 @@
+"""The transformation stage: SC atomics and explicit barriers.
+
+Turns every marked access into an SC atomic (an *implicit* barrier:
+LDAR/STLR-class instructions on Arm) and, for optimistic controls, adds
+the *explicit* SC fences of Figure 6 / Figure 7:
+
+- a fence before every optimistic-control load inside an optimistic
+  loop (forces the loop's uncontrolled reads to complete before exit);
+- a fence after every store to an optimistic-control location anywhere
+  in the module (keeps writer-side publication ordered).
+"""
+
+from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+
+
+def atomize_accesses(instructions, force_explicit=False):
+    """Upgrade ``instructions`` to SC atomics; returns conversion count.
+
+    With ``force_explicit`` (ablation knob) accesses stay plain and are
+    bracketed by explicit fences instead, emulating an explicit-barrier
+    porting style.
+    """
+    converted = 0
+    for instr in instructions:
+        if force_explicit:
+            if _wrap_with_fences(instr):
+                converted += 1
+            continue
+        if getattr(instr, "order", None) is None:
+            continue
+        if instr.order is not MemoryOrder.SEQ_CST:
+            instr.order = MemoryOrder.SEQ_CST
+            converted += 1
+    return converted
+
+
+def _wrap_with_fences(instr):
+    block = instr.block
+    index = block.instructions.index(instr)
+    before = ins.Fence(MemoryOrder.SEQ_CST)
+    after = ins.Fence(MemoryOrder.SEQ_CST)
+    before.marks.add("explicit_ablation")
+    after.marks.add("explicit_ablation")
+    block.insert(index, before)
+    block.insert(index + 2, after)
+    return True
+
+
+def insert_optimistic_fences(module, optimistic_result, sticky_marked):
+    """Insert the explicit barriers required by optimistic controls.
+
+    ``sticky_marked`` is the set of accesses added by alias exploration;
+    stores among them that hit optimistic-control locations also get the
+    writer-side fence (the paper: "sticky buddies of optimistic controls
+    additionally get explicit barriers depending on where they are").
+    """
+    fences = 0
+    opt_keys = set(optimistic_result.control_keys)
+    info_cache = {}
+
+    def info_for(function):
+        if function not in info_cache:
+            info_cache[function] = NonLocalInfo(function)
+        return info_cache[function]
+
+    control_loads_in_loops = set()
+    for opt in optimistic_result.optimistic_loops:
+        function = module.functions[opt.function_name]
+        info = info_for(function)
+        for instr in opt.loop.instructions():
+            if not isinstance(instr, (ins.Load, ins.Cmpxchg, ins.AtomicRMW)):
+                continue
+            key = info.location_key(instr.accessed_pointer())
+            if instr in opt.control_instructions or (
+                key is not None and key in opt_keys
+            ):
+                control_loads_in_loops.add(instr)
+
+    # Reader side: fence before each optimistic-control load inside an
+    # optimistic loop.
+    for instr in control_loads_in_loops:
+        if isinstance(instr, ins.Load):
+            _insert_before(instr)
+            fences += 1
+
+    # Writer side: fence after every store/RMW to an optimistic-control
+    # location, module-wide.
+    for function in module.functions.values():
+        info = info_for(function)
+        for block in function.blocks:
+            for instr in list(block.instructions):
+                if not isinstance(instr, (ins.Store, ins.Cmpxchg, ins.AtomicRMW)):
+                    continue
+                key = info.location_key(instr.accessed_pointer())
+                if key is None or key not in opt_keys:
+                    continue
+                _insert_after(instr)
+                fences += 1
+    return fences
+
+
+def _insert_before(instr):
+    block = instr.block
+    index = block.instructions.index(instr)
+    fence = ins.Fence(MemoryOrder.SEQ_CST)
+    fence.marks.add("optimistic")
+    block.insert(index, fence)
+
+
+def _insert_after(instr):
+    block = instr.block
+    index = block.instructions.index(instr)
+    fence = ins.Fence(MemoryOrder.SEQ_CST)
+    fence.marks.add("optimistic")
+    block.insert(index + 1, fence)

@@ -1,0 +1,84 @@
+"""Configuration of the AtoMig porting pipeline.
+
+The knobs correspond to the ablations evaluated in the paper's Table 2
+(Expl. / Spin / AtoMig columns) and to the design decisions discussed in
+§3.5 and §6.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class PortingLevel(enum.Enum):
+    """Which porting strategy to apply to a module."""
+
+    #: No transformation; compile as-is (the paper's "Original").
+    ORIGINAL = "original"
+    #: Only the explicit-annotation analysis (§3.2).
+    EXPL = "expl"
+    #: Explicit annotations + spinloop detection (§3.3, without
+    #: optimistic-loop handling).
+    SPIN = "spin"
+    #: The full AtoMig pipeline (annotations + spinloops + optimistic
+    #: loops + alias exploration).
+    ATOMIG = "atomig"
+    #: The naive strategy: every shared access becomes SC atomic.
+    NAIVE = "naive"
+    #: The Lasagne-like baseline: explicit fences everywhere, then
+    #: provably-redundant fence elimination.
+    LASAGNE = "lasagne"
+
+
+@dataclass
+class AtoMigConfig:
+    """Tuning knobs for the AtoMig pipeline.
+
+    The defaults reproduce the paper's configuration; individual flags
+    exist so the ablation benchmarks can switch parts off.
+    """
+
+    #: Handle explicit annotations: C11 atomics, ``volatile``, inline asm.
+    analyze_annotations: bool = True
+    #: Detect spinloops and mark spin controls.
+    detect_spinloops: bool = True
+    #: Detect optimistic loops and add explicit barriers.
+    detect_optimistic: bool = True
+    #: Run module-wide alias exploration ("once atomic, always atomic").
+    alias_exploration: bool = True
+    #: Inline small functions before analysis so loops spanning function
+    #: boundaries become visible (§3.5 "Loops Spanning Multiple Functions").
+    inline_before_analysis: bool = True
+    #: Maximum callee size (in instructions) eligible for pre-inlining.
+    inline_size_limit: int = 80
+    #: Use the stricter literature definition of a spinloop (no stores in
+    #: the loop body at all).  Ablation knob; the paper argues (§3.5)
+    #: this detects fewer synchronization points.
+    strict_spinloop_definition: bool = False
+    #: Globals excluded from the volatile conversion (the paper's
+    #: blacklist for device/signal-handler volatiles; never needed in
+    #: their experiments, §3.2).
+    volatile_blacklist: tuple = ()
+    #: Use explicit fences instead of implicit barriers at every marked
+    #: access (ablation: quantifies the implicit-vs-explicit design
+    #: decision against Liu et al. [48]).
+    force_explicit_barriers: bool = False
+    #: §6 extension: treat timing-based polling loops (loops that call
+    #: usleep/sched_yield) as synchronization entry points.  Off by
+    #: default to match the paper's evaluated configuration.
+    detect_polling_loops: bool = False
+    #: §6 extension: use compiler-barrier placements
+    #: (``__asm__("" ::: "memory")``) as additional detection seeds.
+    compiler_barrier_seeds: bool = False
+
+    @classmethod
+    def for_level(cls, level):
+        """Build the configuration matching a :class:`PortingLevel`."""
+        if level is PortingLevel.EXPL:
+            return cls(
+                detect_spinloops=False,
+                detect_optimistic=False,
+                alias_exploration=True,
+            )
+        if level is PortingLevel.SPIN:
+            return cls(detect_optimistic=False)
+        return cls()

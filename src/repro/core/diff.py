@@ -1,0 +1,155 @@
+"""Access-level diff between an original module and its port.
+
+AtoMig is heuristic (§3.5): a human reviewing its output wants to see
+*which* accesses were strengthened and *why*.  This module pairs the
+instructions of an original module with those of its port (clone order
+is stable) and reports every changed access with its provenance marks —
+``annotation``, ``spin_control``, ``optimistic_control``, ``sticky`` —
+plus all inserted fences.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ir import instructions as ins
+
+
+@dataclass
+class AccessChange:
+    """One strengthened memory access."""
+
+    function: str
+    block: str
+    description: str
+    old_order: str
+    new_order: str
+    reasons: tuple
+    source_line: int = None
+
+    def render(self):
+        where = f"@{self.function}/{self.block}"
+        if self.source_line:
+            where += f" (line {self.source_line})"
+        reasons = ", ".join(self.reasons) or "direct"
+        return (
+            f"{where}: {self.description}  "
+            f"{self.old_order} -> {self.new_order}  [{reasons}]"
+        )
+
+
+@dataclass
+class InsertedFence:
+    function: str
+    block: str
+    reasons: tuple
+
+    def render(self):
+        reasons = ", ".join(self.reasons) or "unmarked"
+        return f"@{self.function}/{self.block}: fence seq_cst  [{reasons}]"
+
+
+@dataclass
+class PortingDiff:
+    """Everything that changed between original and ported module."""
+
+    changes: list = field(default_factory=list)
+    fences: list = field(default_factory=list)
+    #: Instructions present only in the port (inlining artifacts etc.).
+    structural_notes: list = field(default_factory=list)
+
+    def render(self):
+        lines = [f"{len(self.changes)} accesses strengthened, "
+                 f"{len(self.fences)} fences inserted"]
+        lines += [change.render() for change in self.changes]
+        lines += [fence.render() for fence in self.fences]
+        lines += self.structural_notes
+        return "\n".join(lines)
+
+
+_PROVENANCE_MARKS = (
+    "annotation",
+    "spin_control",
+    "optimistic_control",
+    "polling_control",
+    "barrier_seed",
+    "sticky",
+    "naive",
+    "optimistic",
+    "lasagne",
+)
+
+
+def _reasons(instr):
+    return tuple(mark for mark in _PROVENANCE_MARKS if mark in instr.marks)
+
+
+def diff_modules(original, ported):
+    """Compute the porting diff; modules must share function names.
+
+    Pairing is positional per function when the instruction counts
+    match (no inlining); otherwise the ported module is scanned alone
+    and every marked access is reported (marks carry the provenance, so
+    nothing is lost — only the "old order" column defaults to plain).
+    """
+    result = PortingDiff()
+    for name, ported_fn in ported.functions.items():
+        original_fn = original.functions.get(name)
+        pairs = _pair_instructions(original_fn, ported_fn)
+        if pairs is None:
+            result.structural_notes.append(
+                f"@{name}: restructured by inlining; reporting marks only"
+            )
+            pairs = [(None, instr) for instr in ported_fn.instructions()]
+        for old, new in pairs:
+            _collect(result, name, old, new)
+    return result
+
+
+def _pair_instructions(original_fn, ported_fn):
+    if original_fn is None:
+        return None
+    original_instrs = [
+        i for i in original_fn.instructions() if not isinstance(i, ins.Fence)
+    ]
+    ported_instrs = [
+        i for i in ported_fn.instructions() if not isinstance(i, ins.Fence)
+    ]
+    if len(original_instrs) != len(ported_instrs):
+        return None
+    pairs = list(zip(original_instrs, ported_instrs))
+    # Fences that exist only in the port are reported separately.
+    pairs += [
+        (None, instr)
+        for instr in ported_fn.instructions()
+        if isinstance(instr, ins.Fence) and _reasons(instr)
+    ]
+    return pairs
+
+
+def _collect(result, function_name, old, new):
+    if isinstance(new, ins.Fence):
+        if old is None and _reasons(new):
+            result.fences.append(
+                InsertedFence(function_name, new.block.label, _reasons(new))
+            )
+        return
+    if not new.is_memory_access():
+        return
+    old_order = getattr(old, "order", None) if old is not None else None
+    new_order = getattr(new, "order", None)
+    if new_order is None:
+        return
+    changed = old_order is not None and old_order is not new_order
+    marked = old is None and _reasons(new)
+    if changed or marked:
+        result.changes.append(
+            AccessChange(
+                function=function_name,
+                block=new.block.label,
+                description=repr(new),
+                old_order=(old_order.name.lower()
+                           if old_order is not None else "?"),
+                new_order=new_order.name.lower(),
+                reasons=_reasons(new),
+                source_line=new.source_line,
+            )
+        )

@@ -1,0 +1,137 @@
+"""Optimistic-loop detection (§3.3, "Optimistic Accesses").
+
+A spinloop is an *optimistic loop* when it reads some non-local location
+that is not one of its spin controls and that value is used after the
+loop (sequence locks, MariaDB's lf-hash validation loops, ...).  The
+loop's spin controls are then promoted to *optimistic controls*, which
+the transformation protects with explicit barriers in addition to the
+SC-atomic conversion.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.nonlocal_ import pointer_root
+from repro.ir import instructions as ins
+
+
+@dataclass
+class OptimisticLoopInfo:
+    """One optimistic loop: the spinloop plus promoted controls."""
+
+    spinloop: object  # SpinloopInfo
+    #: The optimistic (uncontrolled) reads that leak out of the loop.
+    optimistic_reads: set = field(default_factory=set)
+
+    @property
+    def loop(self):
+        return self.spinloop.loop
+
+    @property
+    def function_name(self):
+        return self.spinloop.function_name
+
+    @property
+    def control_instructions(self):
+        return self.spinloop.spin_controls
+
+    @property
+    def control_keys(self):
+        return self.spinloop.control_keys
+
+
+@dataclass
+class OptimisticResult:
+    optimistic_loops: list = field(default_factory=list)
+    control_instructions: set = field(default_factory=set)
+    control_keys: set = field(default_factory=set)
+
+
+def detect_optimistic_loops(module, spinloop_result):
+    """Classify each detected spinloop as optimistic or plain."""
+    from repro.analysis.nonlocal_ import NonLocalInfo
+
+    result = OptimisticResult()
+    use_maps = {}
+    nonlocal_infos = {}
+    for info in spinloop_result.spinloops:
+        function = module.functions[info.function_name]
+        if function not in use_maps:
+            use_maps[function] = _build_use_map(function)
+            nonlocal_infos[function] = NonLocalInfo(function)
+        uses = use_maps[function]
+        nonlocal_info = nonlocal_infos[function]
+
+        optimistic_reads = set()
+        control_keys = info.control_keys
+        for instr in info.loop.instructions():
+            if not isinstance(instr, ins.Load):
+                continue
+            if instr in info.spin_controls:
+                continue
+            # Only non-local reads can be "optimistic" accesses to
+            # shared data; function-local slots are invisible to peers.
+            if not nonlocal_info.is_nonlocal_pointer(instr.pointer):
+                continue
+            key = nonlocal_info.location_key(instr.pointer)
+            if key is not None and key in control_keys:
+                continue  # reads of the controls themselves
+            if _value_used_outside(instr, info.loop, uses):
+                optimistic_reads.add(instr)
+
+        if not optimistic_reads:
+            continue
+        opt = OptimisticLoopInfo(info, optimistic_reads)
+        for control in info.spin_controls:
+            control.marks.add("optimistic_control")
+        result.optimistic_loops.append(opt)
+        result.control_instructions |= info.spin_controls
+        result.control_keys |= info.control_keys
+    return result
+
+
+def _build_use_map(function):
+    uses = {}
+    for instr in function.instructions():
+        for operand in instr.operands:
+            uses.setdefault(id(operand), []).append(instr)
+    return uses
+
+
+def _value_used_outside(load, loop, uses):
+    """Forward slice: does the loaded value flow to code after the loop?
+
+    Follows direct value uses, plus flows through local stack slots
+    (store inside the loop, load anywhere else in the function).
+    """
+    worklist = [load]
+    visited = set()
+    while worklist:
+        value = worklist.pop()
+        if id(value) in visited:
+            continue
+        visited.add(id(value))
+        for user in uses.get(id(value), ()):
+            if user.block not in loop.body:
+                return True
+            if isinstance(user, ins.Store):
+                if user.value is value:
+                    target = pointer_root(user.pointer)
+                    if isinstance(target, ins.Alloca):
+                        # Track the slot's readers.
+                        for reader in uses.get(id(target), ()):
+                            if isinstance(reader, ins.Load):
+                                if reader.block not in loop.body:
+                                    return True
+                                worklist.append(reader)
+                            elif isinstance(reader, ins.Gep):
+                                worklist.append(reader)
+                    else:
+                        # Written to non-local memory: observable later.
+                        return True
+                continue
+            if isinstance(user, (ins.CondBr, ins.Ret, ins.AssertInst)):
+                if isinstance(user, ins.Ret):
+                    return True
+                continue
+            worklist.append(user)
+    return False

@@ -1,0 +1,132 @@
+"""The end-to-end porting pipeline (Figure 2 of the paper).
+
+``run_porting`` clones the input module, applies the strategy selected
+by :class:`PortingLevel`, verifies the result and returns it together
+with a :class:`PortingReport` describing what was detected and changed.
+"""
+
+import time
+
+from repro.core.alias import explore_aliases
+from repro.core.annotations import analyze_annotations
+from repro.core.atomize import atomize_accesses, insert_optimistic_fences
+from repro.core.config import AtoMigConfig, PortingLevel
+from repro.core.optimistic import detect_optimistic_loops
+from repro.core.report import PortingReport, count_barriers
+from repro.core.spinloops import detect_spinloops
+from repro.ir.verifier import verify_module
+from repro.transform.inline import inline_module
+from repro.transform.lasagne import lasagne_port
+from repro.transform.naive import naive_port
+
+
+def run_porting(module, level=PortingLevel.ATOMIG, config=None):
+    """Port ``module`` according to ``level``; returns (ported, report)."""
+    started = time.perf_counter()
+    report = PortingReport(module_name=module.name, level=level.value)
+    report.original_explicit_barriers, report.original_implicit_barriers = (
+        count_barriers(module)
+    )
+
+    ported = module.clone()
+    ported.name = f"{module.name}.{level.value}"
+
+    if level is PortingLevel.ORIGINAL:
+        pass
+    elif level is PortingLevel.NAIVE:
+        report.sticky_conversions = naive_port(ported)
+    elif level is PortingLevel.LASAGNE:
+        inserted, removed = lasagne_port(ported)
+        report.fences_inserted = inserted - removed
+        report.notes.append(
+            f"lasagne: inserted {inserted} fences, eliminated {removed}"
+        )
+    else:
+        _run_atomig(ported, level, config, report)
+
+    verify_module(ported)
+    report.ported_explicit_barriers, report.ported_implicit_barriers = (
+        count_barriers(ported)
+    )
+    report.porting_seconds = time.perf_counter() - started
+    ported.metadata["porting_report"] = report
+    return ported, report
+
+
+def _run_atomig(ported, level, config, report):
+    config = config or AtoMigConfig.for_level(level)
+
+    if config.inline_before_analysis:
+        inlined = inline_module(ported, config.inline_size_limit)
+        if inlined:
+            report.notes.append(f"inlined {inlined} call sites before analysis")
+
+    seed_keys = set()
+    marked = set()
+
+    if config.analyze_annotations:
+        annotations = analyze_annotations(ported, config.volatile_blacklist)
+        seed_keys |= annotations.location_keys
+        marked |= annotations.marked_instructions
+        report.annotation_conversions = annotations.conversions
+
+    spinloops = None
+    if config.detect_spinloops:
+        spinloops = detect_spinloops(
+            ported, strict=config.strict_spinloop_definition
+        )
+        seed_keys |= spinloops.control_keys
+        marked |= spinloops.control_instructions
+        report.spinloops = [
+            (info.function_name, info.header_label)
+            for info in spinloops.spinloops
+        ]
+        report.spin_controls = sorted(map(str, spinloops.control_keys))
+
+    if config.detect_polling_loops or config.compiler_barrier_seeds:
+        from repro.core.extensions import (
+            detect_compiler_barrier_seeds,
+            detect_polling_loops,
+        )
+
+        extensions = None
+        if config.detect_polling_loops:
+            extensions = detect_polling_loops(ported)
+            if extensions.polling_loops:
+                report.notes.append(
+                    f"polling loops detected: {extensions.polling_loops}"
+                )
+        if config.compiler_barrier_seeds:
+            extensions = detect_compiler_barrier_seeds(ported, extensions)
+        if extensions is not None:
+            seed_keys |= extensions.control_keys
+            marked |= extensions.control_instructions
+
+    optimistic = None
+    if config.detect_optimistic and spinloops is not None:
+        optimistic = detect_optimistic_loops(ported, spinloops)
+        seed_keys |= optimistic.control_keys
+        marked |= optimistic.control_instructions
+        report.optimistic_loops = [
+            (info.function_name, info.spinloop.header_label)
+            for info in optimistic.optimistic_loops
+        ]
+        report.optimistic_controls = sorted(map(str, optimistic.control_keys))
+
+    sticky = set()
+    if config.alias_exploration:
+        sticky, _index = explore_aliases(ported, seed_keys)
+        report.sticky_conversions = len(sticky - marked)
+
+    atomize_accesses(
+        marked | sticky, force_explicit=config.force_explicit_barriers
+    )
+
+    if optimistic is not None and optimistic.optimistic_loops:
+        report.fences_inserted = insert_optimistic_fences(
+            ported, optimistic, sticky
+        )
+
+    warnings = ported.metadata.get("lowering_warnings")
+    if warnings:
+        report.notes.extend(warnings)

@@ -1,0 +1,79 @@
+"""LLVM-like intermediate representation.
+
+The IR mirrors the subset of LLVM that AtoMig's passes inspect: typed
+memory instructions with C11 memory orders, ``getelementptr``-style
+address computation that records struct types and field offsets, atomic
+read-modify-write operations, fences, and an unoptimized (``-O0``-style)
+alloca-per-variable representation of locals, exactly as the paper's
+initial compilation step produces.
+"""
+
+from repro.ir.instructions import (
+    Alloca,
+    CompilerBarrier,
+    Sleep,
+    AssertInst,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmpxchg,
+    CondBr,
+    Fence,
+    Free,
+    Gep,
+    Instruction,
+    Load,
+    Malloc,
+    MemoryOrder,
+    PrintInst,
+    Ret,
+    Store,
+    ThreadCreate,
+    ThreadJoin,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Argument, Constant, GlobalVar, Value
+from repro.ir.builder import IRBuilder
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import verify_module
+
+__all__ = [
+    "Alloca",
+    "Argument",
+    "AssertInst",
+    "AtomicRMW",
+    "BasicBlock",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cast",
+    "CompilerBarrier",
+    "Cmpxchg",
+    "CondBr",
+    "Constant",
+    "Fence",
+    "Free",
+    "Function",
+    "Gep",
+    "GlobalVar",
+    "IRBuilder",
+    "Instruction",
+    "Load",
+    "Malloc",
+    "MemoryOrder",
+    "Module",
+    "PrintInst",
+    "Ret",
+    "Sleep",
+    "Store",
+    "ThreadCreate",
+    "ThreadJoin",
+    "Value",
+    "parse_module",
+    "print_function",
+    "print_module",
+    "verify_module",
+]

@@ -1,0 +1,120 @@
+"""Convenience builder used by the lowering pass to emit IR."""
+
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.values import Constant
+from repro.lang.ctypes import INT
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block.
+
+    Mirrors LLVM's ``IRBuilder``: every ``emit_*`` method creates the
+    instruction, names its result, appends it to the current block, and
+    returns it.
+    """
+
+    def __init__(self, function):
+        self.function = function
+        self.block = None
+
+    def position_at_end(self, block):
+        self.block = block
+        return block
+
+    def _append(self, instr, named=True):
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        if self.block.terminator is not None:
+            raise IRError(
+                f"emitting into terminated block {self.block.label} "
+                f"in @{self.function.name}"
+            )
+        if named and instr.name is None:
+            instr.name = self.function.next_value_name()
+        self.block.append(instr)
+        return instr
+
+    # -- helpers -----------------------------------------------------------
+
+    def const(self, value):
+        return Constant(value, INT)
+
+    def is_terminated(self):
+        return self.block is not None and self.block.terminator is not None
+
+    # -- memory -------------------------------------------------------------
+
+    def alloca(self, ctype, name=None):
+        instr = ins.Alloca(ctype, name=name)
+        return self._append(instr)
+
+    def load(self, pointer, order=MemoryOrder.NOT_ATOMIC, volatile=False):
+        return self._append(ins.Load(pointer, order, volatile))
+
+    def store(self, pointer, value, order=MemoryOrder.NOT_ATOMIC, volatile=False):
+        return self._append(ins.Store(pointer, value, order, volatile), named=False)
+
+    def gep(self, base, path, result_type):
+        return self._append(ins.Gep(base, path, result_type))
+
+    def malloc(self, size):
+        return self._append(ins.Malloc(size))
+
+    def free(self, pointer):
+        return self._append(ins.Free(pointer), named=False)
+
+    # -- atomics -------------------------------------------------------------
+
+    def cmpxchg(self, pointer, expected, desired, order=MemoryOrder.SEQ_CST):
+        return self._append(ins.Cmpxchg(pointer, expected, desired, order))
+
+    def atomicrmw(self, op, pointer, value, order=MemoryOrder.SEQ_CST):
+        return self._append(ins.AtomicRMW(op, pointer, value, order))
+
+    def fence(self, order=MemoryOrder.SEQ_CST):
+        return self._append(ins.Fence(order), named=False)
+
+    # -- computation -----------------------------------------------------------
+
+    def binop(self, op, left, right):
+        return self._append(ins.BinOp(op, left, right))
+
+    def cast(self, value, to_type):
+        return self._append(ins.Cast(value, to_type))
+
+    # -- control flow ------------------------------------------------------------
+
+    def br(self, target):
+        return self._append(ins.Br(target), named=False)
+
+    def cond_br(self, cond, true_block, false_block):
+        return self._append(ins.CondBr(cond, true_block, false_block), named=False)
+
+    def ret(self, value=None):
+        return self._append(ins.Ret(value), named=False)
+
+    def call(self, callee, args):
+        named = not callee.return_type.is_void()
+        return self._append(ins.Call(callee, args), named=named)
+
+    # -- intrinsics ----------------------------------------------------------------
+
+    def thread_create(self, callee, arg=None):
+        return self._append(ins.ThreadCreate(callee, arg))
+
+    def thread_join(self, tid):
+        return self._append(ins.ThreadJoin(tid), named=False)
+
+    def assert_(self, cond, message=""):
+        return self._append(ins.AssertInst(cond, message), named=False)
+
+    def print_(self, value):
+        return self._append(ins.PrintInst(value), named=False)
+
+    def sleep(self, duration):
+        return self._append(ins.Sleep(duration), named=False)
+
+    def compiler_barrier(self):
+        return self._append(ins.CompilerBarrier(), named=False)

@@ -1,0 +1,599 @@
+"""IR instruction set.
+
+Each instruction is itself a :class:`Value` (its result).  Operands are
+held in ``self.operands`` so passes can rewrite them uniformly via
+:meth:`Instruction.replace_operand`.
+
+Memory instructions carry a :class:`MemoryOrder`; ``NOT_ATOMIC`` denotes
+plain accesses.  AtoMig's transformation upgrades orders in place, and
+also records provenance marks (``spin_control``, ``optimistic_control``,
+``sticky``, ``annotation``) in :attr:`Instruction.marks` so reports and
+tests can explain *why* an access was strengthened.
+"""
+
+import enum
+
+from repro.ir.values import Value
+from repro.lang.ctypes import INT, VOID, PointerType
+
+
+class MemoryOrder(enum.IntEnum):
+    """C11-style memory orders, ordered by strength."""
+
+    NOT_ATOMIC = 0
+    RELAXED = 1
+    CONSUME = 2
+    ACQUIRE = 3
+    RELEASE = 4
+    ACQ_REL = 5
+    SEQ_CST = 6
+
+    @property
+    def is_atomic(self):
+        return self is not MemoryOrder.NOT_ATOMIC
+
+    @property
+    def has_acquire(self):
+        return self in (
+            MemoryOrder.ACQUIRE,
+            MemoryOrder.ACQ_REL,
+            MemoryOrder.SEQ_CST,
+            MemoryOrder.CONSUME,
+        )
+
+    @property
+    def has_release(self):
+        return self in (MemoryOrder.RELEASE, MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST)
+
+
+#: Memory orders as spelled by the C11 ``memory_order_*`` constants
+#: (indexed by their integer value in :data:`repro.lang.sema.MEMORY_ORDER_CONSTANTS`).
+C11_ORDER_BY_VALUE = {
+    0: MemoryOrder.RELAXED,
+    1: MemoryOrder.CONSUME,
+    2: MemoryOrder.ACQUIRE,
+    3: MemoryOrder.RELEASE,
+    4: MemoryOrder.ACQ_REL,
+    5: MemoryOrder.SEQ_CST,
+}
+
+
+class Instruction(Value):
+    """Base class for all IR instructions."""
+
+    #: Class-level opcode string, overridden by subclasses.
+    opcode = "instr"
+    #: True for instructions that end a basic block.
+    is_terminator = False
+
+    def __init__(self, ctype=VOID, operands=(), name=None):
+        super().__init__(ctype, name)
+        self.operands = list(operands)
+        self.block = None
+        self.source_line = None
+        #: Provenance marks added by AtoMig passes.
+        self.marks = set()
+
+    # -- operand plumbing -------------------------------------------------
+
+    def replace_operand(self, old, new):
+        """Replace every occurrence of ``old`` among the operands."""
+        for index, operand in enumerate(self.operands):
+            if operand is old:
+                self.operands[index] = new
+
+    @property
+    def function(self):
+        return self.block.function if self.block is not None else None
+
+    # -- classification ----------------------------------------------------
+
+    def is_memory_access(self):
+        """True for instructions that read or write program memory."""
+        return False
+
+    def accessed_pointer(self):
+        """The pointer operand of a memory access, or None."""
+        return None
+
+    def short(self):
+        return f"%{self.name}" if self.name else f"%{id(self) & 0xFFFF:x}"
+
+    def __repr__(self):
+        ops = ", ".join(op.short() for op in self.operands)
+        return f"{self.short()} = {self.opcode} {ops}"
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+
+class Alloca(Instruction):
+    """Stack slot for a local variable (``-O0`` style: one per variable)."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type, name=None):
+        super().__init__(PointerType(allocated_type), (), name)
+        self.allocated_type = allocated_type
+
+    def __repr__(self):
+        return f"{self.short()} = alloca {self.allocated_type!r}"
+
+
+class Load(Instruction):
+    opcode = "load"
+
+    def __init__(self, pointer, order=MemoryOrder.NOT_ATOMIC, volatile=False, name=None):
+        pointee = pointer.ctype.pointee if isinstance(pointer.ctype, PointerType) else INT
+        super().__init__(pointee, (pointer,), name)
+        self.order = order
+        self.volatile = volatile
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+    def is_memory_access(self):
+        return True
+
+    def accessed_pointer(self):
+        return self.pointer
+
+    def __repr__(self):
+        mods = _access_mods(self)
+        return f"{self.short()} = load{mods} {self.pointer.short()}"
+
+
+class Store(Instruction):
+    opcode = "store"
+
+    def __init__(self, pointer, value, order=MemoryOrder.NOT_ATOMIC, volatile=False):
+        super().__init__(VOID, (pointer, value))
+        self.order = order
+        self.volatile = volatile
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+    @property
+    def value(self):
+        return self.operands[1]
+
+    def is_memory_access(self):
+        return True
+
+    def accessed_pointer(self):
+        return self.pointer
+
+    def __repr__(self):
+        mods = _access_mods(self)
+        return f"store{mods} {self.value.short()} -> {self.pointer.short()}"
+
+
+class Gep(Instruction):
+    """``getelementptr``: address of a struct field or array element.
+
+    ``path`` is a list of steps:
+
+    - ``("field", struct_type, field_index)`` — constant field selection;
+    - ``("index", element_type, value)`` — dynamic element selection
+      (the value is also appended to ``operands``).
+
+    The *signature* (struct name + slot offset, or element type) drives
+    AtoMig's type-based alias exploration (§3.4 of the paper).
+    """
+
+    opcode = "gep"
+
+    def __init__(self, base, path, result_type, name=None):
+        operands = [base]
+        for step in path:
+            if step[0] == "index":
+                operands.append(step[2])
+        super().__init__(PointerType(result_type), operands, name)
+        self.path = list(path)
+        self.result_pointee = result_type
+
+    @property
+    def base(self):
+        return self.operands[0]
+
+    def signature(self):
+        """Hashable type-and-offset key for sticky-buddy matching."""
+        parts = []
+        for step in self.path:
+            if step[0] == "field":
+                struct_type, field_index = step[1], step[2]
+                offset = sum(
+                    ftype.size for _, ftype in struct_type.fields[:field_index]
+                )
+                parts.append(("field", struct_type.name, offset))
+            else:
+                parts.append(("index", repr(step[1])))
+        return tuple(parts)
+
+    def replace_operand(self, old, new):
+        super().replace_operand(old, new)
+        self.path = [
+            (step[0], step[1], new)
+            if step[0] == "index" and step[2] is old
+            else step
+            for step in self.path
+        ]
+
+    def __repr__(self):
+        steps = []
+        for step in self.path:
+            if step[0] == "field":
+                steps.append(f".{step[1].fields[step[2]][0]}")
+            else:
+                steps.append(f"[{step[2].short()}]")
+        return f"{self.short()} = gep {self.base.short()}{''.join(steps)}"
+
+
+class Malloc(Instruction):
+    """Heap allocation of ``size`` slots (dynamic)."""
+
+    opcode = "malloc"
+
+    def __init__(self, size, name=None):
+        super().__init__(PointerType(INT), (size,), name)
+
+    @property
+    def size(self):
+        return self.operands[0]
+
+    def __repr__(self):
+        return f"{self.short()} = malloc {self.size.short()}"
+
+
+class Free(Instruction):
+    opcode = "free"
+
+    def __init__(self, pointer):
+        super().__init__(VOID, (pointer,))
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+    def __repr__(self):
+        return f"free {self.pointer.short()}"
+
+
+# ---------------------------------------------------------------------------
+# Atomics
+# ---------------------------------------------------------------------------
+
+
+class Cmpxchg(Instruction):
+    """Atomic compare-exchange; the result is the *old* value."""
+
+    opcode = "cmpxchg"
+
+    def __init__(self, pointer, expected, desired, order=MemoryOrder.SEQ_CST, name=None):
+        pointee = pointer.ctype.pointee if isinstance(pointer.ctype, PointerType) else INT
+        super().__init__(pointee, (pointer, expected, desired), name)
+        self.order = order
+        self.volatile = False
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+    @property
+    def expected(self):
+        return self.operands[1]
+
+    @property
+    def desired(self):
+        return self.operands[2]
+
+    def is_memory_access(self):
+        return True
+
+    def accessed_pointer(self):
+        return self.pointer
+
+    def __repr__(self):
+        return (
+            f"{self.short()} = cmpxchg {self.pointer.short()}, "
+            f"{self.expected.short()}, {self.desired.short()} "
+            f"{self.order.name.lower()}"
+        )
+
+
+class AtomicRMW(Instruction):
+    """Atomic read-modify-write; the result is the *old* value."""
+
+    opcode = "atomicrmw"
+
+    OPS = ("add", "sub", "or", "and", "xor", "xchg")
+
+    def __init__(self, op, pointer, value, order=MemoryOrder.SEQ_CST, name=None):
+        assert op in self.OPS, op
+        pointee = pointer.ctype.pointee if isinstance(pointer.ctype, PointerType) else INT
+        super().__init__(pointee, (pointer, value), name)
+        self.op = op
+        self.order = order
+        self.volatile = False
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+    @property
+    def value(self):
+        return self.operands[1]
+
+    def is_memory_access(self):
+        return True
+
+    def accessed_pointer(self):
+        return self.pointer
+
+    def __repr__(self):
+        return (
+            f"{self.short()} = atomicrmw {self.op} {self.pointer.short()}, "
+            f"{self.value.short()} {self.order.name.lower()}"
+        )
+
+
+class Fence(Instruction):
+    """Stand-alone (explicit) memory barrier."""
+
+    opcode = "fence"
+
+    def __init__(self, order=MemoryOrder.SEQ_CST):
+        super().__init__(VOID, ())
+        self.order = order
+
+    def __repr__(self):
+        return f"fence {self.order.name.lower()}"
+
+
+# ---------------------------------------------------------------------------
+# Computation
+# ---------------------------------------------------------------------------
+
+
+class BinOp(Instruction):
+    """Arithmetic, bitwise and comparison operators (integer results)."""
+
+    opcode = "binop"
+
+    ARITH = {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"}
+    COMPARE = {"==", "!=", "<", ">", "<=", ">="}
+
+    def __init__(self, op, left, right, name=None):
+        super().__init__(INT, (left, right), name)
+        self.op = op
+
+    @property
+    def left(self):
+        return self.operands[0]
+
+    @property
+    def right(self):
+        return self.operands[1]
+
+    def __repr__(self):
+        return (
+            f"{self.short()} = {self.left.short()} {self.op} {self.right.short()}"
+        )
+
+
+class Cast(Instruction):
+    """Type reinterpretation (no runtime effect in the unit-slot model)."""
+
+    opcode = "cast"
+
+    def __init__(self, value, to_type, name=None):
+        super().__init__(to_type, (value,), name)
+
+    @property
+    def value(self):
+        return self.operands[0]
+
+    def __repr__(self):
+        return f"{self.short()} = cast {self.value.short()} to {self.ctype!r}"
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+
+class Br(Instruction):
+    opcode = "br"
+    is_terminator = True
+
+    def __init__(self, target):
+        super().__init__(VOID, ())
+        self.target = target
+
+    def successors(self):
+        return [self.target]
+
+    def __repr__(self):
+        return f"br {self.target.label}"
+
+
+class CondBr(Instruction):
+    opcode = "condbr"
+    is_terminator = True
+
+    def __init__(self, cond, true_block, false_block):
+        super().__init__(VOID, (cond,))
+        self.true_block = true_block
+        self.false_block = false_block
+
+    @property
+    def cond(self):
+        return self.operands[0]
+
+    def successors(self):
+        return [self.true_block, self.false_block]
+
+    def __repr__(self):
+        return (
+            f"br {self.cond.short()} ? {self.true_block.label} "
+            f": {self.false_block.label}"
+        )
+
+
+class Ret(Instruction):
+    opcode = "ret"
+    is_terminator = True
+
+    def __init__(self, value=None):
+        super().__init__(VOID, (value,) if value is not None else ())
+        self.has_value = value is not None
+
+    @property
+    def value(self):
+        return self.operands[0] if self.has_value else None
+
+    def successors(self):
+        return []
+
+    def __repr__(self):
+        if self.has_value:
+            return f"ret {self.value.short()}"
+        return "ret void"
+
+
+class Call(Instruction):
+    opcode = "call"
+
+    def __init__(self, callee, args, name=None):
+        super().__init__(callee.return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self):
+        return self.operands
+
+    def __repr__(self):
+        args = ", ".join(arg.short() for arg in self.operands)
+        if self.ctype.is_void():
+            return f"call @{self.callee.name}({args})"
+        return f"{self.short()} = call @{self.callee.name}({args})"
+
+
+# ---------------------------------------------------------------------------
+# Runtime intrinsics
+# ---------------------------------------------------------------------------
+
+
+class ThreadCreate(Instruction):
+    """Spawn a thread running ``callee(arg)``; the result is a thread id."""
+
+    opcode = "thread_create"
+
+    def __init__(self, callee, arg=None, name=None):
+        super().__init__(INT, (arg,) if arg is not None else (), name)
+        self.callee = callee
+
+    @property
+    def arg(self):
+        return self.operands[0] if self.operands else None
+
+    def __repr__(self):
+        arg = self.arg.short() if self.arg is not None else ""
+        return f"{self.short()} = thread_create @{self.callee.name}({arg})"
+
+
+class ThreadJoin(Instruction):
+    opcode = "thread_join"
+
+    def __init__(self, tid):
+        super().__init__(VOID, (tid,))
+
+    @property
+    def tid(self):
+        return self.operands[0]
+
+    def __repr__(self):
+        return f"thread_join {self.tid.short()}"
+
+
+class AssertInst(Instruction):
+    """Mini-C ``assert``: traps the VM / model checker when false."""
+
+    opcode = "assert"
+
+    def __init__(self, cond, message=""):
+        super().__init__(VOID, (cond,))
+        self.message = message
+
+    @property
+    def cond(self):
+        return self.operands[0]
+
+    def __repr__(self):
+        return f"assert {self.cond.short()}"
+
+
+class Sleep(Instruction):
+    """A wait-semantics call (``usleep``/``sched_yield``): yields the CPU.
+
+    No memory effect; the §6 polling-loop detector uses these as entry
+    points for synchronization loops that time out instead of spinning
+    forever.
+    """
+
+    opcode = "sleep"
+
+    def __init__(self, duration):
+        super().__init__(VOID, (duration,))
+
+    @property
+    def duration(self):
+        return self.operands[0]
+
+    def __repr__(self):
+        return f"sleep {self.duration.short()}"
+
+
+class CompilerBarrier(Instruction):
+    """``__asm__("" ::: "memory")``: orders the *compiler* only.
+
+    Compiles to nothing (a NOP), but §6 suggests using its placement as
+    an additional entry point for synchronization detection — legacy
+    code puts these exactly where ordering was intended.
+    """
+
+    opcode = "compiler_barrier"
+
+    def __init__(self):
+        super().__init__(VOID, ())
+
+    def __repr__(self):
+        return "compiler_barrier"
+
+
+class PrintInst(Instruction):
+    opcode = "print"
+
+    def __init__(self, value):
+        super().__init__(VOID, (value,))
+
+    @property
+    def value(self):
+        return self.operands[0]
+
+    def __repr__(self):
+        return f"print {self.value.short()}"
+
+
+def _access_mods(instr):
+    mods = []
+    if getattr(instr, "order", MemoryOrder.NOT_ATOMIC).is_atomic:
+        mods.append(f"atomic({instr.order.name.lower()})")
+    if getattr(instr, "volatile", False):
+        mods.append("volatile")
+    return (" " + " ".join(mods)) if mods else ""

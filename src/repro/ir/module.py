@@ -1,0 +1,262 @@
+"""IR containers: basic blocks, functions and modules.
+
+A :class:`Module` corresponds to the paper's *link-time* unit: the whole
+application linked into one IR module, which is the scope at which
+AtoMig's alias exploration runs.
+"""
+
+import copy
+
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.values import Argument, Constant, GlobalVar
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, label, function=None):
+        self.label = label
+        self.function = function
+        self.instructions = []
+
+    def append(self, instr):
+        self.instructions.append(instr)
+        instr.block = self
+        return instr
+
+    def insert(self, index, instr):
+        self.instructions.insert(index, instr)
+        instr.block = self
+        return instr
+
+    @property
+    def terminator(self):
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self):
+        terminator = self.terminator
+        if terminator is None:
+            return []
+        return terminator.successors()
+
+    def __repr__(self):
+        return f"BasicBlock({self.label}, {len(self.instructions)} instrs)"
+
+
+class Function:
+    """A function definition with its CFG of basic blocks."""
+
+    def __init__(self, name, return_type, param_names, param_types):
+        self.name = name
+        self.return_type = return_type
+        self.arguments = [
+            Argument(pname, ptype, index, self)
+            for index, (pname, ptype) in enumerate(zip(param_names, param_types))
+        ]
+        self.blocks = []
+        self._label_counter = 0
+        self._value_counter = 0
+
+    @property
+    def entry(self):
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_block(self, hint="bb"):
+        label = f"{hint}{self._label_counter}"
+        self._label_counter += 1
+        block = BasicBlock(label, self)
+        self.blocks.append(block)
+        return block
+
+    def next_value_name(self):
+        self._value_counter += 1
+        return str(self._value_counter)
+
+    def instructions(self):
+        """Iterate over all instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def block_map(self):
+        return {block.label: block for block in self.blocks}
+
+    def __repr__(self):
+        return f"Function(@{self.name}, {len(self.blocks)} blocks)"
+
+
+class Module:
+    """A linked program: globals, struct types and function definitions."""
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.globals = {}
+        self.functions = {}
+        self.struct_types = {}
+        #: Arbitrary metadata recorded by passes (e.g. porting reports).
+        self.metadata = {}
+
+    def add_global(self, global_var):
+        if global_var.name in self.globals:
+            raise IRError(f"duplicate global @{global_var.name}")
+        self.globals[global_var.name] = global_var
+        return global_var
+
+    def add_function(self, function):
+        if function.name in self.functions:
+            raise IRError(f"duplicate function @{function.name}")
+        self.functions[function.name] = function
+        return function
+
+    def instructions(self):
+        for function in self.functions.values():
+            yield from function.instructions()
+
+    # -- cloning ---------------------------------------------------------
+
+    def clone(self):
+        """Deep-copy the module so a porter can transform it in isolation.
+
+        Globals, functions, blocks and instructions are all fresh
+        objects; operand references are remapped onto their clones.
+        Struct types are shared (they are immutable after sema).
+        """
+        new = Module(self.name)
+        new.struct_types = self.struct_types
+        new.metadata = copy.deepcopy(self.metadata)
+
+        value_map = {}
+        for gvar in self.globals.values():
+            cloned = GlobalVar(
+                gvar.name,
+                gvar.value_type,
+                list(gvar.initializer),
+                volatile=gvar.volatile,
+                atomic=gvar.atomic,
+            )
+            new.add_global(cloned)
+            value_map[gvar] = cloned
+
+        # First create empty function shells so calls can be remapped.
+        for fn in self.functions.values():
+            shell = Function(
+                fn.name,
+                fn.return_type,
+                [arg.name for arg in fn.arguments],
+                [arg.ctype for arg in fn.arguments],
+            )
+            new.add_function(shell)
+            for old_arg, new_arg in zip(fn.arguments, shell.arguments):
+                value_map[old_arg] = new_arg
+
+        for fn in self.functions.values():
+            _clone_function_body(fn, new.functions[fn.name], new, value_map)
+        return new
+
+
+def _clone_function_body(source, target, new_module, value_map):
+    block_map = {}
+    for block in source.blocks:
+        clone = BasicBlock(block.label, target)
+        target.blocks.append(clone)
+        block_map[block] = clone
+    target._label_counter = source._label_counter
+    target._value_counter = source._value_counter
+
+    def map_value(value):
+        if value is None or isinstance(value, Constant):
+            return value
+        mapped = value_map.get(value)
+        if mapped is None:
+            raise IRError(
+                f"clone: unmapped operand {value!r} in @{source.name}"
+            )
+        return mapped
+
+    for block in source.blocks:
+        clone_block = block_map[block]
+        for instr in block.instructions:
+            cloned = _clone_instruction(instr, map_value, block_map, new_module)
+            cloned.source_line = instr.source_line
+            cloned.marks = set(instr.marks)
+            cloned.name = instr.name
+            clone_block.append(cloned)
+            value_map[instr] = cloned
+
+
+def _clone_instruction(instr, map_value, block_map, new_module):
+    if isinstance(instr, ins.Alloca):
+        return ins.Alloca(instr.allocated_type)
+    if isinstance(instr, ins.Load):
+        return ins.Load(
+            map_value(instr.pointer), instr.order, instr.volatile
+        )
+    if isinstance(instr, ins.Store):
+        return ins.Store(
+            map_value(instr.pointer),
+            map_value(instr.value),
+            instr.order,
+            instr.volatile,
+        )
+    if isinstance(instr, ins.Gep):
+        path = [
+            (step[0], step[1], map_value(step[2]))
+            if step[0] == "index"
+            else step
+            for step in instr.path
+        ]
+        return ins.Gep(map_value(instr.base), path, instr.result_pointee)
+    if isinstance(instr, ins.Malloc):
+        return ins.Malloc(map_value(instr.size))
+    if isinstance(instr, ins.Free):
+        return ins.Free(map_value(instr.pointer))
+    if isinstance(instr, ins.Cmpxchg):
+        return ins.Cmpxchg(
+            map_value(instr.pointer),
+            map_value(instr.expected),
+            map_value(instr.desired),
+            instr.order,
+        )
+    if isinstance(instr, ins.AtomicRMW):
+        return ins.AtomicRMW(
+            instr.op, map_value(instr.pointer), map_value(instr.value), instr.order
+        )
+    if isinstance(instr, ins.Fence):
+        return ins.Fence(instr.order)
+    if isinstance(instr, ins.BinOp):
+        return ins.BinOp(instr.op, map_value(instr.left), map_value(instr.right))
+    if isinstance(instr, ins.Cast):
+        return ins.Cast(map_value(instr.value), instr.ctype)
+    if isinstance(instr, ins.Br):
+        return ins.Br(block_map[instr.target])
+    if isinstance(instr, ins.CondBr):
+        return ins.CondBr(
+            map_value(instr.cond),
+            block_map[instr.true_block],
+            block_map[instr.false_block],
+        )
+    if isinstance(instr, ins.Ret):
+        return ins.Ret(map_value(instr.value) if instr.has_value else None)
+    if isinstance(instr, ins.Call):
+        callee = new_module.functions[instr.callee.name]
+        return ins.Call(callee, [map_value(arg) for arg in instr.args])
+    if isinstance(instr, ins.ThreadCreate):
+        callee = new_module.functions[instr.callee.name]
+        return ins.ThreadCreate(
+            callee, map_value(instr.arg) if instr.arg is not None else None
+        )
+    if isinstance(instr, ins.ThreadJoin):
+        return ins.ThreadJoin(map_value(instr.tid))
+    if isinstance(instr, ins.AssertInst):
+        return ins.AssertInst(map_value(instr.cond), instr.message)
+    if isinstance(instr, ins.PrintInst):
+        return ins.PrintInst(map_value(instr.value))
+    if isinstance(instr, ins.Sleep):
+        return ins.Sleep(map_value(instr.duration))
+    if isinstance(instr, ins.CompilerBarrier):
+        return ins.CompilerBarrier()
+    raise IRError(f"clone: unhandled instruction {type(instr).__name__}")

@@ -1,0 +1,50 @@
+"""Textual IR printer, for debugging, golden tests and round-tripping.
+
+Blocks print in reverse postorder: dominators come first, so every
+value definition precedes its uses — the property
+:mod:`repro.ir.parser` relies on (block creation order loses it after
+inlining splices continuation blocks to the end).
+"""
+
+from repro.analysis.cfg import reverse_postorder
+
+
+def print_function(function):
+    """Render one function as readable text."""
+    params = ", ".join(
+        f"%{arg.name}: {arg.ctype!r}" for arg in function.arguments
+    )
+    lines = [f"func @{function.name}({params}) -> {function.return_type!r} {{"]
+    ordered = reverse_postorder(function)
+    ordered += [block for block in function.blocks if block not in ordered]
+    for block in ordered:
+        lines.append(f"{block.label}:")
+        for instr in block.instructions:
+            text = f"  {instr!r}"
+            if instr.marks:
+                text += f"   ; marks: {', '.join(sorted(instr.marks))}"
+            lines.append(text)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module):
+    """Render a whole module as readable text."""
+    lines = [f"; module {module.name}"]
+    for struct in module.struct_types.values():
+        fields = ", ".join(f"{name}: {ftype!r}" for name, ftype in struct.fields)
+        lines.append(f"struct {struct.name} {{ {fields} }}")
+    for gvar in module.globals.values():
+        quals = []
+        if gvar.volatile:
+            quals.append("volatile")
+        if gvar.atomic:
+            quals.append("atomic")
+        qual = (" ".join(quals) + " ") if quals else ""
+        init = gvar.initializer
+        init_text = init[0] if len(init) == 1 else init
+        lines.append(f"global @{gvar.name}: {qual}{gvar.value_type!r} = {init_text}")
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Core IR value classes: constants, globals and function arguments."""
+
+from repro.lang.ctypes import INT, PointerType
+
+
+class Value:
+    """Base class of everything that can appear as an instruction operand."""
+
+    def __init__(self, ctype, name=None):
+        self.ctype = ctype
+        self.name = name
+
+    def short(self):
+        """Compact printable form used inside instruction operands."""
+        return self.name or repr(self)
+
+
+class Constant(Value):
+    """An integer (or null-pointer) constant."""
+
+    def __init__(self, value, ctype=INT):
+        super().__init__(ctype)
+        self.value = value
+
+    def short(self):
+        return str(self.value)
+
+    def __repr__(self):
+        return f"Constant({self.value})"
+
+    def __eq__(self, other):
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+
+class GlobalVar(Value):
+    """A module-level variable.
+
+    ``initializer`` is a flat list of slot values (length == type size).
+    The ``volatile`` and ``atomic`` flags record the source qualifiers the
+    explicit-annotation pass consumes.
+    """
+
+    def __init__(self, name, ctype, initializer=None, volatile=False, atomic=False):
+        super().__init__(PointerType(ctype), name)
+        self.value_type = ctype
+        size = max(ctype.size, 1)
+        if initializer is None:
+            initializer = [0] * size
+        if len(initializer) < size:
+            initializer = list(initializer) + [0] * (size - len(initializer))
+        self.initializer = list(initializer)
+        self.volatile = volatile
+        self.atomic = atomic
+
+    def short(self):
+        return f"@{self.name}"
+
+    def __repr__(self):
+        quals = []
+        if self.volatile:
+            quals.append("volatile")
+        if self.atomic:
+            quals.append("atomic")
+        qual = (" ".join(quals) + " ") if quals else ""
+        return f"GlobalVar(@{self.name}: {qual}{self.value_type!r})"
+
+
+class Argument(Value):
+    """A formal parameter of a :class:`repro.ir.module.Function`."""
+
+    def __init__(self, name, ctype, index, function=None):
+        super().__init__(ctype, name)
+        self.index = index
+        self.function = function
+
+    def short(self):
+        return f"%{self.name}"
+
+    def __repr__(self):
+        return f"Argument(%{self.name}: {self.ctype!r})"

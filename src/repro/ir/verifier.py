@@ -1,0 +1,101 @@
+"""Structural IR verifier.
+
+Catches the invariant violations that passes could introduce: blocks
+without terminators, terminators in the middle of a block, operands that
+belong to other functions, dangling branch targets, and calls to
+functions outside the module.
+"""
+
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.values import Argument, Constant, GlobalVar
+
+
+def verify_module(module):
+    """Raise :class:`IRError` on the first malformed construct found."""
+    for function in module.functions.values():
+        _verify_function(function, module)
+    return True
+
+
+def _verify_function(function, module):
+    if not function.blocks:
+        raise IRError(f"@{function.name}: function has no blocks")
+    block_set = set(function.blocks)
+    defined = set(function.arguments)
+
+    for block in function.blocks:
+        if block.function is not function:
+            raise IRError(
+                f"@{function.name}/{block.label}: block.function mismatch"
+            )
+        if not block.instructions:
+            raise IRError(f"@{function.name}/{block.label}: empty block")
+        terminator = block.instructions[-1]
+        if not terminator.is_terminator:
+            raise IRError(
+                f"@{function.name}/{block.label}: missing terminator"
+            )
+        for instr in block.instructions[:-1]:
+            if instr.is_terminator:
+                raise IRError(
+                    f"@{function.name}/{block.label}: terminator "
+                    f"{instr!r} in the middle of a block"
+                )
+        for instr in block.instructions:
+            if instr.block is not block:
+                raise IRError(
+                    f"@{function.name}/{block.label}: instr.block mismatch "
+                    f"for {instr!r}"
+                )
+            defined.add(instr)
+            for successor in _branch_targets(instr):
+                if successor not in block_set:
+                    raise IRError(
+                        f"@{function.name}/{block.label}: branch to foreign "
+                        f"block {successor.label}"
+                    )
+            if isinstance(instr, (ins.Call, ins.ThreadCreate)):
+                if module.functions.get(instr.callee.name) is not instr.callee:
+                    raise IRError(
+                        f"@{function.name}: call to out-of-module function "
+                        f"@{instr.callee.name}"
+                    )
+
+    # Operand sanity: every non-constant operand must be a global, an
+    # argument of this function, or an instruction of this function.
+    instruction_set = set()
+    for block in function.blocks:
+        instruction_set.update(block.instructions)
+    for block in function.blocks:
+        for instr in block.instructions:
+            for operand in instr.operands:
+                _verify_operand(function, instr, operand, instruction_set)
+
+
+def _branch_targets(instr):
+    if isinstance(instr, ins.Br):
+        return [instr.target]
+    if isinstance(instr, ins.CondBr):
+        return [instr.true_block, instr.false_block]
+    return []
+
+
+def _verify_operand(function, instr, operand, instruction_set):
+    if operand is None or isinstance(operand, (Constant, GlobalVar)):
+        return
+    if isinstance(operand, Argument):
+        if operand.function is not function:
+            raise IRError(
+                f"@{function.name}: {instr!r} uses argument of "
+                f"@{operand.function.name}"
+            )
+        return
+    if isinstance(operand, ins.Instruction):
+        if operand not in instruction_set:
+            raise IRError(
+                f"@{function.name}: {instr!r} uses instruction from another "
+                f"function: {operand!r}"
+            )
+        return
+    raise IRError(f"@{function.name}: {instr!r} has bad operand {operand!r}")

@@ -1,0 +1,337 @@
+"""AST node definitions for Mini-C.
+
+Nodes are plain dataclass-style objects.  Every node records a source
+line so later passes can point diagnostics (and AtoMig reports) back at
+the Mini-C source.
+"""
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def __init__(self, line=None):
+        self.line = line
+        #: Filled in by semantic analysis for expressions.
+        self.ctype = None
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+class Program(Node):
+    """A whole translation unit: struct defs, globals and functions."""
+
+    def __init__(self, structs, globals_, functions, enums=None, line=None):
+        super().__init__(line)
+        self.structs = structs  # list of StructDef
+        self.globals = globals_  # list of GlobalDecl
+        self.functions = functions  # list of FunctionDef
+        self.enums = enums or []  # list of EnumDef
+
+    def function(self, name):
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+
+class StructDef(Node):
+    def __init__(self, name, fields, line=None):
+        super().__init__(line)
+        self.name = name
+        self.fields = fields  # list of (name, CType-like spec resolved later)
+
+
+class EnumDef(Node):
+    def __init__(self, name, members, line=None):
+        super().__init__(line)
+        self.name = name
+        self.members = members  # list of (name, int)
+
+
+class GlobalDecl(Node):
+    """A global variable declaration with optional initializer."""
+
+    def __init__(self, name, type_spec, init=None, volatile=False, atomic=False, line=None):
+        super().__init__(line)
+        self.name = name
+        self.type_spec = type_spec
+        self.init = init  # Expr or list of Expr (array init) or None
+        self.volatile = volatile
+        self.atomic = atomic
+
+
+class Param(Node):
+    def __init__(self, name, type_spec, line=None):
+        super().__init__(line)
+        self.name = name
+        self.type_spec = type_spec
+
+
+class FunctionDef(Node):
+    def __init__(self, name, return_spec, params, body, line=None):
+        super().__init__(line)
+        self.name = name
+        self.return_spec = return_spec
+        self.params = params  # list of Param
+        self.body = body  # Block
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    pass
+
+
+class Block(Stmt):
+    def __init__(self, statements, line=None):
+        super().__init__(line)
+        self.statements = statements
+
+
+class LocalDecl(Stmt):
+    def __init__(self, name, type_spec, init=None, volatile=False, atomic=False, line=None):
+        super().__init__(line)
+        self.name = name
+        self.type_spec = type_spec
+        self.init = init
+        self.volatile = volatile
+        self.atomic = atomic
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    def __init__(self, cond, then_body, else_body=None, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    def __init__(self, cond, body, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    def __init__(self, body, cond, line=None):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    def __init__(self, init, cond, step, body, line=None):
+        super().__init__(line)
+        self.init = init  # Stmt or None
+        self.cond = cond  # Expr or None
+        self.step = step  # Expr or None
+        self.body = body
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+class Return(Stmt):
+    def __init__(self, value=None, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Goto(Stmt):
+    def __init__(self, label, line=None):
+        super().__init__(line)
+        self.label = label
+
+
+class Label(Stmt):
+    def __init__(self, name, line=None):
+        super().__init__(line)
+        self.name = name
+
+
+class InlineAsm(Stmt):
+    """An ``__asm__("...")`` statement; the template is kept verbatim."""
+
+    def __init__(self, template, line=None):
+        super().__init__(line)
+        self.template = template
+
+
+class Switch(Stmt):
+    """``switch (subject) { case K: ...; default: ... }``.
+
+    ``cases`` is a list of (constant-expr-or-None, [Stmt]) pairs in
+    source order; None marks the default arm.  C fallthrough semantics
+    are preserved by the lowering.
+    """
+
+    def __init__(self, subject, cases, line=None):
+        super().__init__(line)
+        self.subject = subject
+        self.cases = cases
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr(Node):
+    pass
+
+
+class IntLiteral(Expr):
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class NullLiteral(Expr):
+    pass
+
+
+class StringLiteral(Expr):
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Identifier(Expr):
+    def __init__(self, name, line=None):
+        super().__init__(line)
+        self.name = name
+        #: Resolved by sema: "local", "param", "global", "function", "enum".
+        self.binding = None
+        self.enum_value = None
+
+
+class Unary(Expr):
+    """Unary operators: ``- ~ ! * &`` plus pre/post ``++``/``--``."""
+
+    def __init__(self, op, operand, postfix=False, line=None):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+        self.postfix = postfix
+
+
+class Binary(Expr):
+    def __init__(self, op, left, right, line=None):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Conditional(Expr):
+    """The ternary ``cond ? a : b``."""
+
+    def __init__(self, cond, then_expr, else_expr, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+
+class Assign(Expr):
+    """Assignment, including compound forms (``op`` is None for plain =)."""
+
+    def __init__(self, target, value, op=None, line=None):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+        self.op = op
+
+
+class Index(Expr):
+    def __init__(self, base, index, line=None):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    def __init__(self, base, field, arrow, line=None):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+        self.arrow = arrow
+
+
+class Call(Expr):
+    def __init__(self, name, args, line=None):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        #: Set by sema: True when this is a recognized builtin.
+        self.is_builtin = False
+
+
+class SizeOf(Expr):
+    def __init__(self, type_spec, line=None):
+        super().__init__(line)
+        self.type_spec = type_spec
+
+
+class Cast(Expr):
+    def __init__(self, type_spec, operand, line=None):
+        super().__init__(line)
+        self.type_spec = type_spec
+        self.operand = operand
+
+
+# --------------------------------------------------------------------------
+# Type specifiers (syntactic, resolved to CType by sema)
+# --------------------------------------------------------------------------
+
+
+class TypeSpec(Node):
+    """Syntactic type: base name + pointer depth + optional array dims."""
+
+    def __init__(self, base, pointer_depth=0, array_dims=None,
+                 volatile=False, atomic=False, struct_name=None, line=None):
+        super().__init__(line)
+        self.base = base  # "int", "void", "struct"
+        self.struct_name = struct_name
+        self.pointer_depth = pointer_depth
+        self.array_dims = array_dims or []
+        self.volatile = volatile
+        self.atomic = atomic
+
+    def __repr__(self):
+        base = f"struct {self.struct_name}" if self.base == "struct" else self.base
+        return base + "*" * self.pointer_depth + "".join(
+            f"[{d}]" for d in self.array_dims
+        )
+
+
+def walk(node):
+    """Yield ``node`` and all AST nodes reachable from it, depth-first."""
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)

@@ -1,0 +1,194 @@
+"""The Mini-C source-level type system.
+
+All scalar types occupy one abstract memory slot; aggregate sizes are the
+sum of their member sizes.  This matches the reproduction's unit-slot
+memory model (see DESIGN.md): AtoMig's analyses only need *which* field of
+*which* struct an access touches, never byte-accurate layout.
+"""
+
+from repro.errors import SemanticError
+
+
+class CType:
+    """Base class for Mini-C types."""
+
+    #: Size of the type in abstract memory slots.
+    size = 1
+
+    def is_scalar(self):
+        return True
+
+    def is_pointer(self):
+        return False
+
+    def is_void(self):
+        return False
+
+
+class IntType(CType):
+    """The integer type.  ``int``, ``long``, ``char`` all map here."""
+
+    size = 1
+
+    def __init__(self, name="int"):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash("int")
+
+
+class VoidType(CType):
+    """The ``void`` type (function returns and opaque pointees only)."""
+
+    size = 0
+
+    def is_scalar(self):
+        return False
+
+    def is_void(self):
+        return True
+
+    def __repr__(self):
+        return "void"
+
+    def __eq__(self, other):
+        return isinstance(other, VoidType)
+
+    def __hash__(self):
+        return hash("void")
+
+
+class PointerType(CType):
+    """A pointer to ``pointee``."""
+
+    size = 1
+
+    def __init__(self, pointee):
+        self.pointee = pointee
+
+    def is_pointer(self):
+        return True
+
+    def __repr__(self):
+        return f"{self.pointee!r}*"
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and self.pointee == other.pointee
+
+    def __hash__(self):
+        return hash(("ptr", self.pointee))
+
+
+class ArrayType(CType):
+    """A fixed-size array of ``element`` repeated ``count`` times."""
+
+    def __init__(self, element, count):
+        self.element = element
+        self.count = count
+
+    @property
+    def size(self):
+        return self.element.size * self.count
+
+    def is_scalar(self):
+        return False
+
+    def __repr__(self):
+        return f"{self.element!r}[{self.count}]"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArrayType)
+            and self.element == other.element
+            and self.count == other.count
+        )
+
+    def __hash__(self):
+        return hash(("array", self.element, self.count))
+
+
+class StructType(CType):
+    """A named struct.  Fields are ``(name, type)`` pairs in order.
+
+    Struct types are interned per program by name; recursive structs
+    (``struct node *next``) are supported because pointer fields only
+    reference the struct by identity.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.fields = []  # list of (name, CType)
+        self.complete = False
+
+    def define(self, fields):
+        if self.complete:
+            raise SemanticError(f"redefinition of struct {self.name}")
+        self.fields = list(fields)
+        self.complete = True
+
+    @property
+    def size(self):
+        return sum(ftype.size for _, ftype in self.fields)
+
+    def field_index(self, name):
+        for index, (fname, _) in enumerate(self.fields):
+            if fname == name:
+                return index
+        raise SemanticError(f"struct {self.name} has no field {name!r}")
+
+    def field_type(self, name):
+        return self.fields[self.field_index(name)][1]
+
+    def field_offset(self, name):
+        """Slot offset of field ``name`` from the start of the struct."""
+        offset = 0
+        for fname, ftype in self.fields:
+            if fname == name:
+                return offset
+            offset += ftype.size
+        raise SemanticError(f"struct {self.name} has no field {name!r}")
+
+    def is_scalar(self):
+        return False
+
+    def __repr__(self):
+        return f"struct {self.name}"
+
+    def __eq__(self, other):
+        return isinstance(other, StructType) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("struct", self.name))
+
+
+INT = IntType()
+VOID = VoidType()
+VOID_PTR = PointerType(VOID)
+
+
+def pointer_to(ctype):
+    return PointerType(ctype)
+
+
+def is_assignable(target, value):
+    """Loose C-style assignability between ``value`` and ``target`` types.
+
+    Mini-C follows pre-ANSI C permissiveness: integers and pointers
+    interconvert (needed for NULL comparisons and malloc results), and
+    any pointer converts to any other pointer.
+    """
+    if target == value:
+        return True
+    if isinstance(value, ArrayType):
+        value = PointerType(value.element)  # array-to-pointer decay
+    if isinstance(target, IntType) and isinstance(value, (IntType, PointerType)):
+        return True
+    if isinstance(target, PointerType) and isinstance(value, (IntType, PointerType)):
+        return True
+    return False

@@ -1,0 +1,593 @@
+"""Semantic analysis for Mini-C.
+
+Resolves struct and enum definitions, binds identifiers to their
+declarations, annotates every expression with its :mod:`repro.lang.ctypes`
+type, and recognizes the builtin atomic / threading / memory intrinsics
+that the lowering pass turns into dedicated IR instructions.
+"""
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+from repro.lang.ctypes import (
+    INT,
+    VOID,
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    is_assignable,
+    pointer_to,
+)
+
+#: Builtin functions understood by the frontend.  Values are
+#: (min_args, max_args).  ``*_explicit`` forms take a trailing memory
+#: order; plain forms default to seq_cst, matching C11 atomics.
+BUILTINS = {
+    "atomic_load": (1, 1),
+    "atomic_store": (2, 2),
+    "atomic_exchange": (2, 2),
+    "atomic_cmpxchg": (3, 3),
+    "atomic_fetch_add": (2, 2),
+    "atomic_fetch_sub": (2, 2),
+    "atomic_fetch_or": (2, 2),
+    "atomic_fetch_and": (2, 2),
+    "atomic_load_explicit": (2, 2),
+    "atomic_store_explicit": (3, 3),
+    "atomic_exchange_explicit": (3, 3),
+    "atomic_cmpxchg_explicit": (4, 4),
+    "atomic_fetch_add_explicit": (3, 3),
+    "atomic_fetch_sub_explicit": (3, 3),
+    "atomic_fetch_or_explicit": (3, 3),
+    "atomic_fetch_and_explicit": (3, 3),
+    "atomic_thread_fence": (0, 1),
+    "atomic_fence": (0, 1),
+    "thread_create": (1, 2),
+    "thread_join": (1, 1),
+    "malloc": (1, 1),
+    "free": (1, 1),
+    "assert": (1, 1),
+    "print": (1, 1),
+    "cpu_relax": (0, 0),
+    "usleep": (1, 1),
+    "sched_yield": (0, 0),
+}
+
+#: C11 memory-order constants, usable wherever an expression is expected.
+MEMORY_ORDER_CONSTANTS = {
+    "memory_order_relaxed": 0,
+    "memory_order_consume": 1,
+    "memory_order_acquire": 2,
+    "memory_order_release": 3,
+    "memory_order_acq_rel": 4,
+    "memory_order_seq_cst": 5,
+}
+
+_RESULTLESS_BUILTINS = {
+    "atomic_store",
+    "atomic_store_explicit",
+    "atomic_thread_fence",
+    "atomic_fence",
+    "thread_join",
+    "free",
+    "assert",
+    "print",
+    "cpu_relax",
+    "usleep",
+    "sched_yield",
+}
+
+
+class Scope:
+    """A lexical scope mapping names to (kind, ctype) entries."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.entries = {}
+
+    def declare(self, name, kind, ctype, line=None):
+        if name in self.entries:
+            raise SemanticError(f"redeclaration of {name!r}", line)
+        self.entries[name] = (kind, ctype)
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.entries:
+                return scope.entries[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Walks a parsed :class:`Program`, checking and annotating it."""
+
+    def __init__(self, program):
+        self.program = program
+        self.structs = {}
+        self.enums = dict(MEMORY_ORDER_CONSTANTS)
+        self.globals = Scope()
+        self.functions = {}
+        self.current_function = None
+        self._loop_depth = 0  # for `continue`
+        self._break_depth = 0  # for `break` (loops and switches)
+
+    # -- entry point --------------------------------------------------------
+
+    def analyze(self):
+        """Run all checks; returns the (annotated, same) program."""
+        self._collect_structs()
+        self._collect_enums()
+        self._collect_functions()
+        self._collect_globals()
+        for fn in self.program.functions:
+            self._check_function(fn)
+        self.program.struct_types = self.structs
+        self.program.enum_constants = self.enums
+        return self.program
+
+    # -- declarations ---------------------------------------------------------
+
+    def _collect_structs(self):
+        for sdef in self.program.structs:
+            if sdef.name in self.structs:
+                raise SemanticError(f"duplicate struct {sdef.name}", sdef.line)
+            self.structs[sdef.name] = StructType(sdef.name)
+        for sdef in self.program.structs:
+            fields = []
+            for fname, fspec in sdef.fields:
+                fields.append((fname, self.resolve_type(fspec)))
+            self.structs[sdef.name].define(fields)
+
+    def _collect_enums(self):
+        for edef in self.program.enums:
+            for name, value in edef.members:
+                if name in self.enums:
+                    raise SemanticError(f"duplicate enum constant {name}", edef.line)
+                self.enums[name] = value
+
+    def _collect_functions(self):
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise SemanticError(f"duplicate function {fn.name}", fn.line)
+            if fn.name in BUILTINS:
+                raise SemanticError(
+                    f"function {fn.name} shadows a builtin", fn.line
+                )
+            return_type = self.resolve_type(fn.return_spec)
+            param_types = []
+            for param in fn.params:
+                ptype = self.resolve_type(param.type_spec)
+                if isinstance(ptype, ArrayType):
+                    ptype = pointer_to(ptype.element)
+                param.ctype = ptype
+                param_types.append(ptype)
+            fn.return_type = return_type
+            fn.param_types = param_types
+            self.functions[fn.name] = fn
+
+    def _collect_globals(self):
+        for decl in self.program.globals:
+            ctype = self.resolve_type(decl.type_spec)
+            if ctype.is_void():
+                raise SemanticError(
+                    f"global {decl.name} has void type", decl.line
+                )
+            decl.ctype = ctype
+            self.globals.declare(decl.name, "global", ctype, decl.line)
+            if decl.init is not None:
+                self._check_initializer(decl.name, ctype, decl.init, decl.line)
+
+    def _check_initializer(self, name, ctype, init, line):
+        if isinstance(init, list):
+            if not isinstance(ctype, (ArrayType, StructType)):
+                raise SemanticError(
+                    f"aggregate initializer for scalar {name}", line
+                )
+            limit = (
+                ctype.count if isinstance(ctype, ArrayType) else len(ctype.fields)
+            )
+            if len(init) > limit:
+                raise SemanticError(
+                    f"too many initializers for {name}", line
+                )
+            for item in init:
+                if isinstance(item, list):
+                    continue
+                self._check_expr(item)
+                self._require_constant(item, line)
+        else:
+            self._check_expr(init)
+            self._require_constant(init, line)
+
+    def _require_constant(self, expr, line):
+        if not isinstance(expr, (ast.IntLiteral, ast.NullLiteral)):
+            if isinstance(expr, ast.Identifier) and expr.binding == "enum":
+                return
+            if isinstance(expr, ast.Unary) and expr.op == "-" and isinstance(
+                expr.operand, ast.IntLiteral
+            ):
+                return
+            raise SemanticError("global initializer must be constant", line)
+
+    # -- type resolution ------------------------------------------------------
+
+    def resolve_type(self, spec):
+        """Resolve a syntactic :class:`TypeSpec` to a :class:`CType`."""
+        if spec.base == "int":
+            base = INT
+        elif spec.base == "void":
+            base = VOID
+        elif spec.base == "struct":
+            if spec.struct_name not in self.structs:
+                # Allow pointers to not-yet-seen structs (opaque usage).
+                self.structs[spec.struct_name] = StructType(spec.struct_name)
+            base = self.structs[spec.struct_name]
+        else:
+            raise SemanticError(f"unknown type {spec.base!r}", spec.line)
+        for _ in range(spec.pointer_depth):
+            base = pointer_to(base)
+        for dim in reversed(spec.array_dims):
+            base = ArrayType(base, dim)
+        return base
+
+    # -- functions -------------------------------------------------------------
+
+    def _check_function(self, fn):
+        self.current_function = fn
+        scope = Scope(self.globals)
+        for param in fn.params:
+            scope.declare(param.name, "param", param.ctype, param.line)
+        self._check_block(fn.body, scope)
+        self.current_function = None
+
+    def _check_block(self, block, scope):
+        inner = Scope(scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt, scope):
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.LocalDecl):
+            ctype = self.resolve_type(stmt.type_spec)
+            if ctype.is_void():
+                raise SemanticError(
+                    f"local {stmt.name} has void type", stmt.line
+                )
+            stmt.ctype = ctype
+            scope.declare(stmt.name, "local", ctype, stmt.line)
+            if stmt.init is not None and not isinstance(stmt.init, list):
+                value_type = self._check_expr(stmt.init, scope)
+                if not is_assignable(ctype, value_type) and not isinstance(
+                    ctype, (ArrayType, StructType)
+                ):
+                    raise SemanticError(
+                        f"cannot initialize {ctype!r} from {value_type!r}",
+                        stmt.line,
+                    )
+            elif isinstance(stmt.init, list):
+                for item in stmt.init:
+                    if not isinstance(item, list):
+                        self._check_expr(item, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.then_body, scope)
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scope)
+            self._in_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            loop_scope = Scope(scope)
+            self._loop_depth += 1
+            self._break_depth += 1
+            self._check_stmt(stmt.body, loop_scope)
+            self._loop_depth -= 1
+            self._break_depth -= 1
+            self._check_expr(stmt.cond, loop_scope)
+        elif isinstance(stmt, ast.For):
+            for_scope = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, for_scope)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, for_scope)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, for_scope)
+            self._in_loop(stmt.body, for_scope)
+        elif isinstance(stmt, ast.Break):
+            if self._break_depth == 0:
+                raise SemanticError("break outside of loop or switch", stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if self._loop_depth == 0:
+                raise SemanticError("continue outside of loop", stmt.line)
+        elif isinstance(stmt, ast.Switch):
+            self._check_switch(stmt, scope)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value_type = self._check_expr(stmt.value, scope)
+                if self.current_function.return_type.is_void():
+                    raise SemanticError(
+                        "returning a value from a void function", stmt.line
+                    )
+                if not is_assignable(self.current_function.return_type, value_type):
+                    raise SemanticError(
+                        f"cannot return {value_type!r} from function returning "
+                        f"{self.current_function.return_type!r}",
+                        stmt.line,
+                    )
+            elif not self.current_function.return_type.is_void():
+                raise SemanticError(
+                    "missing return value in non-void function", stmt.line
+                )
+        elif isinstance(stmt, (ast.Goto, ast.Label, ast.InlineAsm)):
+            pass
+        else:
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}")
+
+    def _in_loop(self, body, scope):
+        self._loop_depth += 1
+        self._break_depth += 1
+        self._check_stmt(body, scope)
+        self._loop_depth -= 1
+        self._break_depth -= 1
+
+    def _check_switch(self, stmt, scope):
+        self._check_expr(stmt.subject, scope)
+        seen_values = set()
+        seen_default = False
+        self._break_depth += 1
+        for label, body in stmt.cases:
+            if label is None:
+                if seen_default:
+                    raise SemanticError("duplicate default label", stmt.line)
+                seen_default = True
+            else:
+                self._check_expr(label, scope)
+                value = self._case_value(label)
+                if value in seen_values:
+                    raise SemanticError(
+                        f"duplicate case label {value}", label.line
+                    )
+                seen_values.add(value)
+            arm_scope = Scope(scope)
+            for inner in body:
+                self._check_stmt(inner, arm_scope)
+        self._break_depth -= 1
+
+    def _case_value(self, label):
+        if isinstance(label, ast.IntLiteral):
+            return label.value
+        if isinstance(label, ast.Identifier) and label.binding == "enum":
+            return label.enum_value
+        raise SemanticError("case label must be constant", label.line)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _check_expr(self, expr, scope=None):
+        scope = scope or self.globals
+        ctype = self._expr_type(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_type(self, expr, scope):
+        if isinstance(expr, ast.IntLiteral):
+            return INT
+        if isinstance(expr, ast.NullLiteral):
+            return PointerType(VOID)
+        if isinstance(expr, ast.StringLiteral):
+            return PointerType(INT)
+        if isinstance(expr, ast.Identifier):
+            return self._identifier_type(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._unary_type(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._binary_type(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            self._check_expr(expr.cond, scope)
+            then_type = self._check_expr(expr.then_expr, scope)
+            self._check_expr(expr.else_expr, scope)
+            return then_type
+        if isinstance(expr, ast.Assign):
+            return self._assign_type(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._index_type(expr, scope)
+        if isinstance(expr, ast.Member):
+            return self._member_type(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr, scope)
+        if isinstance(expr, ast.SizeOf):
+            expr.size_value = self.resolve_type(expr.type_spec).size
+            return INT
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand, scope)
+            return self.resolve_type(expr.type_spec)
+        raise SemanticError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def _identifier_type(self, expr, scope):
+        if expr.name in self.enums:
+            expr.binding = "enum"
+            expr.enum_value = self.enums[expr.name]
+            return INT
+        entry = scope.lookup(expr.name)
+        if entry is not None:
+            kind, ctype = entry
+            expr.binding = kind
+            return ctype
+        if expr.name in self.functions:
+            expr.binding = "function"
+            return PointerType(VOID)
+        raise SemanticError(f"undeclared identifier {expr.name!r}", expr.line)
+
+    def _unary_type(self, expr, scope):
+        operand_type = self._check_expr(expr.operand, scope)
+        op = expr.op
+        if op in ("-", "~", "!"):
+            return INT
+        if op in ("++", "--"):
+            self._require_lvalue(expr.operand)
+            return operand_type
+        if op == "*":
+            if isinstance(operand_type, PointerType):
+                pointee = operand_type.pointee
+                if pointee.is_void():
+                    raise SemanticError("dereferencing void pointer", expr.line)
+                return pointee
+            if isinstance(operand_type, ArrayType):
+                return operand_type.element
+            raise SemanticError(
+                f"cannot dereference non-pointer {operand_type!r}", expr.line
+            )
+        if op == "&":
+            self._require_lvalue(expr.operand)
+            return pointer_to(operand_type)
+        raise SemanticError(f"unknown unary operator {op!r}", expr.line)
+
+    def _binary_type(self, expr, scope):
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        op = expr.op
+        if op == ",":
+            return right
+        if op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+            return INT
+        if op in ("+", "-"):
+            # Pointer arithmetic: ptr +- int scales by pointee size.
+            if isinstance(left, (PointerType, ArrayType)):
+                return left if isinstance(left, PointerType) else pointer_to(
+                    left.element
+                )
+            if isinstance(right, (PointerType, ArrayType)) and op == "+":
+                return right if isinstance(right, PointerType) else pointer_to(
+                    right.element
+                )
+            return INT
+        return INT
+
+    def _assign_type(self, expr, scope):
+        target_type = self._check_expr(expr.target, scope)
+        value_type = self._check_expr(expr.value, scope)
+        self._require_lvalue(expr.target)
+        if not is_assignable(target_type, value_type):
+            raise SemanticError(
+                f"cannot assign {value_type!r} to {target_type!r}", expr.line
+            )
+        return target_type
+
+    def _index_type(self, expr, scope):
+        base_type = self._check_expr(expr.base, scope)
+        self._check_expr(expr.index, scope)
+        if isinstance(base_type, ArrayType):
+            return base_type.element
+        if isinstance(base_type, PointerType):
+            if base_type.pointee.is_void():
+                raise SemanticError("indexing void pointer", expr.line)
+            return base_type.pointee
+        raise SemanticError(f"cannot index {base_type!r}", expr.line)
+
+    def _member_type(self, expr, scope):
+        base_type = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            if not isinstance(base_type, PointerType) or not isinstance(
+                base_type.pointee, StructType
+            ):
+                raise SemanticError(
+                    f"-> applied to non-struct-pointer {base_type!r}", expr.line
+                )
+            struct = base_type.pointee
+        else:
+            if not isinstance(base_type, StructType):
+                raise SemanticError(
+                    f". applied to non-struct {base_type!r}", expr.line
+                )
+            struct = base_type
+        if not struct.complete:
+            raise SemanticError(
+                f"use of incomplete struct {struct.name}", expr.line
+            )
+        expr.struct_type = struct
+        return struct.field_type(expr.field)
+
+    def _call_type(self, expr, scope):
+        if expr.name in BUILTINS:
+            expr.is_builtin = True
+            return self._builtin_type(expr, scope)
+        fn = self.functions.get(expr.name)
+        if fn is None:
+            raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(fn.param_types):
+            raise SemanticError(
+                f"{expr.name} expects {len(fn.param_types)} arguments, got "
+                f"{len(expr.args)}",
+                expr.line,
+            )
+        for arg, ptype in zip(expr.args, fn.param_types):
+            arg_type = self._check_expr(arg, scope)
+            if isinstance(arg_type, ArrayType):
+                arg_type = pointer_to(arg_type.element)
+            if not is_assignable(ptype, arg_type):
+                raise SemanticError(
+                    f"argument of type {arg_type!r} does not match parameter "
+                    f"{ptype!r} of {expr.name}",
+                    expr.line,
+                )
+        return fn.return_type
+
+    def _builtin_type(self, expr, scope):
+        name = expr.name
+        low, high = BUILTINS[name]
+        if not low <= len(expr.args) <= high:
+            raise SemanticError(
+                f"builtin {name} expects between {low} and {high} arguments",
+                expr.line,
+            )
+        arg_types = [self._check_expr(arg, scope) for arg in expr.args]
+        if name.startswith("atomic_") and name not in (
+            "atomic_thread_fence",
+            "atomic_fence",
+        ):
+            first = arg_types[0]
+            if isinstance(first, ArrayType):
+                first = pointer_to(first.element)
+            if not isinstance(first, PointerType):
+                raise SemanticError(
+                    f"first argument of {name} must be a pointer", expr.line
+                )
+            if name.startswith(("atomic_load", "atomic_exchange",
+                                "atomic_cmpxchg", "atomic_fetch")):
+                pointee = first.pointee
+                return pointee if pointee.is_scalar() else INT
+        if name == "malloc":
+            return PointerType(VOID)
+        if name == "thread_create":
+            fn_arg = expr.args[0]
+            if not (
+                isinstance(fn_arg, ast.Identifier) and fn_arg.binding == "function"
+            ):
+                raise SemanticError(
+                    "thread_create requires a function name", expr.line
+                )
+            return INT
+        if name in _RESULTLESS_BUILTINS:
+            return VOID
+        return INT
+
+    def _require_lvalue(self, expr):
+        if isinstance(expr, ast.Identifier):
+            if expr.binding in ("local", "param", "global"):
+                return
+            raise SemanticError(
+                f"{expr.name!r} is not assignable", expr.line
+            )
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise SemanticError("expression is not an lvalue", expr.line)
+
+
+def analyze(program):
+    """Run semantic analysis on ``program`` and return it annotated."""
+    return SemanticAnalyzer(program).analyze()

@@ -1,0 +1,5 @@
+"""Lowering from the Mini-C AST to the IR (clang ``-O0`` style)."""
+
+from repro.lower.lowering import Lowerer, lower_program
+
+__all__ = ["Lowerer", "lower_program"]

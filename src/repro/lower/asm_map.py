@@ -1,0 +1,48 @@
+"""Mapping of x86 inline-assembly templates to portable IR.
+
+The paper's frontend pass (§3.2) replaces x86 inline assembly that
+implements synchronization with compiler builtins so the IR-level
+analyses can see (and the backend can re-target) those barriers.  This
+table captures the x86 synchronization idioms that appear in the corpus
+and in the real code bases the paper ports.
+"""
+
+import re
+
+#: Classification results.
+FENCE_SC = "fence_sc"  # full barrier -> IR `fence seq_cst`
+COMPILER_BARRIER = "compiler_barrier"  # ordering for the compiler only
+PAUSE = "pause"  # spin-wait hint, no ordering
+RMW_PREFIX = "rmw"  # `lock`-prefixed RMW -> already-atomic builtin
+UNKNOWN = "unknown"
+
+_FULL_FENCES = ("mfence", "lfence", "sfence", "lock; addl $0", "lock addl $0")
+_PAUSE_HINTS = ("pause", "rep; nop", "rep nop", "nop")
+
+
+def classify_asm(template):
+    """Classify an x86 inline-asm ``template`` string.
+
+    Returns one of :data:`FENCE_SC`, :data:`COMPILER_BARRIER`,
+    :data:`PAUSE`, :data:`RMW_PREFIX` or :data:`UNKNOWN`.
+    """
+    text = template.strip().lower()
+    if text == "":
+        # ``__asm__("" ::: "memory")`` — pure compiler barrier.
+        return COMPILER_BARRIER
+    for fence in _FULL_FENCES:
+        if fence in text:
+            return FENCE_SC
+    for hint in _PAUSE_HINTS:
+        if text == hint or text.startswith(hint + "\n"):
+            return PAUSE
+    if re.match(r"^lock[\s;]", text) or text.startswith("xchg"):
+        # ``lock xadd``, ``lock cmpxchg``, bare ``xchg`` (implicitly
+        # locked): an atomic RMW.  On TSO these act as full barriers,
+        # so the safe portable translation is an SC fence; the corpus
+        # uses the atomic builtins directly for value-producing RMWs.
+        return RMW_PREFIX
+    if "dmb" in text or "dsb" in text or "isb" in text:
+        # Already-ported Arm barrier (appears in expert WMM variants).
+        return FENCE_SC
+    return UNKNOWN

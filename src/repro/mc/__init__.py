@@ -1,0 +1,19 @@
+"""Operational weak-memory model checker (the GenMC substitute).
+
+Explores all executions of an IR module under a memory model:
+
+- ``sc``   — sequential consistency;
+- ``tso``  — x86-TSO: FIFO store buffer with forwarding;
+- ``wmm``  — an Armv8-like weak model: per-thread out-of-order commit
+  windows with acquire/release/SC atomics, SC fences, per-location
+  coherence and dependency ordering.
+
+See DESIGN.md §6 for the exact operational semantics and the documented
+approximations (no branch speculation; loads commit between issue and
+first use).
+"""
+
+from repro.mc.explorer import CheckResult, check_module
+from repro.mc.models import MEMORY_MODELS
+
+__all__ = ["CheckResult", "MEMORY_MODELS", "check_module"]

@@ -1,0 +1,104 @@
+"""Exhaustive state-space exploration over the operational machine.
+
+A stateless-model-checking-style DFS: every quiescent state's canonical
+form is hashed, revisits are pruned, and the per-thread step bound keeps
+spinloops finite (a bound hit marks the result *truncated* rather than
+failing).  Assertion violations surface as counterexample traces.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.mc.machine import Context, FINISHED, LIMIT, Machine
+from repro.mc.models import get_model
+
+
+@dataclass
+class CheckResult:
+    """Outcome of model-checking one module under one memory model."""
+
+    model: str
+    #: None when every execution passes; otherwise the failure message.
+    violation: str = None
+    #: Scheduler/commit trace of the failing execution (when any).
+    trace: list = field(default_factory=list)
+    states_explored: int = 0
+    #: True when a bound (steps / states) cut exploration short.
+    truncated: bool = False
+    notes: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return self.violation is None
+
+    def __repr__(self):
+        status = "ok" if self.ok else f"VIOLATION: {self.violation}"
+        extra = " (truncated)" if self.truncated else ""
+        return (
+            f"CheckResult({self.model}, {status}, "
+            f"{self.states_explored} states{extra})"
+        )
+
+
+def check_module(module, model="wmm", entry="main", max_steps=2500,
+                 max_states=2_000_000):
+    """Exhaustively check all executions of ``module`` from ``entry``.
+
+    Returns the first assertion violation found (depth-first order) or
+    an ``ok`` result once the reachable quiescent-state space is
+    exhausted.
+    """
+    model_obj = get_model(model)
+    context = Context(module, model_obj, entry=entry)
+    machine = Machine(context, max_steps=max_steps)
+    result = CheckResult(model=model)
+
+    try:
+        initial = machine.initial_state()
+    except Exception as error:  # setup errors are violations too
+        result.violation = f"initialization failed: {error}"
+        return result
+
+    stack = [initial]
+    visited = set()
+    while stack:
+        state = stack.pop()
+        if state.violation is not None:
+            result.violation = state.violation
+            result.trace = list(state.trace)
+            return result
+        key = hash(state.canonical())
+        if key in visited:
+            continue
+        visited.add(key)
+        result.states_explored += 1
+        if result.states_explored >= max_states:
+            result.truncated = True
+            result.notes.append("state budget exhausted")
+            return result
+
+        if any(t.status == LIMIT for t in state.threads.values()):
+            result.truncated = True
+            continue
+
+        actions = machine.enabled_actions(state)
+        if not actions:
+            if all(t.status == FINISHED for t in state.threads.values()):
+                continue  # normal termination
+            blocked = [
+                f"T{tid}:{t.status}" for tid, t in state.threads.items()
+                if t.status != FINISHED
+            ]
+            result.notes.append(f"stuck state pruned ({', '.join(blocked)})")
+            result.truncated = True
+            continue
+
+        for action in actions:
+            successor = state.clone()
+            machine.apply_action(successor, action)
+            stack.append(successor)
+    return result
+
+
+def compare_models(module, models=("sc", "tso", "wmm"), **kwargs):
+    """Check ``module`` under several models; returns {model: result}."""
+    return {name: check_module(module, model=name, **kwargs) for name in models}

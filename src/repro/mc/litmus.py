@@ -1,0 +1,210 @@
+"""Classic litmus tests expressed in Mini-C.
+
+Each entry gives the Mini-C source of a two-thread litmus test whose
+``assert`` forbids the weak outcome, together with the expected verdict
+under each memory model.  These calibrate the operational machine: SC
+must forbid everything, TSO must allow exactly store buffering, and the
+WMM must additionally allow message passing and store-store reorder
+outcomes.
+"""
+
+from repro.mc.explorer import check_module
+
+#: name -> (source, {model: expected_ok})
+LITMUS_TESTS = {
+    # Store buffering: the weak outcome (r0 == 0 and r1 == 0) is allowed
+    # by TSO (store-load reorder) and by the WMM, forbidden under SC.
+    "SB": (
+        """
+int x = 0;
+int y = 0;
+int r1 = 0;
+
+void t1() {
+    y = 1;
+    r1 = x;
+}
+
+int main() {
+    int t = thread_create(t1);
+    x = 1;
+    int r0 = y;
+    thread_join(t);
+    assert(r0 == 1 || r1 == 1);
+    return 0;
+}
+""",
+        {"sc": True, "tso": False, "wmm": False},
+    ),
+    # Message passing: allowed only under the WMM (store-store or
+    # load delay); TSO keeps both orders.
+    "MP": (
+        """
+int data = 0;
+int flag = 0;
+
+void producer() {
+    data = 1;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(producer);
+    int f = flag;
+    int d = data;
+    assert(f == 0 || d == 1);
+    thread_join(t);
+    return 0;
+}
+""",
+        {"sc": True, "tso": True, "wmm": False},
+    ),
+    # MP with SC atomics: forbidden everywhere (the AtoMig target shape).
+    "MP+atomics": (
+        """
+int data = 0;
+_Atomic int flag = 0;
+
+void producer() {
+    data = 1;
+    atomic_store(&flag, 1);
+}
+
+int main() {
+    int t = thread_create(producer);
+    int f = atomic_load(&flag);
+    int d = data;
+    assert(f == 0 || d == 1);
+    thread_join(t);
+    return 0;
+}
+""",
+        {"sc": True, "tso": True, "wmm": True},
+    ),
+    # MP with explicit SC fences: also forbidden everywhere.
+    "MP+fences": (
+        """
+int data = 0;
+int flag = 0;
+
+void producer() {
+    data = 1;
+    atomic_thread_fence(memory_order_seq_cst);
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(producer);
+    int f = flag;
+    atomic_thread_fence(memory_order_seq_cst);
+    int d = data;
+    assert(f == 0 || d == 1);
+    thread_join(t);
+    return 0;
+}
+""",
+        {"sc": True, "tso": True, "wmm": True},
+    ),
+    # SB with SC atomics: x86 locked stores / Arm STLR+LDAR restore SC.
+    "SB+atomics": (
+        """
+_Atomic int x = 0;
+_Atomic int y = 0;
+int r1 = 0;
+
+void t1() {
+    atomic_store(&y, 1);
+    r1 = atomic_load(&x);
+}
+
+int main() {
+    int t = thread_create(t1);
+    atomic_store(&x, 1);
+    int r0 = atomic_load(&y);
+    thread_join(t);
+    assert(r0 == 1 || r1 == 1);
+    return 0;
+}
+""",
+        {"sc": True, "tso": True, "wmm": True},
+    ),
+    # Coherence (CoRR): two reads of the same location by the same
+    # thread may never observe values going backwards.  All models keep
+    # per-location order.
+    "CoRR": (
+        """
+int x = 0;
+
+void writer() {
+    x = 1;
+}
+
+int main() {
+    int t = thread_create(writer);
+    int a = x;
+    int b = x;
+    assert(a <= b);
+    thread_join(t);
+    return 0;
+}
+""",
+        {"sc": True, "tso": True, "wmm": True},
+    ),
+    # Atomicity of RMW: two concurrent increments never lose an update.
+    "RMW-atomicity": (
+        """
+int x = 0;
+
+void incr() {
+    atomic_fetch_add_explicit(&x, 1, memory_order_relaxed);
+}
+
+int main() {
+    int t = thread_create(incr);
+    atomic_fetch_add_explicit(&x, 1, memory_order_relaxed);
+    thread_join(t);
+    assert(x == 2);
+    return 0;
+}
+""",
+        {"sc": True, "tso": True, "wmm": True},
+    ),
+    # The Figure 7 shape: a later plain store may overtake the store
+    # half of a relaxed compare-exchange (WMM only).
+    "CAS-overtake": (
+        """
+int state = 1;
+int key = 77;
+
+void deleter() {
+    if (atomic_cmpxchg_explicit(&state, 1, 0, memory_order_relaxed) == 1) {
+        key = 0;
+    }
+}
+
+int main() {
+    int t = thread_create(deleter);
+    int k = key;
+    int s = state;
+    assert(s == 0 || k == 77);
+    thread_join(t);
+    return 0;
+}
+""",
+        {"sc": True, "tso": True, "wmm": False},
+    ),
+}
+
+
+def run_litmus(name, model, **kwargs):
+    """Compile and check one litmus test; returns the CheckResult."""
+    from repro.api import compile_source
+
+    source, _expected = LITMUS_TESTS[name]
+    module = compile_source(source, name=f"litmus_{name}")
+    kwargs.setdefault("max_steps", 400)
+    return check_module(module, model=model, **kwargs)
+
+
+def expected_verdict(name, model):
+    return LITMUS_TESTS[name][1][model]

@@ -1,0 +1,849 @@
+"""The operational multiprocessor machine used by the model checker.
+
+Each thread runs an in-order *issue* stage over the IR and, under weak
+models, an out-of-order *commit* stage over a bounded window of pending
+memory operations (DESIGN.md §6).  Key ideas:
+
+- **Private fast path**: accesses through non-escaping allocas are
+  thread-private and execute immediately — a sound partial-order
+  reduction that leaves only genuinely shared operations as scheduling
+  points.
+- **Lazy loads** (WMM): a shared load yields a *token*; execution
+  continues until some instruction needs the value, at which point the
+  scheduler must commit the load (reading memory at commit time).  This
+  realizes load-reordering operationally, e.g. a seqlock's data read
+  escaping its validation loop.
+- **Split RMWs** (WMM): a compare-exchange first *executes* (atomic
+  read + reservation), then its store half lingers as a release store
+  that later plain stores may overtake — precisely the Armv8
+  LDAXR/STLXR behaviour behind the MariaDB lf-hash bug (Figure 7).
+"""
+
+from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.values import Argument, Constant, GlobalVar
+
+GLOBAL_BASE = 1_000
+HEAP_BASE = 500_000
+STACK_BASE = 1_000_000
+STACK_SIZE = 50_000
+
+_PENDING = "p"  # tag of pending-value tuples ('p', token)
+
+
+def is_pending(value):
+    return isinstance(value, tuple) and value[0] == _PENDING
+
+
+class Context:
+    """Immutable per-check data shared by all explored states."""
+
+    def __init__(self, module, model, entry="main"):
+        self.module = module
+        self.model = model
+        self.entry = entry
+        self.global_addr = {}
+        self.global_layout = []  # (addr, value) initial memory image
+        addr = GLOBAL_BASE
+        for gvar in module.globals.values():
+            self.global_addr[gvar.name] = addr
+            for offset, value in enumerate(gvar.initializer):
+                if value != 0:
+                    self.global_layout.append((addr + offset, value))
+            addr += max(gvar.value_type.size, 1)
+        # Static classification: which accesses are provably private.
+        self.private = set()
+        for function in module.functions.values():
+            info = NonLocalInfo(function)
+            for instr in function.instructions():
+                if instr.is_memory_access():
+                    pointer = instr.accessed_pointer()
+                    if not info.is_nonlocal_pointer(pointer):
+                        self.private.add(id(instr))
+
+
+class WindowEntry:
+    """One pending memory operation in a thread's commit window."""
+
+    __slots__ = (
+        "kind",
+        "addr",
+        "value",
+        "order",
+        "token",
+        "instr",
+        "rmw_op",
+        "rmw_operand",
+        "rmw_expected",
+        "rmw_desired",
+    )
+
+    def __init__(self, kind, addr, order, instr, value=None, token=None,
+                 rmw_op=None, rmw_operand=None, rmw_expected=None,
+                 rmw_desired=None):
+        self.kind = kind  # "load" | "store" | "rmw" | "rmw_store"
+        self.addr = addr
+        self.value = value
+        self.order = order
+        self.token = token
+        self.instr = instr
+        self.rmw_op = rmw_op
+        self.rmw_operand = rmw_operand
+        self.rmw_expected = rmw_expected
+        self.rmw_desired = rmw_desired
+
+    def clone(self):
+        return WindowEntry(
+            self.kind, self.addr, self.order, self.instr, self.value,
+            self.token, self.rmw_op, self.rmw_operand, self.rmw_expected,
+            self.rmw_desired,
+        )
+
+    def value_pending(self):
+        return is_pending(self.value)
+
+    def is_acquire(self):
+        if self.kind == "rmw":
+            # The RMW's load half is acquire only for acquire/SC orders;
+            # a relaxed LL/SC pair orders nothing (plain LDXR on Arm).
+            return self.order.has_acquire
+        return self.kind == "load" and self.order.has_acquire
+
+    def is_release(self):
+        if self.kind == "rmw_store":
+            # Likewise: only release/SC RMWs get a store-release half.
+            return self.order.has_release
+        return self.kind == "store" and self.order.has_release
+
+    def is_sc(self):
+        return self.order is MemoryOrder.SEQ_CST
+
+    def canonical(self, token_map):
+        value = self.value
+        if is_pending(value):
+            value = ("p", token_map[value[1]])
+        token = token_map.get(self.token) if self.token is not None else None
+        return (self.kind, self.addr, value, int(self.order), token,
+                self.rmw_op, self.rmw_operand, self.rmw_expected,
+                self.rmw_desired)
+
+    def __repr__(self):
+        return (
+            f"<{self.kind} @{self.addr} = {self.value} "
+            f"{self.order.name.lower()}>"
+        )
+
+
+class Frame:
+    """One activation record of the in-order issue stage."""
+
+    __slots__ = ("function", "block", "index", "env", "alloca_addrs",
+                 "stack_base", "call_instr")
+
+    def __init__(self, function, call_instr=None):
+        self.function = function
+        self.block = function.entry
+        self.index = 0
+        self.env = {}
+        self.alloca_addrs = {}
+        self.stack_base = None
+        self.call_instr = call_instr
+
+    def clone(self):
+        copy = Frame.__new__(Frame)
+        copy.function = self.function
+        copy.block = self.block
+        copy.index = self.index
+        copy.env = dict(self.env)
+        copy.alloca_addrs = dict(self.alloca_addrs)
+        copy.stack_base = self.stack_base
+        copy.call_instr = self.call_instr
+        return copy
+
+
+# Thread statuses.
+RUN = "run"
+BLOCKED = "blocked"
+READY = "ready"  # next instruction is a visible (immediate) memory op
+FINISHING = "finishing"  # code done, window still draining
+FINISHED = "finished"
+LIMIT = "limit"  # hit the per-thread step bound
+
+
+class Thread:
+    __slots__ = ("tid", "frames", "window", "status", "steps", "stack_top")
+
+    def __init__(self, tid, frame):
+        self.tid = tid
+        self.frames = [frame]
+        self.window = []
+        self.status = RUN
+        self.steps = 0
+        self.stack_top = STACK_BASE + tid * STACK_SIZE
+        frame.stack_base = self.stack_top
+
+    def clone(self):
+        copy = Thread.__new__(Thread)
+        copy.tid = self.tid
+        copy.frames = [frame.clone() for frame in self.frames]
+        copy.window = [entry.clone() for entry in self.window]
+        copy.status = self.status
+        copy.steps = self.steps
+        copy.stack_top = self.stack_top
+        return copy
+
+    @property
+    def frame(self):
+        return self.frames[-1]
+
+    def done(self):
+        return self.status in (FINISHED, LIMIT)
+
+
+class State:
+    """A full machine state; cloned at every exploration branch."""
+
+    __slots__ = ("memory", "threads", "next_tid", "heap_top", "reservations",
+                 "violation", "trace", "output", "token_counter")
+
+    def __init__(self):
+        self.memory = {}
+        self.threads = {}
+        self.next_tid = 0
+        self.heap_top = HEAP_BASE
+        self.reservations = {}
+        self.violation = None
+        self.trace = []
+        self.output = []
+        self.token_counter = 0
+
+    def clone(self):
+        copy = State.__new__(State)
+        copy.memory = dict(self.memory)
+        copy.threads = {tid: t.clone() for tid, t in self.threads.items()}
+        copy.next_tid = self.next_tid
+        copy.heap_top = self.heap_top
+        copy.reservations = dict(self.reservations)
+        copy.violation = self.violation
+        copy.trace = list(self.trace)
+        copy.output = list(self.output)
+        copy.token_counter = self.token_counter
+        return copy
+
+    def log(self, message):
+        if len(self.trace) < 400:
+            self.trace.append(message)
+
+    def canonical(self):
+        """Hashable canonical form (steps and token ids normalized)."""
+        token_map = {}
+
+        def canon_value(value):
+            if is_pending(value):
+                token = value[1]
+                if token not in token_map:
+                    token_map[token] = len(token_map)
+                return ("p", token_map[token])
+            return value
+
+        thread_parts = []
+        for tid in sorted(self.threads):
+            thread = self.threads[tid]
+            frames = []
+            for frame in thread.frames:
+                env = tuple(
+                    sorted(
+                        (key, canon_value(value))
+                        for key, value in frame.env.items()
+                    )
+                )
+                allocas = tuple(sorted(frame.alloca_addrs.items()))
+                frames.append(
+                    (frame.function.name, frame.block.label, frame.index,
+                     env, allocas)
+                )
+            window = tuple(
+                entry.canonical(
+                    _fill_tokens(entry, token_map)
+                )
+                for entry in thread.window
+            )
+            thread_parts.append(
+                (tid, thread.status, tuple(frames), window, thread.stack_top)
+            )
+        memory = tuple(
+            sorted(
+                (addr, canon_value(value))
+                for addr, value in self.memory.items()
+                if value != 0
+            )
+        )
+        reservations = tuple(sorted(self.reservations.items()))
+        return (memory, tuple(thread_parts), reservations, self.next_tid,
+                self.heap_top)
+
+
+def _fill_tokens(entry, token_map):
+    for token in (entry.token,
+                  entry.value[1] if is_pending(entry.value) else None):
+        if token is not None and token not in token_map:
+            token_map[token] = len(token_map)
+    return token_map
+
+
+class ExecutionError(Exception):
+    """Raised internally to flag a violation during a burst."""
+
+    def __init__(self, message):
+        self.message = message
+        super().__init__(message)
+
+
+class Machine:
+    """Executes bursts and actions over states for one (module, model)."""
+
+    def __init__(self, context, max_steps=2500):
+        self.ctx = context
+        self.max_steps = max_steps
+
+    # -- construction -----------------------------------------------------
+
+    def initial_state(self):
+        state = State()
+        for addr, value in self.ctx.global_layout:
+            state.memory[addr] = value
+        entry_fn = self.ctx.module.functions.get(self.ctx.entry)
+        if entry_fn is None:
+            raise ValueError(f"no entry function @{self.ctx.entry}")
+        frame = Frame(entry_fn)
+        thread = Thread(0, frame)
+        state.threads[0] = thread
+        state.next_tid = 1
+        self.run_quiescence(state)
+        return state
+
+    # -- scheduling --------------------------------------------------------
+
+    def run_quiescence(self, state):
+        """Run every thread's invisible burst until nothing progresses."""
+        progressed = True
+        while progressed and state.violation is None:
+            progressed = False
+            for tid in sorted(state.threads):
+                thread = state.threads[tid]
+                if thread.status in (RUN, BLOCKED):
+                    thread.status = RUN
+                    if self._burst(state, thread):
+                        progressed = True
+            # Join conditions may have been satisfied by finishing threads.
+
+    def enabled_actions(self, state):
+        """All scheduler choices available at a quiescent state."""
+        actions = []
+        for tid in sorted(state.threads):
+            thread = state.threads[tid]
+            if thread.status == READY:
+                actions.append(("visible", tid))
+            for index, entry in enumerate(thread.window):
+                if not self.ctx.model.may_commit(thread.window, index):
+                    continue
+                reserved_by = state.reservations.get(entry.addr)
+                if entry.kind in ("store", "rmw", "rmw_store"):
+                    if reserved_by is not None and reserved_by != tid:
+                        continue
+                actions.append(("commit", tid, index))
+        return actions
+
+    def apply_action(self, state, action):
+        kind = action[0]
+        if kind == "visible":
+            thread = state.threads[action[1]]
+            thread.status = RUN
+            try:
+                self._execute(state, thread, visible_ok=True)
+            except ExecutionError as error:
+                state.violation = error.message
+                return
+        elif kind == "commit":
+            self._commit(state, action[1], action[2])
+        self._wake_all(state)
+        self.run_quiescence(state)
+
+    def _wake_all(self, state):
+        for thread in state.threads.values():
+            if thread.status in (BLOCKED, READY):
+                thread.status = RUN
+
+    # -- commits -------------------------------------------------------------
+
+    def _commit(self, state, tid, index):
+        thread = state.threads[tid]
+        entry = thread.window[index]
+        if entry.kind == "load":
+            value = state.memory.get(entry.addr, 0)
+            del thread.window[index]
+            self._resolve(state, thread, entry.token, value)
+            state.log(f"T{tid} commit load @{entry.addr} -> {value}")
+        elif entry.kind == "store":
+            state.memory[entry.addr] = entry.value
+            del thread.window[index]
+            state.log(f"T{tid} commit store @{entry.addr} = {entry.value}")
+        elif entry.kind == "rmw":
+            self._exec_rmw(state, thread, entry, index)
+        elif entry.kind == "rmw_store":
+            state.memory[entry.addr] = entry.value
+            state.reservations.pop(entry.addr, None)
+            del thread.window[index]
+            state.log(f"T{tid} commit rmw-store @{entry.addr} = {entry.value}")
+        if thread.status == FINISHING and not thread.window:
+            thread.status = FINISHED
+
+    def _exec_rmw(self, state, thread, entry, index):
+        old = state.memory.get(entry.addr, 0)
+        if entry.rmw_expected is not None:
+            # Compare-exchange.
+            if old == entry.rmw_expected:
+                entry.kind = "rmw_store"
+                entry.value = entry.rmw_desired
+                state.reservations[entry.addr] = thread.tid
+            else:
+                del thread.window[index]  # failed CAS: no store half
+        else:
+            entry.kind = "rmw_store"
+            entry.value = _rmw_compute(entry.rmw_op, old, entry.rmw_operand)
+            state.reservations[entry.addr] = thread.tid
+        self._resolve(state, thread, entry.token, old)
+        state.log(f"T{thread.tid} exec rmw @{entry.addr} old={old}")
+
+    def _resolve(self, state, thread, token, value):
+        """Bind a pending load's value everywhere it may have flowed."""
+        pending = (_PENDING, token)
+        for frame in thread.frames:
+            for key, held in frame.env.items():
+                if held == pending:
+                    frame.env[key] = value
+        for entry in thread.window:
+            if entry.value == pending:
+                entry.value = value
+        for addr, held in state.memory.items():
+            if held == pending:
+                state.memory[addr] = value
+
+    # -- bursts ------------------------------------------------------------------
+
+    def _burst(self, state, thread):
+        """Run invisible instructions; returns True if any progress."""
+        progressed = False
+        while thread.status == RUN:
+            try:
+                stepped = self._execute(state, thread, visible_ok=False)
+            except ExecutionError as error:
+                state.violation = error.message
+                return True
+            if not stepped:
+                break
+            progressed = True
+        return progressed
+
+    # -- the interpreter -------------------------------------------------------
+
+    def _execute(self, state, thread, visible_ok):
+        """Execute one instruction; returns True if the PC advanced."""
+        if thread.status in (FINISHED, FINISHING, LIMIT):
+            return False
+        if thread.steps >= self.max_steps:
+            thread.status = LIMIT
+            return False
+        frame = thread.frame
+        instr = frame.block.instructions[frame.index]
+        thread.steps += 1
+
+        result = self._dispatch(state, thread, frame, instr, visible_ok)
+        if result is _BLOCKED:
+            thread.status = BLOCKED
+            thread.steps -= 1
+            return False
+        if result is _VISIBLE:
+            thread.status = READY
+            thread.steps -= 1
+            return False
+        if result is _CONTROL:
+            return True  # dispatch already moved the PC
+        frame.env[id(instr)] = result
+        frame.index += 1
+        return True
+
+    def _dispatch(self, state, thread, frame, instr, visible_ok):
+        if isinstance(instr, ins.Alloca):
+            return self._do_alloca(state, thread, frame, instr)
+        if isinstance(instr, ins.Load):
+            return self._do_load(state, thread, frame, instr, visible_ok)
+        if isinstance(instr, ins.Store):
+            return self._do_store(state, thread, frame, instr, visible_ok)
+        if isinstance(instr, ins.Gep):
+            return self._do_gep(frame, instr)
+        if isinstance(instr, ins.BinOp):
+            return self._do_binop(frame, instr)
+        if isinstance(instr, ins.Cast):
+            return self._value(frame, instr.value)
+        if isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
+            return self._do_rmw(state, thread, frame, instr, visible_ok)
+        if isinstance(instr, ins.Fence):
+            return self._do_fence(thread)
+        if isinstance(instr, ins.Br):
+            frame.block = instr.target
+            frame.index = 0
+            return _CONTROL
+        if isinstance(instr, ins.CondBr):
+            cond = self._value(frame, instr.cond)
+            if is_pending(cond):
+                return _BLOCKED
+            frame.block = instr.true_block if cond else instr.false_block
+            frame.index = 0
+            return _CONTROL
+        if isinstance(instr, ins.Ret):
+            return self._do_ret(state, thread, frame, instr)
+        if isinstance(instr, ins.Call):
+            return self._do_call(state, thread, frame, instr)
+        if isinstance(instr, ins.ThreadCreate):
+            return self._do_thread_create(state, thread, frame, instr)
+        if isinstance(instr, ins.ThreadJoin):
+            return self._do_thread_join(state, frame, instr)
+        if isinstance(instr, ins.Malloc):
+            return self._do_malloc(state, frame, instr)
+        if isinstance(instr, ins.Free):
+            value = self._value(frame, instr.pointer)
+            return 0 if not is_pending(value) else _BLOCKED
+        if isinstance(instr, ins.Sleep):
+            return 0  # no memory semantics
+        if isinstance(instr, ins.CompilerBarrier):
+            return 0  # hardware-invisible
+        if isinstance(instr, ins.AssertInst):
+            cond = self._value(frame, instr.cond)
+            if is_pending(cond):
+                return _BLOCKED
+            if not cond:
+                raise ExecutionError(
+                    f"assertion failed in @{frame.function.name}: "
+                    f"{instr.message or instr!r}"
+                )
+            return 0
+        if isinstance(instr, ins.PrintInst):
+            value = self._value(frame, instr.value)
+            if is_pending(value):
+                return _BLOCKED
+            state.output.append(value)
+            return 0
+        raise ExecutionError(f"model checker cannot execute {instr!r}")
+
+    # -- operand evaluation -------------------------------------------------------
+
+    def _value(self, frame, operand):
+        if isinstance(operand, Constant):
+            return operand.value
+        if isinstance(operand, GlobalVar):
+            return self.ctx.global_addr[operand.name]
+        if isinstance(operand, (Argument, ins.Instruction)):
+            return frame.env[id(operand)]
+        raise ExecutionError(f"cannot evaluate operand {operand!r}")
+
+    # -- memory operations ------------------------------------------------------------
+
+    def _do_alloca(self, state, thread, frame, instr):
+        addr = frame.alloca_addrs.get(id(instr))
+        if addr is None:
+            addr = thread.stack_top
+            size = max(instr.allocated_type.size, 1)
+            thread.stack_top += size
+            frame.alloca_addrs[id(instr)] = addr
+            for offset in range(size):
+                state.memory[addr + offset] = 0
+        return addr
+
+    def _do_load(self, state, thread, frame, instr, visible_ok):
+        addr = self._value(frame, instr.pointer)
+        if is_pending(addr):
+            return _BLOCKED
+        if id(instr) in self.ctx.private:
+            return state.memory.get(addr, 0)
+        model = self.ctx.model
+        if model.buffers_loads():
+            if len(thread.window) >= model.window_limit:
+                return _BLOCKED
+            state.token_counter += 1
+            token = state.token_counter
+            thread.window.append(
+                WindowEntry("load", addr, instr.order, instr, token=token)
+            )
+            return (_PENDING, token)
+        # Immediate load (SC / TSO): a visible scheduling point.
+        if not visible_ok:
+            return _VISIBLE
+        if model.buffers_stores():
+            for entry in reversed(thread.window):  # TSO store forwarding
+                if entry.addr == addr and entry.kind in ("store", "rmw_store"):
+                    return entry.value
+        return state.memory.get(addr, 0)
+
+    def _do_store(self, state, thread, frame, instr, visible_ok):
+        addr = self._value(frame, instr.pointer)
+        value = self._value(frame, instr.value)
+        if is_pending(addr):
+            return _BLOCKED
+        if id(instr) in self.ctx.private:
+            state.memory[addr] = value  # tokens may flow through
+            return 0
+        model = self.ctx.model
+        if is_pending(value) and not model.buffers_loads():
+            return _BLOCKED
+        if model.store_requires_drain(instr.order):
+            if thread.window:
+                return _BLOCKED
+            if not visible_ok:
+                return _VISIBLE
+            if is_pending(value):
+                return _BLOCKED
+            state.memory[addr] = value
+            return 0
+        if model.buffers_stores():
+            if len(thread.window) >= model.window_limit:
+                return _BLOCKED
+            thread.window.append(
+                WindowEntry("store", addr, instr.order, instr, value=value)
+            )
+            return 0
+        if not visible_ok:
+            return _VISIBLE
+        state.memory[addr] = value
+        return 0
+
+    def _do_rmw(self, state, thread, frame, instr, visible_ok):
+        addr = self._value(frame, instr.pointer)
+        if is_pending(addr):
+            return _BLOCKED
+        if isinstance(instr, ins.Cmpxchg):
+            expected = self._value(frame, instr.expected)
+            desired = self._value(frame, instr.desired)
+            if is_pending(expected) or is_pending(desired):
+                return _BLOCKED
+            op, operand = None, None
+        else:
+            operand = self._value(frame, instr.value)
+            if is_pending(operand):
+                return _BLOCKED
+            op = instr.op
+            expected = desired = None
+
+        if id(instr) in self.ctx.private:
+            old = state.memory.get(addr, 0)
+            new = (
+                desired
+                if (op is None and old == expected)
+                else old if op is None else _rmw_compute(op, old, operand)
+            )
+            state.memory[addr] = new
+            return old
+
+        model = self.ctx.model
+        if model.rmw_requires_drain():
+            if thread.window:
+                return _BLOCKED
+            if not visible_ok:
+                return _VISIBLE
+            old = state.memory.get(addr, 0)
+            if op is None:
+                if old == expected:
+                    state.memory[addr] = desired
+            else:
+                state.memory[addr] = _rmw_compute(op, old, operand)
+            return old
+        # WMM: enter the window; execution happens at commit time.
+        if len(thread.window) >= model.window_limit:
+            return _BLOCKED
+        state.token_counter += 1
+        token = state.token_counter
+        thread.window.append(
+            WindowEntry(
+                "rmw", addr, instr.order, instr, token=token,
+                rmw_op=op, rmw_operand=operand,
+                rmw_expected=expected, rmw_desired=desired,
+            )
+        )
+        return (_PENDING, token)
+
+    def _do_fence(self, thread):
+        if thread.window:
+            return _BLOCKED
+        return 0
+
+    def _do_gep(self, frame, instr):
+        addr = self._value(frame, instr.base)
+        if is_pending(addr):
+            return _BLOCKED
+        for step in instr.path:
+            if step[0] == "field":
+                struct_type, field_index = step[1], step[2]
+                addr += sum(
+                    ftype.size for _, ftype in struct_type.fields[:field_index]
+                )
+            else:
+                element, index_value = step[1], self._value(frame, step[2])
+                if is_pending(index_value):
+                    return _BLOCKED
+                addr += element.size * index_value
+        return addr
+
+    def _do_binop(self, frame, instr):
+        left = self._value(frame, instr.left)
+        right = self._value(frame, instr.right)
+        if is_pending(left) or is_pending(right):
+            return _BLOCKED
+        return _binop_compute(instr.op, left, right)
+
+    # -- control -------------------------------------------------------------------------
+
+    def _do_ret(self, state, thread, frame, instr):
+        value = 0
+        if instr.has_value:
+            value = self._value(frame, instr.value)
+            if is_pending(value):
+                return _BLOCKED
+        # Reclaim the frame's stack slots so re-execution is canonical.
+        for addr in range(frame.stack_base, thread.stack_top):
+            state.memory.pop(addr, None)
+        thread.stack_top = frame.stack_base
+        thread.frames.pop()
+        if not thread.frames:
+            thread.status = FINISHING if thread.window else FINISHED
+            return _CONTROL
+        caller = thread.frame
+        call_instr = frame.call_instr
+        if call_instr is not None:
+            caller.env[id(call_instr)] = value
+        caller.index += 1
+        return _CONTROL
+
+    def _do_call(self, state, thread, frame, instr):
+        args = []
+        for operand in instr.args:
+            value = self._value(frame, operand)
+            if is_pending(value):
+                return _BLOCKED
+            args.append(value)
+        if len(thread.frames) > 64:
+            raise ExecutionError(
+                f"call-stack overflow in @{frame.function.name}"
+            )
+        callee_frame = Frame(instr.callee, call_instr=instr)
+        callee_frame.stack_base = thread.stack_top
+        for argument, value in zip(instr.callee.arguments, args):
+            callee_frame.env[id(argument)] = value
+        thread.frames.append(callee_frame)
+        return _CONTROL
+
+    def _do_thread_create(self, state, thread, frame, instr):
+        arg = None
+        if instr.arg is not None:
+            arg = self._value(frame, instr.arg)
+            if is_pending(arg):
+                return _BLOCKED
+        tid = state.next_tid
+        state.next_tid += 1
+        new_frame = Frame(instr.callee)
+        new_thread = Thread(tid, new_frame)
+        if instr.callee.arguments and arg is not None:
+            new_frame.env[id(instr.callee.arguments[0])] = arg
+        elif instr.callee.arguments:
+            new_frame.env[id(instr.callee.arguments[0])] = 0
+        state.threads[tid] = new_thread
+        state.log(f"T{thread.tid} spawns T{tid} @{instr.callee.name}")
+        return tid
+
+    def _do_thread_join(self, state, frame, instr):
+        tid = self._value(frame, instr.tid)
+        if is_pending(tid):
+            return _BLOCKED
+        target = state.threads.get(tid)
+        if target is None:
+            raise ExecutionError(f"join of unknown thread {tid}")
+        if target.status == FINISHED:
+            return 0
+        if target.status == LIMIT:
+            return 0  # bounded-away thread: treat as joined (truncation)
+        return _BLOCKED
+
+    def _do_malloc(self, state, frame, instr):
+        size = self._value(frame, instr.size)
+        if is_pending(size):
+            return _BLOCKED
+        addr = state.heap_top
+        state.heap_top += max(int(size), 1)
+        for offset in range(max(int(size), 1)):
+            state.memory.setdefault(addr + offset, 0)
+        return addr
+
+
+# Sentinels returned by _dispatch.
+_BLOCKED = object()
+_VISIBLE = object()
+_CONTROL = object()
+
+
+def _rmw_compute(op, old, operand):
+    if op == "add":
+        return old + operand
+    if op == "sub":
+        return old - operand
+    if op == "or":
+        return old | operand
+    if op == "and":
+        return old & operand
+    if op == "xor":
+        return old ^ operand
+    if op == "xchg":
+        return operand
+    raise ExecutionError(f"unknown rmw op {op!r}")
+
+
+def _binop_compute(op, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        quotient = abs(left) // abs(right)
+        return -quotient if (left < 0) != (right < 0) else quotient
+    if op == "%":
+        if right == 0:
+            raise ExecutionError("modulo by zero")
+        quotient = abs(left) // abs(right)
+        quotient = -quotient if (left < 0) != (right < 0) else quotient
+        return left - right * quotient
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return left << (right & 63)
+    if op == ">>":
+        return left >> (right & 63)
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    raise ExecutionError(f"unknown binop {op!r}")

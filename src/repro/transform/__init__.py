@@ -1,0 +1,7 @@
+"""Whole-module transformations: pre-inlining and baseline porters."""
+
+from repro.transform.inline import inline_module
+from repro.transform.lasagne import lasagne_port
+from repro.transform.naive import naive_port
+
+__all__ = ["inline_module", "lasagne_port", "naive_port"]

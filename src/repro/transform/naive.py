@@ -1,0 +1,32 @@
+"""The Naive porter (§2.2, Table 1).
+
+Make *every* shared memory access sequentially consistent.  Safe,
+scalable and fully automatic — but each global/heap access now carries
+an implicit barrier, which is where the paper's 1.27x-5.35x slowdowns
+come from.
+"""
+
+from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+
+
+def naive_port(module):
+    """Convert all non-local accesses to SC atomics; returns #converted."""
+    converted = 0
+    for function in module.functions.values():
+        info = NonLocalInfo(function)
+        for instr in function.instructions():
+            if isinstance(instr, (ins.Load, ins.Store)):
+                if not info.is_nonlocal_pointer(instr.pointer):
+                    continue
+                if instr.order is not MemoryOrder.SEQ_CST:
+                    instr.order = MemoryOrder.SEQ_CST
+                    converted += 1
+                instr.marks.add("naive")
+            elif isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
+                if instr.order is not MemoryOrder.SEQ_CST:
+                    instr.order = MemoryOrder.SEQ_CST
+                    converted += 1
+                instr.marks.add("naive")
+    return converted

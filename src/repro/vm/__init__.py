@@ -1,0 +1,14 @@
+"""Performance VM: architectural interpreter with an Arm barrier cost model.
+
+Used for the paper's performance experiments (Tables 4-6): programs run
+to completion under a deterministic scheduler while the VM counts
+dynamic operations per class and charges modeled cycles.  Relative
+overheads between porting strategies are driven by the implicit-versus-
+explicit barrier cost ratios measured by Liu et al. [48].
+"""
+
+from repro.vm.costs import CostModel
+from repro.vm.interp import RunResult, run_module
+from repro.vm.stats import RunStats
+
+__all__ = ["CostModel", "RunResult", "RunStats", "run_module"]

@@ -1,0 +1,40 @@
+"""Dynamic execution statistics (the data behind Table 4)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """Counters accumulated while a module runs on the VM."""
+
+    instructions: int = 0
+    plain_loads: int = 0
+    plain_stores: int = 0
+    atomic_loads: int = 0
+    atomic_stores: int = 0
+    rmw_ops: int = 0
+    fences: int = 0
+    calls: int = 0
+    allocations: int = 0
+    threads_spawned: int = 0
+    contended_accesses: int = 0
+    cycles: int = 0
+    per_thread_cycles: dict = field(default_factory=dict)
+
+    def barrier_table(self):
+        """The four rows of the paper's Table 4."""
+        return {
+            "non-atomic loads": self.plain_loads,
+            "non-atomic stores": self.plain_stores,
+            "atomic loads": self.atomic_loads,
+            "atomic stores": self.atomic_stores,
+        }
+
+    def summary(self):
+        return (
+            f"{self.instructions} instrs, {self.cycles} cycles, "
+            f"loads {self.plain_loads}+{self.atomic_loads}a, "
+            f"stores {self.plain_stores}+{self.atomic_stores}a, "
+            f"rmw {self.rmw_ops}, fences {self.fences}, "
+            f"contended {self.contended_accesses}"
+        )

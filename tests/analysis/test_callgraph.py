@@ -1,0 +1,68 @@
+"""Tests for the call graph and recursion detection."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.api import compile_source
+
+
+def test_direct_call_edges():
+    module = compile_source("""
+int leaf() { return 1; }
+int mid() { return leaf(); }
+int main() { return mid(); }
+""")
+    graph = CallGraph(module)
+    assert graph.callees["main"] == {"mid"}
+    assert graph.callees["mid"] == {"leaf"}
+    assert graph.callers["leaf"] == {"mid"}
+
+
+def test_thread_entries_tracked():
+    module = compile_source("""
+void worker() { }
+int main() { int t = thread_create(worker); thread_join(t); return 0; }
+""")
+    graph = CallGraph(module)
+    assert graph.thread_entries == {"worker"}
+    assert graph.callees["main"] == set()
+
+
+def test_self_recursion_detected():
+    module = compile_source("""
+int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+int main() { return fact(5); }
+""")
+    graph = CallGraph(module)
+    assert graph.recursive_functions() == {"fact"}
+
+
+def test_mutual_recursion_detected():
+    module = compile_source("""
+int is_odd(int n);
+int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+int main() { return is_even(4); }
+""")
+    graph = CallGraph(module)
+    assert graph.recursive_functions() == {"is_even", "is_odd"}
+
+
+def test_non_recursive_graph_clean():
+    module = compile_source("""
+int a() { return 1; }
+int b() { return a(); }
+int main() { return a() + b(); }
+""")
+    graph = CallGraph(module)
+    assert graph.recursive_functions() == set()
+
+
+def test_bottom_up_order_visits_callees_first():
+    module = compile_source("""
+int leaf() { return 1; }
+int mid() { return leaf(); }
+int main() { return mid(); }
+""")
+    graph = CallGraph(module)
+    order = graph.bottom_up_order()
+    assert order.index("leaf") < order.index("mid") < order.index("main")
+    assert sorted(order) == sorted(module.functions)

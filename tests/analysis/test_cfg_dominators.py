@@ -1,0 +1,93 @@
+"""Tests for CFG utilities and the dominator tree."""
+
+from repro.analysis.cfg import predecessors, reachable_blocks, reverse_postorder
+from repro.analysis.dominators import DominatorTree
+from repro.api import compile_source
+
+
+def get_fn(source, name="main"):
+    return compile_source(source).functions[name]
+
+
+DIAMOND = """
+int g;
+int main() {
+    int x = 0;
+    if (g) { x = 1; } else { x = 2; }
+    return x;
+}
+"""
+
+LOOPY = """
+int g;
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) {
+        if (g) { s = s + 1; }
+    }
+    return s;
+}
+"""
+
+
+def test_predecessors_diamond():
+    fn = get_fn(DIAMOND)
+    preds = predecessors(fn)
+    entry = fn.entry
+    assert preds[entry] == []
+    merge = next(b for b in fn.blocks if b.label.startswith("if.end"))
+    assert len(preds[merge]) == 2
+
+
+def test_reverse_postorder_starts_at_entry():
+    fn = get_fn(LOOPY)
+    rpo = reverse_postorder(fn)
+    assert rpo[0] is fn.entry
+    assert len(rpo) == len(set(rpo))
+    # Every reachable block appears.
+    assert set(rpo) == reachable_blocks(fn)
+
+
+def test_rpo_places_dominators_first():
+    fn = get_fn(LOOPY)
+    rpo = reverse_postorder(fn)
+    index = {block: i for i, block in enumerate(rpo)}
+    tree = DominatorTree(fn)
+    for block in rpo:
+        if block is fn.entry:
+            continue
+        assert index[tree.idom[block]] < index[block]
+
+
+def test_entry_dominates_everything():
+    fn = get_fn(DIAMOND)
+    tree = DominatorTree(fn)
+    for block in fn.blocks:
+        assert tree.dominates(fn.entry, block)
+
+
+def test_branch_arms_do_not_dominate_merge():
+    fn = get_fn(DIAMOND)
+    tree = DominatorTree(fn)
+    then_block = next(b for b in fn.blocks if b.label.startswith("if.then"))
+    merge = next(b for b in fn.blocks if b.label.startswith("if.end"))
+    assert not tree.dominates(then_block, merge)
+    assert tree.dominates(fn.entry, merge)
+
+
+def test_loop_header_dominates_body():
+    fn = get_fn(LOOPY)
+    tree = DominatorTree(fn)
+    header = next(b for b in fn.blocks if b.label.startswith("for.cond"))
+    body = next(b for b in fn.blocks if b.label.startswith("for.body"))
+    step = next(b for b in fn.blocks if b.label.startswith("for.step"))
+    assert tree.dominates(header, body)
+    assert tree.dominates(header, step)
+    assert not tree.dominates(body, header)
+
+
+def test_dominates_is_reflexive():
+    fn = get_fn(DIAMOND)
+    tree = DominatorTree(fn)
+    for block in fn.blocks:
+        assert tree.dominates(block, block)

@@ -1,0 +1,195 @@
+"""Tests for scoped memory dependence and instruction influence."""
+
+from repro.analysis.influence import InfluenceAnalysis
+from repro.analysis.loops import find_loops
+from repro.analysis.memdep import MemoryDependence
+from repro.api import compile_source
+from repro.ir import instructions as ins
+
+
+def setup(source, fn="main"):
+    function = compile_source(source).functions[fn]
+    loops = find_loops(function)
+    return function, loops, InfluenceAnalysis(function)
+
+
+def test_reaching_store_within_loop():
+    function, loops, _ = setup("""
+int g;
+int main() {
+    int l;
+    do { l = g; } while (l == 0);
+    return l;
+}
+""")
+    memdep = MemoryDependence(function)
+    loop = loops[0]
+    loop_loads = [
+        i for i in loop.instructions()
+        if isinstance(i, ins.Load) and isinstance(i.pointer, ins.Alloca)
+    ]
+    # The condition's load of l is reached by the in-loop store l = g.
+    cond_load = loop_loads[-1]
+    stores = memdep.reaching_stores(cond_load, loop.body)
+    assert len(stores) == 1
+
+
+def test_out_of_region_stores_excluded():
+    function, loops, _ = setup("""
+int g;
+int main() {
+    int l = 5;
+    while (g) { int unused = l; }
+    return l;
+}
+""")
+    memdep = MemoryDependence(function)
+    loop = loops[0]
+    loop_loads = [
+        i for i in loop.instructions()
+        if isinstance(i, ins.Load) and isinstance(i.pointer, ins.Alloca)
+    ]
+    # l is only stored before the loop: no in-region reaching stores.
+    assert memdep.reaching_stores(loop_loads[0], loop.body) == set()
+
+
+def test_exact_store_kills_previous():
+    function, _loops, _ = setup("""
+int g;
+int main() {
+    int l = 1;
+    l = 2;
+    g = l;
+    return 0;
+}
+""")
+    memdep = MemoryDependence(function)
+    load = [
+        i for i in function.instructions()
+        if isinstance(i, ins.Load) and isinstance(i.pointer, ins.Alloca)
+    ][-1]
+    region = set(function.blocks)
+    stores = memdep.reaching_stores(load, region)
+    assert len(stores) == 1
+    assert stores.pop().value.value == 2
+
+
+def test_influence_finds_nonlocal_through_local_copy():
+    function, loops, influence = setup("""
+int flag;
+int main() {
+    int l;
+    do { l = flag & 255; } while (l != 1);
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    assert closure.has_nonlocal
+    assert any(
+        getattr(acc.pointer, "name", "") == "flag"
+        for acc in closure.nonlocal_accesses
+    )
+
+
+def test_influence_pure_local_condition():
+    function, loops, influence = setup("""
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) { s = s + i; }
+    return s;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    assert not closure.has_nonlocal
+    assert closure.local_stores  # the i++ feeds the condition
+
+
+def test_influence_records_call_dependency():
+    function, loops, influence = setup("""
+int probe() { return 1; }
+int main() {
+    while (probe() == 0) { }
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    assert closure.has_call
+    assert closure.has_nonlocal  # calls are opaque, treated non-local
+
+
+def test_influence_through_rmw_result():
+    function, loops, influence = setup("""
+int lock_word;
+int main() {
+    while (atomic_cmpxchg(&lock_word, 0, 1) != 0) { }
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    assert any(
+        isinstance(acc, ins.Cmpxchg) for acc in closure.nonlocal_accesses
+    )
+
+
+def test_influence_address_dependency():
+    function, loops, influence = setup("""
+int table[8];
+int idx;
+int main() {
+    while (table[idx] == 0) { }
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    names = {
+        getattr(acc.pointer, "name", None)
+        for acc in closure.nonlocal_accesses
+        if isinstance(acc.pointer, object)
+    }
+    # Both the table element and the index feeding its address count.
+    assert len(closure.nonlocal_accesses) == 2
+
+
+def test_constant_store_detection():
+    function, loops, influence = setup("""
+int g;
+int main() {
+    int l;
+    do { l = 7; } while (l != g);
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    assert all(
+        influence.stored_value_is_constant(store)
+        for store in closure.local_stores
+    )
+
+
+def test_nonlocal_stores_matching_by_global():
+    function, loops, influence = setup("""
+int flag;
+int main() {
+    while (flag) { flag = flag - 1; }
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    matching = influence.nonlocal_stores_matching(
+        closure.nonlocal_accesses, loop.body
+    )
+    assert len(matching) == 1

@@ -1,0 +1,127 @@
+"""Tests for natural-loop detection and exit-condition extraction."""
+
+from repro.analysis.loops import find_loops
+from repro.api import compile_source
+from repro.ir import instructions as ins
+
+
+def loops_of(source, name="main"):
+    fn = compile_source(source).functions[name]
+    return fn, find_loops(fn)
+
+
+def test_straight_line_code_has_no_loops():
+    _fn, loops = loops_of("int main() { int x = 1; return x; }")
+    assert loops == []
+
+
+def test_while_loop_found():
+    fn, loops = loops_of("""
+int g;
+int main() { while (g) { } return 0; }
+""")
+    assert len(loops) == 1
+    assert loops[0].header.label.startswith("while.cond")
+    assert loops[0].header in loops[0].body
+
+
+def test_for_loop_body_blocks():
+    _fn, loops = loops_of("""
+int main() {
+    int s = 0;
+    for (int i = 0; i < 3; i++) { s = s + i; }
+    return s;
+}
+""")
+    assert len(loops) == 1
+    labels = {block.label.split("0")[0].rstrip("123456789") for block in loops[0].body}
+    assert any("for.body" in block.label for block in loops[0].body)
+    assert any("for.step" in block.label for block in loops[0].body)
+
+
+def test_nested_loops_found_separately():
+    _fn, loops = loops_of("""
+int g;
+int main() {
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 3; j++) { g = g + 1; }
+    }
+    return g;
+}
+""")
+    assert len(loops) == 2
+    inner = min(loops, key=lambda l: len(l.body))
+    outer = max(loops, key=lambda l: len(l.body))
+    assert inner.body < outer.body  # inner nested inside outer
+
+
+def test_do_while_loop_found():
+    _fn, loops = loops_of("""
+int g;
+int main() { int x; do { x = g; } while (x == 0); return x; }
+""")
+    assert len(loops) == 1
+
+
+def test_exit_conditions_simple_while():
+    _fn, loops = loops_of("""
+int g;
+int main() { while (g != 1) { } return 0; }
+""")
+    conditions = loops[0].exit_conditions()
+    assert len(conditions) == 1
+    assert isinstance(conditions[0], ins.BinOp)
+    assert conditions[0].op == "!="
+
+
+def test_exit_conditions_include_break_guard():
+    _fn, loops = loops_of("""
+int g;
+int main() {
+    while (1) {
+        if (g == 7) { break; }
+    }
+    return 0;
+}
+""")
+    conditions = loops[0].exit_conditions()
+    assert len(conditions) == 1
+    assert conditions[0].op == "=="
+
+
+def test_exit_conditions_two_exits():
+    _fn, loops = loops_of("""
+int g; int h;
+int main() {
+    for (int i = 0; i < 100; i++) {
+        if (g == 1) { break; }
+    }
+    return 0;
+}
+""")
+    conditions = loops[0].exit_conditions()
+    ops = sorted(c.op for c in conditions)
+    assert ops == ["<", "=="]
+
+
+def test_infinite_loop_has_no_exit_conditions():
+    _fn, loops = loops_of("""
+int g;
+int main() {
+    while (1) { g = g + 1; }
+    return 0;
+}
+""")
+    assert len(loops) == 1
+    assert loops[0].exit_conditions() == []
+
+
+def test_loop_contains_instruction():
+    fn, loops = loops_of("""
+int g;
+int main() { while (g) { g = g - 1; } return 0; }
+""")
+    loop = loops[0]
+    in_loop = [i for i in loop.instructions() if isinstance(i, ins.Store)]
+    assert in_loop
+    assert all(loop.contains(i) for i in in_loop)

@@ -1,0 +1,165 @@
+"""Tests for non-local classification, escape analysis and location keys."""
+
+from repro.analysis.nonlocal_ import NonLocalInfo, gep_signature, pointer_root
+from repro.api import compile_source
+from repro.ir import instructions as ins
+from repro.ir.values import GlobalVar
+
+
+def loads_in(module, fn="main"):
+    return [
+        i for i in module.functions[fn].instructions()
+        if isinstance(i, ins.Load)
+    ]
+
+
+def test_global_access_is_nonlocal():
+    module = compile_source("int g;\nint main() { return g; }")
+    info = NonLocalInfo(module.functions["main"])
+    load = loads_in(module)[0]
+    assert info.is_nonlocal_pointer(load.pointer)
+    assert info.location_key(load.pointer) == ("global", "g")
+
+
+def test_plain_local_is_local():
+    module = compile_source("int main() { int x = 3; return x; }")
+    info = NonLocalInfo(module.functions["main"])
+    load = loads_in(module)[0]
+    assert not info.is_nonlocal_pointer(load.pointer)
+    assert info.location_key(load.pointer) is None
+
+
+def test_argument_pointer_is_nonlocal():
+    module = compile_source("int f(int *p) { return *p; }\nint main() { int x; return f(&x); }")
+    info = NonLocalInfo(module.functions["f"])
+    load = loads_in(module, "f")[-1]
+    assert info.is_nonlocal_pointer(load.pointer)
+
+
+def test_escaped_local_is_nonlocal():
+    module = compile_source("""
+void sink(int *p) { *p = 1; }
+int main() { int x = 0; sink(&x); return x; }
+""")
+    info = NonLocalInfo(module.functions["main"])
+    final_load = loads_in(module)[-1]
+    root = pointer_root(final_load.pointer)
+    assert isinstance(root, ins.Alloca)
+    assert root in info.escaped
+    assert info.is_nonlocal_pointer(final_load.pointer)
+
+
+def test_escape_through_gep():
+    module = compile_source("""
+void sink(int *p) { *p = 1; }
+int main() { int arr[4]; sink(&arr[2]); return arr[2]; }
+""")
+    info = NonLocalInfo(module.functions["main"])
+    final_load = loads_in(module)[-1]
+    assert info.is_nonlocal_pointer(final_load.pointer)
+
+
+def test_escape_through_stored_pointer():
+    module = compile_source("""
+int *holder;
+int main() { int x = 0; holder = &x; return x; }
+""")
+    info = NonLocalInfo(module.functions["main"])
+    final_load = loads_in(module)[-1]
+    assert info.is_nonlocal_pointer(final_load.pointer)
+
+
+def test_escape_through_return():
+    module = compile_source("""
+int *leak() { int y; return &y; }
+int main() { return 0; }
+""")
+    info = NonLocalInfo(module.functions["leak"])
+    assert len(info.escaped) == 1
+
+
+def test_non_escaping_array_stays_local():
+    module = compile_source("""
+int main() {
+    int buf[8];
+    for (int i = 0; i < 8; i++) { buf[i] = i; }
+    return buf[3];
+}
+""")
+    info = NonLocalInfo(module.functions["main"])
+    for load in loads_in(module):
+        root = pointer_root(load.pointer)
+        if isinstance(root, ins.Alloca) and root.allocated_type.size == 8:
+            assert not info.is_nonlocal_pointer(load.pointer)
+
+
+def test_malloc_result_is_nonlocal():
+    module = compile_source("""
+int main() {
+    int *p = (int *)malloc(4);
+    *p = 1;
+    return *p;
+}
+""")
+    info = NonLocalInfo(module.functions["main"])
+    final_load = loads_in(module)[-1]
+    assert info.is_nonlocal_pointer(final_load.pointer)
+
+
+def test_field_signature_shared_across_functions():
+    module = compile_source("""
+struct node { int a; int b; };
+struct node pool[4];
+int f(struct node *p) { return p->b; }
+int main() { return pool[1].b + f(&pool[0]); }
+""")
+    f_load = loads_in(module, "f")[-1]
+    main_loads = [
+        l for l in loads_in(module)
+        if gep_signature(l.pointer) is not None
+    ]
+    assert gep_signature(f_load.pointer) == ("field", "node", 1)
+    assert any(
+        gep_signature(l.pointer) == ("field", "node", 1) for l in main_loads
+    )
+
+
+def test_field_signatures_distinguish_offsets():
+    module = compile_source("""
+struct pair { int x; int y; };
+struct pair p;
+int main() { return p.x + p.y; }
+""")
+    signatures = {
+        gep_signature(l.pointer) for l in loads_in(module)
+        if gep_signature(l.pointer)
+    }
+    assert signatures == {("field", "pair", 0), ("field", "pair", 1)}
+
+
+def test_nested_struct_field_offset():
+    module = compile_source("""
+struct inner { int a; int b; };
+struct outer { int head; struct inner body; };
+struct outer o;
+int main() { return o.body.b; }
+""")
+    load = loads_in(module)[-1]
+    # Innermost field step wins: field b of struct inner at offset 1.
+    assert gep_signature(load.pointer) == ("field", "inner", 1)
+
+
+def test_pointer_root_through_cast_and_gep():
+    module = compile_source("""
+struct n { int v; };
+int g;
+int main() {
+    struct n *p = (struct n *)&g;
+    return p->v;
+}
+""")
+    load = loads_in(module)[-1]
+    # p's value came from a load of the local alloca holding the cast
+    # pointer, so the static root is that load.
+    root = pointer_root(load.pointer)
+    assert isinstance(root, (ins.Load, GlobalVar))

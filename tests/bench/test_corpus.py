@@ -1,0 +1,71 @@
+"""Tests for the benchmark corpus: every source compiles and behaves."""
+
+import pytest
+
+from repro.api import compile_source, port_module, run_module
+from repro.bench.corpus import BENCHMARKS, get_benchmark
+from repro.core.config import PortingLevel
+from repro.ir.verifier import verify_module
+
+ALL_NAMES = sorted(BENCHMARKS)
+MC_NAMES = [n for n in ALL_NAMES if BENCHMARKS[n].mc_source is not None]
+PERF_NAMES = [n for n in ALL_NAMES if BENCHMARKS[n].perf_source is not None]
+EXPERT_NAMES = [n for n in ALL_NAMES if BENCHMARKS[n].expert_source is not None]
+
+
+@pytest.mark.parametrize("name", MC_NAMES)
+def test_mc_sources_compile(name):
+    module = compile_source(BENCHMARKS[name].mc_source(), name)
+    assert verify_module(module)
+    assert "main" in module.functions
+
+
+@pytest.mark.parametrize("name", PERF_NAMES)
+def test_perf_sources_compile_and_run(name):
+    module = compile_source(BENCHMARKS[name].perf_source(), name)
+    assert verify_module(module)
+    result = run_module(module)
+    assert result.stats.instructions > 0
+
+
+@pytest.mark.parametrize("name", EXPERT_NAMES)
+def test_expert_sources_compile_and_run(name):
+    module = compile_source(BENCHMARKS[name].expert_source(), name)
+    result = run_module(module)
+    assert result.stats.fences > 0  # expert ports use explicit barriers
+
+
+@pytest.mark.parametrize("name", PERF_NAMES)
+def test_perf_sources_survive_every_porter(name):
+    module = compile_source(BENCHMARKS[name].perf_source(), name)
+    for level in (PortingLevel.ATOMIG, PortingLevel.NAIVE,
+                  PortingLevel.LASAGNE):
+        ported, _report = port_module(module, level)
+        result = run_module(ported)
+        # Porting must never change the architectural result.
+        baseline = run_module(module)
+        assert result.exit_value == baseline.exit_value, (
+            f"{name} under {level.value}"
+        )
+
+
+def test_registry_lookup():
+    benchmark = get_benchmark("ck_ring")
+    assert benchmark.name == "ck_ring"
+    assert "ck" in benchmark.tags
+    with pytest.raises(KeyError):
+        get_benchmark("no_such_benchmark")
+
+
+def test_table5_paper_numbers_present():
+    for name in ALL_NAMES:
+        benchmark = BENCHMARKS[name]
+        if "table5" in benchmark.tags or "table6" in benchmark.tags:
+            assert benchmark.paper_naive is not None
+            assert benchmark.paper_atomig is not None
+
+
+def test_ck_benchmarks_have_expert_ports():
+    for name in ALL_NAMES:
+        if "ck" in BENCHMARKS[name].tags:
+            assert BENCHMARKS[name].expert_source is not None

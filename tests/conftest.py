@@ -1,0 +1,17 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.api import compile_source
+
+
+@pytest.fixture
+def compile_fn():
+    """Compile Mini-C source text to a verified IR module."""
+    return compile_source
+
+
+def compile_snippet(body, globals_decl="", name="test"):
+    """Wrap ``body`` statements in a main() and compile."""
+    source = f"{globals_decl}\nint main() {{\n{body}\nreturn 0;\n}}\n"
+    return compile_source(source, name)

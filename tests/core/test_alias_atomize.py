@@ -1,0 +1,98 @@
+"""Tests for alias exploration (sticky buddies) and the atomize stage."""
+
+from repro.api import compile_source
+from repro.core.alias import AccessIndex, explore_aliases
+from repro.core.atomize import atomize_accesses
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+
+
+def test_access_index_groups_by_global():
+    module = compile_source("""
+int g; int h;
+void f() { g = 1; }
+int main() { f(); return g + h; }
+""")
+    index = AccessIndex(module)
+    g_accesses = index.accesses_for(("global", "g"))
+    assert len(g_accesses) == 2  # the store in f and the load in main
+    assert len(index.accesses_for(("global", "h"))) == 1
+
+
+def test_access_index_groups_by_field_signature():
+    module = compile_source("""
+struct node { int a; int b; };
+struct node pool[4];
+int f(struct node *p) { return p->b; }
+int main() { pool[0].b = 7; return f(&pool[0]); }
+""")
+    index = AccessIndex(module)
+    buddies = index.accesses_for(("field", "node", 1))
+    kinds = sorted(type(i).__name__ for i in buddies)
+    assert kinds == ["Load", "Store"]
+
+
+def test_explore_aliases_marks_all_buddies():
+    module = compile_source("""
+int flag;
+void set_it() { flag = 1; }
+int get_it() { return flag; }
+int main() { set_it(); return get_it(); }
+""")
+    marked, _index = explore_aliases(module, {("global", "flag")})
+    assert len(marked) == 2
+    assert all("sticky" in instr.marks for instr in marked)
+
+
+def test_explore_aliases_is_idempotent():
+    module = compile_source("""
+int flag;
+int main() { flag = 1; return flag; }
+""")
+    marked_first, index = explore_aliases(module, {("global", "flag")})
+    marked_again, _ = explore_aliases(module, {("global", "flag")}, index)
+    assert marked_first and not marked_again  # once sticky, always sticky
+
+
+def test_explore_aliases_unknown_key_is_noop():
+    module = compile_source("int main() { return 0; }")
+    marked, _ = explore_aliases(module, {("global", "nothing")})
+    assert marked == set()
+
+
+def test_atomize_upgrades_orders():
+    module = compile_source("""
+int flag;
+int main() { flag = 1; return flag; }
+""")
+    accesses = [
+        i for i in module.instructions()
+        if isinstance(i, (ins.Load, ins.Store))
+        and getattr(i.accessed_pointer(), "name", "") == "flag"
+    ]
+    converted = atomize_accesses(set(accesses))
+    assert converted == len(accesses)
+    assert all(i.order is MemoryOrder.SEQ_CST for i in accesses)
+    # Re-atomizing converts nothing new.
+    assert atomize_accesses(set(accesses)) == 0
+
+
+def test_atomize_force_explicit_wraps_with_fences():
+    module = compile_source("""
+int flag;
+int main() { flag = 1; return flag; }
+""")
+    store = next(
+        i for i in module.instructions()
+        if isinstance(i, ins.Store)
+        and getattr(i.accessed_pointer(), "name", "") == "flag"
+    )
+    block = store.block
+    before = len([i for i in block.instructions if isinstance(i, ins.Fence)])
+    atomize_accesses({store}, force_explicit=True)
+    fences = [i for i in block.instructions if isinstance(i, ins.Fence)]
+    assert len(fences) == before + 2
+    index = block.instructions.index(store)
+    assert isinstance(block.instructions[index - 1], ins.Fence)
+    assert isinstance(block.instructions[index + 1], ins.Fence)
+    assert store.order is MemoryOrder.NOT_ATOMIC  # stayed plain

@@ -1,0 +1,87 @@
+"""Tests for the explicit-annotation analysis (§3.2)."""
+
+from repro.api import compile_source
+from repro.core.annotations import analyze_annotations
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+
+
+def test_volatile_accesses_become_sc_atomic():
+    module = compile_source("""
+volatile int v;
+int main() { v = 1; return v; }
+""")
+    result = analyze_annotations(module)
+    assert result.conversions == 2
+    assert ("global", "v") in result.location_keys
+    for instr in module.instructions():
+        if isinstance(instr, (ins.Load, ins.Store)) and instr.volatile:
+            assert instr.order is MemoryOrder.SEQ_CST
+
+
+def test_weak_atomic_orders_raised_to_sc():
+    module = compile_source("""
+int x;
+int main() {
+    atomic_store_explicit(&x, 1, memory_order_relaxed);
+    return atomic_load_explicit(&x, memory_order_acquire);
+}
+""")
+    result = analyze_annotations(module)
+    assert result.conversions == 2
+    atomics = [
+        i for i in module.instructions()
+        if isinstance(i, (ins.Load, ins.Store)) and i.order.is_atomic
+    ]
+    assert all(i.order is MemoryOrder.SEQ_CST for i in atomics)
+
+
+def test_already_sc_counts_as_marked_not_converted():
+    module = compile_source("""
+int x;
+int main() { atomic_store(&x, 1); return atomic_load(&x); }
+""")
+    result = analyze_annotations(module)
+    assert result.conversions == 0  # already seq_cst
+    assert len(result.marked_instructions) == 2
+
+
+def test_rmw_operations_raised():
+    module = compile_source("""
+int x;
+int main() {
+    return atomic_fetch_add_explicit(&x, 1, memory_order_relaxed);
+}
+""")
+    result = analyze_annotations(module)
+    rmw = next(
+        i for i in module.instructions() if isinstance(i, ins.AtomicRMW)
+    )
+    assert rmw.order is MemoryOrder.SEQ_CST
+    assert result.conversions == 1
+
+
+def test_plain_accesses_untouched():
+    module = compile_source("int g;\nint main() { g = 2; return g; }")
+    result = analyze_annotations(module)
+    assert result.conversions == 0
+    assert result.marked_instructions == set()
+
+
+def test_volatile_blacklist_exempts_device_globals():
+    module = compile_source("""
+volatile int mmio_reg;
+volatile int shared_flag;
+int main() { mmio_reg = 1; shared_flag = 1; return 0; }
+""")
+    result = analyze_annotations(module, blacklist=("mmio_reg",))
+    keys = result.location_keys
+    assert ("global", "shared_flag") in keys
+    assert ("global", "mmio_reg") not in keys
+    for instr in module.instructions():
+        if isinstance(instr, ins.Store):
+            name = getattr(instr.pointer, "name", "")
+            if name == "mmio_reg":
+                assert instr.order is MemoryOrder.NOT_ATOMIC
+            elif name == "shared_flag":
+                assert instr.order is MemoryOrder.SEQ_CST

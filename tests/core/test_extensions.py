@@ -1,0 +1,146 @@
+"""Tests for the §6 extension detectors (polling loops, barrier seeds)."""
+
+from repro.api import check_module, compile_source, port_module
+from repro.core.config import AtoMigConfig, PortingLevel
+from repro.core.extensions import (
+    detect_compiler_barrier_seeds,
+    detect_polling_loops,
+)
+
+#: A timeout-bounded polling loop: has a local counter influencing the
+#: exit (so the paper's spinloop definition rejects it, per Figure 3's
+#: non-spinloop examples) but sleeps while polling shared state.
+POLLING = """
+int flag = 0;
+int msg = 0;
+
+void writer() {
+    msg = 42;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(writer);
+    int tries = 0;
+    while (flag != 1 && tries < 1000) {
+        usleep(10);
+        tries = tries + 1;
+    }
+    if (flag == 1) {
+        assert(msg == 42);
+    }
+    thread_join(t);
+    return 0;
+}
+"""
+
+BARRIER_SEEDED = """
+int data = 0;
+int ready = 0;
+
+void producer() {
+    data = 7;
+    __asm__("" ::: "memory");
+    ready = 1;
+}
+
+int main() {
+    int t = thread_create(producer);
+    int r = ready;
+    int d = data;
+    assert(r == 0 || d == 7);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+class TestPollingLoops:
+    def test_spinloop_detector_misses_polling_loop(self):
+        module = compile_source(POLLING, "poll")
+        _ported, report = port_module(module, PortingLevel.ATOMIG)
+        # The timeout counter disqualifies the loop under the paper's
+        # definition (condition 2: local i++ influences the exit).
+        assert report.num_spinloops == 0
+
+    def test_polling_detector_finds_it(self):
+        module = compile_source(POLLING, "poll")
+        result = detect_polling_loops(module)
+        assert result.polling_loops
+        assert ("global", "flag") in result.control_keys
+
+    def test_polling_port_fixes_the_bug(self):
+        module = compile_source(POLLING, "poll")
+        baseline = check_module(module, model="wmm", max_steps=800)
+        assert not baseline.ok  # MP bug reachable within the timeout
+
+        plain, _ = port_module(module, PortingLevel.ATOMIG)
+        assert not check_module(plain, model="wmm", max_steps=800).ok
+
+        extended, report = port_module(
+            module,
+            PortingLevel.ATOMIG,
+            config=AtoMigConfig(detect_polling_loops=True),
+        )
+        assert check_module(extended, model="wmm", max_steps=800).ok
+        assert any("polling" in note for note in report.notes)
+
+    def test_sleepless_loops_not_marked(self):
+        module = compile_source("""
+int g;
+int main() {
+    for (int i = 0; i < 10 && g == 0; i++) { }
+    return 0;
+}
+""")
+        result = detect_polling_loops(module)
+        assert result.polling_loops == []
+
+
+class TestCompilerBarrierSeeds:
+    def test_adjacent_shared_accesses_marked(self):
+        module = compile_source(BARRIER_SEEDED, "cb")
+        result = detect_compiler_barrier_seeds(module)
+        assert ("global", "data") in result.control_keys
+        assert ("global", "ready") in result.control_keys
+
+    def test_barrier_seeded_port_fixes_mp(self):
+        module = compile_source(BARRIER_SEEDED, "cb")
+        assert not check_module(module, model="wmm", max_steps=400).ok
+        extended, _report = port_module(
+            module,
+            PortingLevel.ATOMIG,
+            config=AtoMigConfig(compiler_barrier_seeds=True),
+        )
+        assert check_module(extended, model="wmm", max_steps=400).ok
+
+    def test_private_neighbours_not_marked(self):
+        module = compile_source("""
+int main() {
+    int x = 1;
+    __asm__("" ::: "memory");
+    int y = x;
+    return y;
+}
+""")
+        result = detect_compiler_barrier_seeds(module)
+        assert result.control_instructions == set()
+
+    def test_window_bounds_the_scan(self):
+        module = compile_source("""
+int far = 0;
+int near = 0;
+int main() {
+    far = 1;
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    int d = 0;
+    near = 1;
+    __asm__("" ::: "memory");
+    return near;
+}
+""")
+        result = detect_compiler_barrier_seeds(module, window=2)
+        assert ("global", "near") in result.control_keys
+        assert ("global", "far") not in result.control_keys

@@ -1,0 +1,120 @@
+"""Tests for the end-to-end porting pipeline and its report."""
+
+import pytest
+
+from repro.api import compile_source, port_module
+from repro.core.config import AtoMigConfig, PortingLevel
+from repro.core.report import count_barriers
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.verifier import verify_module
+
+MP = """
+int flag = 0;
+int msg = 0;
+
+void writer() {
+    msg = 42;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(writer);
+    while (flag != 1) { }
+    int data = msg;
+    assert(data == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def mp_module():
+    return compile_source(MP, "mp")
+
+
+def test_port_does_not_mutate_input(mp_module):
+    before = count_barriers(mp_module)
+    port_module(mp_module, PortingLevel.ATOMIG)
+    assert count_barriers(mp_module) == before
+
+
+def test_original_level_is_identity(mp_module):
+    ported, report = port_module(mp_module, PortingLevel.ORIGINAL)
+    assert count_barriers(ported) == count_barriers(mp_module)
+    assert report.num_spinloops == 0
+    assert report.level == "original"
+
+
+@pytest.mark.parametrize("level", list(PortingLevel))
+def test_every_level_produces_valid_ir(mp_module, level):
+    ported, _report = port_module(mp_module, level)
+    assert verify_module(ported)
+
+
+def test_atomig_report_contents(mp_module):
+    _ported, report = port_module(mp_module, PortingLevel.ATOMIG)
+    assert report.level == "atomig"
+    assert report.num_spinloops >= 1
+    assert "('global', 'flag')" in report.spin_controls
+    assert report.ported_implicit_barriers > report.original_implicit_barriers
+    assert report.porting_seconds > 0
+    assert report.summary().startswith("module mp")
+
+
+def test_atomig_transforms_both_sides(mp_module):
+    ported, _ = port_module(mp_module, PortingLevel.ATOMIG)
+    writer_store = next(
+        i for i in ported.functions["writer"].instructions()
+        if isinstance(i, ins.Store)
+        and getattr(i.pointer, "name", "") == "flag"
+    )
+    assert writer_store.order is MemoryOrder.SEQ_CST
+    msg_store = next(
+        i for i in ported.functions["writer"].instructions()
+        if isinstance(i, ins.Store)
+        and getattr(i.pointer, "name", "") == "msg"
+    )
+    assert msg_store.order is MemoryOrder.NOT_ATOMIC
+
+
+def test_expl_level_skips_spinloops(mp_module):
+    _ported, report = port_module(mp_module, PortingLevel.EXPL)
+    assert report.num_spinloops == 0
+    assert report.ported_implicit_barriers == 0  # nothing annotated in MP
+
+
+def test_naive_level_atomizes_shared(mp_module):
+    ported, report = port_module(mp_module, PortingLevel.NAIVE)
+    _expl, implicit = count_barriers(ported)
+    assert implicit >= 4  # both flag and msg accesses, both sides
+    assert report.level == "naive"
+
+
+def test_lasagne_level_inserts_fences(mp_module):
+    ported, report = port_module(mp_module, PortingLevel.LASAGNE)
+    explicit, implicit = count_barriers(ported)
+    assert explicit > 0
+    assert implicit == 0  # accesses stay plain
+    assert any("lasagne" in note for note in report.notes)
+
+
+def test_config_overrides_pipeline(mp_module):
+    _ported, report = port_module(
+        mp_module,
+        PortingLevel.ATOMIG,
+        config=AtoMigConfig(detect_spinloops=False),
+    )
+    assert report.num_spinloops == 0
+
+
+def test_report_stored_in_metadata(mp_module):
+    ported, report = port_module(mp_module, PortingLevel.ATOMIG)
+    assert ported.metadata["porting_report"] is report
+
+
+def test_ported_module_renamed(mp_module):
+    ported, _ = port_module(mp_module, PortingLevel.ATOMIG)
+    assert ported.name == "mp.atomig"
+    assert mp_module.name == "mp"

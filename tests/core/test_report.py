@@ -1,0 +1,63 @@
+"""Tests for PortingReport and barrier counting."""
+
+from repro.api import compile_source, port_module
+from repro.core.config import PortingLevel
+from repro.core.report import PortingReport, count_barriers
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.values import Constant, GlobalVar
+from repro.lang.ctypes import INT
+
+
+def test_empty_report_defaults():
+    report = PortingReport(module_name="m")
+    assert report.num_spinloops == 0
+    assert report.num_optimistic_loops == 0
+    assert "m" in report.summary()
+
+
+def test_count_barriers_classification():
+    from repro.ir.module import Function, Module
+
+    module = Module("m")
+    gvar = module.add_global(GlobalVar("g", INT))
+    fn = Function("f", INT, [], [])
+    module.add_function(fn)
+    block = fn.new_block("entry")
+    block.append(ins.Fence(MemoryOrder.SEQ_CST))
+    block.append(ins.Load(gvar, MemoryOrder.SEQ_CST))
+    block.append(ins.Load(gvar))  # plain: not counted
+    block.append(ins.Store(gvar, Constant(1), MemoryOrder.RELEASE))
+    block.append(ins.AtomicRMW("add", gvar, Constant(1),
+                               MemoryOrder.RELAXED))
+    block.append(ins.Cmpxchg(gvar, Constant(0), Constant(1)))
+    block.append(ins.Ret(Constant(0)))
+
+    explicit, implicit = count_barriers(module)
+    assert explicit == 1
+    # SC load + release store + RMW + CAS (RMWs always count).
+    assert implicit == 4
+
+
+def test_report_barrier_fields_track_module_state():
+    module = compile_source("""
+volatile int v;
+int flag;
+int main() {
+    while (flag == 0) { }
+    v = 1;
+    return v;
+}
+""")
+    _ported, report = port_module(module, PortingLevel.ATOMIG)
+    assert report.original_implicit_barriers == 0
+    assert report.ported_implicit_barriers >= 3  # flag load + v accesses
+    assert report.porting_seconds > 0
+
+
+def test_summary_format_is_single_paragraph():
+    module = compile_source("int main() { return 0; }", "tiny")
+    _ported, report = port_module(module, PortingLevel.ATOMIG)
+    summary = report.summary()
+    assert "\n" not in summary
+    assert "tiny" in summary and "atomig" in summary

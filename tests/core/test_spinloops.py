@@ -1,0 +1,189 @@
+"""Tests for spinloop detection against the paper's Figure 3 taxonomy."""
+
+from repro.api import compile_source
+from repro.core.spinloops import detect_spinloops
+from repro.ir import instructions as ins
+
+
+def detect(source, strict=False):
+    module = compile_source(source)
+    return module, detect_spinloops(module, strict=strict)
+
+
+def spinloop_functions(result):
+    return sorted({info.function_name for info in result.spinloops})
+
+
+def test_figure3_spinloop1_plain_global_wait():
+    _m, result = detect("""
+int flag;
+int main() { while (flag != 1) { } return 0; }
+""")
+    assert spinloop_functions(result) == ["main"]
+    assert result.control_keys == {("global", "flag")}
+
+
+def test_figure3_spinloop2_constant_store():
+    _m, result = detect("""
+int flag;
+int main() {
+    int l_flag;
+    do { l_flag = 1; } while (l_flag != flag);
+    return 0;
+}
+""")
+    assert spinloop_functions(result) == ["main"]
+
+
+def test_figure3_spinloop3_indirect_dependency():
+    _m, result = detect("""
+int flag;
+int main() {
+    int l_flag;
+    do { l_flag = flag & 255; } while (l_flag != 1);
+    return 0;
+}
+""")
+    assert spinloop_functions(result) == ["main"]
+    assert result.control_keys == {("global", "flag")}
+
+
+def test_figure3_non_spinloop_local_exit():
+    _m, result = detect("""
+int flag;
+int main() {
+    for (int i = 0; i < 100; i++) {
+        if (flag == 1) { break; }
+    }
+    return 0;
+}
+""")
+    assert result.spinloops == []
+
+
+def test_figure3_non_spinloop_local_store_influences_exit():
+    _m, result = detect("""
+int turns = 7;
+int main() {
+    for (int i = 0; i < turns; i++) { }
+    return 0;
+}
+""")
+    assert result.spinloops == []
+
+
+def test_cas_loop_is_spinloop():
+    _m, result = detect("""
+int lock_word;
+int main() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) { }
+    return 0;
+}
+""")
+    assert spinloop_functions(result) == ["main"]
+    assert any(
+        isinstance(ctrl, ins.Cmpxchg) for ctrl in result.control_instructions
+    )
+
+
+def test_spin_on_struct_field_yields_field_key():
+    _m, result = detect("""
+struct qnode { int locked; struct qnode *next; };
+struct qnode nodes[2];
+int main() {
+    struct qnode *me = &nodes[0];
+    while (me->locked != 0) { }
+    return 0;
+}
+""")
+    assert ("field", "qnode", 0) in result.control_keys
+
+
+def test_constant_store_to_nonlocal_still_spinloop():
+    """`while (flag) flag = 0;` — constant store exemption (paper)."""
+    _m, result = detect("""
+int flag;
+int main() { while (flag) { flag = 0; } return 0; }
+""")
+    assert spinloop_functions(result) == ["main"]
+
+
+def test_nonconstant_local_store_to_condition_location_rejected():
+    _m, result = detect("""
+int flag;
+int main() {
+    int i = 0;
+    while (flag != i) {
+        i = i + 1;
+        flag = i + 1;
+    }
+    return 0;
+}
+""")
+    assert result.spinloops == []
+
+
+def test_infinite_loop_not_a_spinloop():
+    _m, result = detect("""
+int g;
+int main() { while (1) { g = g + 1; } return 0; }
+""")
+    assert result.spinloops == []
+
+
+def test_strict_definition_rejects_loops_with_stores():
+    source = """
+int flag;
+int main() {
+    int l;
+    do { l = 1; } while (l != flag);
+    return 0;
+}
+"""
+    _m, relaxed = detect(source)
+    _m2, strict = detect(source, strict=True)
+    assert relaxed.spinloops and not strict.spinloops
+
+
+def test_strict_definition_keeps_pure_waits():
+    source = "int flag;\nint main() { while (flag == 0) { } return 0; }"
+    _m, strict = detect(source, strict=True)
+    assert strict.spinloops
+
+
+def test_spin_controls_marked_on_instructions():
+    module, result = detect("""
+int flag;
+int main() { while (flag == 0) { } return 0; }
+""")
+    marked = [
+        i for i in module.instructions() if "spin_control" in i.marks
+    ]
+    assert marked
+    assert marked[0] in result.control_instructions
+
+
+def test_multiple_spinloops_in_one_function():
+    _m, result = detect("""
+int a; int b;
+int main() {
+    while (a == 0) { }
+    while (b == 0) { }
+    return 0;
+}
+""")
+    assert len(result.spinloops) == 2
+    assert result.control_keys == {("global", "a"), ("global", "b")}
+
+
+def test_spin_through_pointer_argument():
+    _m, result = detect("""
+int g;
+void wait_on(int *p) {
+    while (*p == 0) { }
+}
+int main() { wait_on(&g); return 0; }
+""")
+    # The loop in wait_on spins on a pointer argument: detected, but the
+    # location cannot be named (no key) without inlining.
+    assert "wait_on" in spinloop_functions(result)

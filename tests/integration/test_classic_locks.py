@@ -1,0 +1,116 @@
+"""Extended verification matrix: classic locks and lock-free structures.
+
+Goes beyond the paper's Table 2 with textbook algorithms whose memory-
+model sensitivities are well known, including the case where the bug
+exists *even on TSO* (fence-less Peterson) and the paper's motivating
+DPDK scenario (§1).
+"""
+
+import pytest
+
+from repro.api import check_module, compile_source, port_module
+from repro.bench.programs import classic_locks
+from repro.core.config import AtoMigConfig, PortingLevel
+
+
+def check(module, model="wmm", max_steps=900):
+    return check_module(module, model=model, max_steps=max_steps)
+
+
+class TestPeterson:
+    def test_fenced_peterson_correct_on_tso(self):
+        module = compile_source(classic_locks.peterson_tso_source(), "pt")
+        assert check(module, "tso").ok
+
+    def test_fenceless_peterson_broken_even_on_tso(self):
+        """The classic store-load reorder: x86 needs the mfence too."""
+        module = compile_source(classic_locks.peterson_broken_source(), "pb")
+        assert not check(module, "tso").ok
+        assert not check(module, "wmm").ok
+        assert check(module, "sc").ok
+
+    def test_fenced_peterson_broken_on_wmm(self):
+        """The mfence alone is not enough on WMM: the plain interested/
+        turn stores still reorder around the waiting loop's reads."""
+        module = compile_source(classic_locks.peterson_tso_source(), "pt")
+        assert not check(module, "wmm").ok
+
+    def test_atomig_ports_peterson_to_wmm(self):
+        module = compile_source(classic_locks.peterson_tso_source(), "pt")
+        ported, report = port_module(module, PortingLevel.ATOMIG)
+        assert check(ported, "wmm").ok
+        # The asm fence was mapped and the spin controls detected.
+        assert report.num_spinloops >= 2
+
+
+class TestDekker:
+    def test_dekker_core_correct_on_tso(self):
+        module = compile_source(classic_locks.dekker_core_source(), "dk")
+        assert check(module, "tso").ok
+
+    def test_dekker_core_ported_to_wmm(self):
+        module = compile_source(classic_locks.dekker_core_source(), "dk")
+        ported, _ = port_module(module, PortingLevel.ATOMIG)
+        assert check(ported, "wmm").ok
+
+
+class TestTreiberStack:
+    def test_original_correct_on_tso(self):
+        module = compile_source(classic_locks.treiber_stack_mc_source(), "ts")
+        assert check(module, "tso", max_steps=1500).ok
+
+    def test_original_broken_on_wmm(self):
+        """The push's cell->value / cell->below stores can pass the
+        publishing CAS (Figure 7's overtake, on a stack)."""
+        module = compile_source(classic_locks.treiber_stack_mc_source(), "ts")
+        assert not check(module, "wmm", max_steps=1500).ok
+
+    def test_atomig_port_verifies(self):
+        module = compile_source(classic_locks.treiber_stack_mc_source(), "ts")
+        ported, report = port_module(module, PortingLevel.ATOMIG)
+        assert check(ported, "wmm", max_steps=1500).ok
+        # Sticky buddies must reach the node-field accesses.
+        assert ("global", "top") in {
+            eval(key) for key in report.spin_controls
+        }
+
+    def test_perf_variant_runs(self):
+        from repro.vm.interp import run_module
+
+        module = compile_source(
+            classic_locks.treiber_stack_perf_source(), "ts_perf"
+        )
+        result = run_module(module)
+        assert result.exit_value == 150
+
+
+class TestDpdkRing:
+    def test_original_correct_on_tso(self):
+        """The compiler barrier suffices on x86 — the §1 anecdote."""
+        module = compile_source(classic_locks.dpdk_ring_mc_source(), "dpdk")
+        assert check(module, "tso").ok
+
+    def test_original_broken_on_wmm(self):
+        """Recompiled for Arm, the same code corrupts dequeued data."""
+        module = compile_source(classic_locks.dpdk_ring_mc_source(), "dpdk")
+        assert not check(module, "wmm").ok
+
+    def test_atomig_port_fixes_it(self):
+        module = compile_source(classic_locks.dpdk_ring_mc_source(), "dpdk")
+        ported, _ = port_module(module, PortingLevel.ATOMIG)
+        assert check(ported, "wmm").ok
+
+    def test_barrier_seeding_also_fixes_it(self):
+        """§6 extension: the compiler barrier marks the slot accesses,
+        so even without spinloop detection the ring ports correctly."""
+        module = compile_source(classic_locks.dpdk_ring_mc_source(), "dpdk")
+        ported, _ = port_module(
+            module,
+            PortingLevel.ATOMIG,
+            config=AtoMigConfig(
+                detect_spinloops=False,
+                detect_optimistic=False,
+                compiler_barrier_seeds=True,
+            ),
+        )
+        assert check(ported, "wmm").ok

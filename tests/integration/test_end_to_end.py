@@ -1,0 +1,84 @@
+"""End-to-end integration tests: compile -> port -> check -> run."""
+
+import pytest
+
+from repro.api import check_module, compile_source, port_module, run_module
+from repro.bench.corpus import BENCHMARKS
+from repro.core.config import PortingLevel
+
+#: Benchmarks small enough to model-check, with the paper's Table 2
+#: verdict per porting level (original, expl, spin, atomig).
+TABLE2_EXPECTATIONS = {
+    "ck_ring": (False, True, True, True),
+    "ck_spinlock_cas": (False, True, True, True),
+    "ck_spinlock_mcs": (False, False, True, True),
+    "ck_sequence": (False, False, False, True),
+    "lf_hash": (False, False, False, True),
+}
+
+LEVELS = (PortingLevel.ORIGINAL, PortingLevel.EXPL,
+          PortingLevel.SPIN, PortingLevel.ATOMIG)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2_EXPECTATIONS))
+def test_table2_row(name):
+    module = compile_source(BENCHMARKS[name].mc_source(), name)
+    expected = TABLE2_EXPECTATIONS[name]
+    for level, want_ok in zip(LEVELS, expected):
+        ported, _report = port_module(module, level)
+        result = check_module(ported, model="wmm", max_steps=600)
+        assert result.ok == want_ok, (
+            f"{name}/{level.value}: got {'ok' if result.ok else 'violation'}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2_EXPECTATIONS))
+def test_originals_correct_on_tso(name):
+    """All these benchmarks were written for x86: their TSO runs pass."""
+    module = compile_source(BENCHMARKS[name].mc_source(), name)
+    result = check_module(module, model="tso", max_steps=600)
+    assert result.ok
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2_EXPECTATIONS))
+def test_naive_port_also_correct(name):
+    """The Naive strategy is safe (Table 1), just slow."""
+    module = compile_source(BENCHMARKS[name].mc_source(), name)
+    ported, _ = port_module(module, PortingLevel.NAIVE)
+    result = check_module(ported, model="wmm", max_steps=600)
+    assert result.ok
+
+
+def test_ported_programs_still_run_correctly():
+    """The AtoMig port preserves architectural behaviour on the VM."""
+    for name in ("message_passing", "ck_spinlock_cas", "clht_lb"):
+        benchmark = BENCHMARKS[name]
+        module = compile_source(benchmark.perf_source(), name)
+        expected = run_module(module).exit_value
+        ported, _ = port_module(module, PortingLevel.ATOMIG)
+        assert run_module(ported).exit_value == expected
+
+
+def test_full_pipeline_on_synthetic_codebase():
+    from repro.bench.synth import generate_codebase
+
+    source = generate_codebase("memcached", scale=200)
+    module = compile_source(source, "synthetic")
+    ported, report = port_module(module, PortingLevel.ATOMIG)
+    assert report.num_spinloops >= 1
+    assert run_module(ported).stats.instructions > 0
+
+
+def test_idempotence_of_atomig():
+    """Porting an already-ported module changes nothing material."""
+    module = compile_source(BENCHMARKS["message_passing"].mc_source(), "mp")
+    once, report_once = port_module(module, PortingLevel.ATOMIG)
+    twice, report_twice = port_module(once, PortingLevel.ATOMIG)
+    assert (
+        report_twice.ported_implicit_barriers
+        == report_once.ported_implicit_barriers
+    )
+    assert (
+        report_twice.ported_explicit_barriers
+        == report_once.ported_explicit_barriers
+    )

@@ -1,0 +1,81 @@
+"""Golden-IR tests: the printed port of Figure 5 is pinned exactly.
+
+If a change to the lowering, the detectors or the transformation alters
+what AtoMig produces for the paper's canonical example, this test shows
+the precise diff.  Update the golden text only after confirming the new
+output is intended.
+"""
+
+from repro.api import compile_source, port_module
+from repro.core.config import AtoMigConfig, PortingLevel
+from repro.ir.printer import print_function
+
+SOURCE = """
+int flag = 0;
+int msg = 0;
+
+void writer() {
+    msg = 42;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(writer);
+    while (flag != 1) { }
+    int data = msg;
+    assert(data == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+
+GOLDEN_WRITER = """\
+func @writer() -> void {
+entry0:
+  store 42 -> @msg
+  store atomic(seq_cst) 1 -> @flag   ; marks: sticky
+  ret void
+}"""
+
+GOLDEN_MAIN = """\
+func @main() -> int {
+entry0:
+  %t = alloca int
+  %1 = thread_create @writer()
+  store %1 -> %t
+  br while.cond1
+while.cond1:
+  %2 = load atomic(seq_cst) @flag   ; marks: spin_control, sticky
+  %3 = %2 != 1
+  br %3 ? while.body2 : while.end3
+while.end3:
+  %data = alloca int
+  %4 = load @msg
+  store %4 -> %data
+  %5 = load %data
+  %6 = %5 == 42
+  assert %6
+  %7 = load %t
+  thread_join %7
+  ret 0
+while.body2:
+  br while.cond1
+}"""
+
+
+def _port():
+    module = compile_source(SOURCE, "golden")
+    ported, _ = port_module(
+        module,
+        PortingLevel.ATOMIG,
+        config=AtoMigConfig(inline_before_analysis=False),
+    )
+    return ported
+
+
+def test_golden_writer():
+    assert print_function(_port().functions["writer"]) == GOLDEN_WRITER
+
+
+def test_golden_main():
+    assert print_function(_port().functions["main"]) == GOLDEN_MAIN

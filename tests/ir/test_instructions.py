@@ -1,0 +1,111 @@
+"""Unit tests for IR value and instruction classes."""
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.values import Argument, Constant, GlobalVar
+from repro.lang.ctypes import INT, ArrayType, PointerType, StructType
+
+
+def make_struct():
+    struct = StructType("s")
+    struct.define([("a", INT), ("b", ArrayType(INT, 3)), ("c", INT)])
+    return struct
+
+
+def test_memory_order_properties():
+    assert not MemoryOrder.NOT_ATOMIC.is_atomic
+    assert MemoryOrder.RELAXED.is_atomic
+    assert MemoryOrder.ACQUIRE.has_acquire
+    assert not MemoryOrder.ACQUIRE.has_release
+    assert MemoryOrder.RELEASE.has_release
+    assert not MemoryOrder.RELEASE.has_acquire
+    assert MemoryOrder.SEQ_CST.has_acquire and MemoryOrder.SEQ_CST.has_release
+    assert MemoryOrder.ACQ_REL.has_acquire and MemoryOrder.ACQ_REL.has_release
+
+
+def test_constant_equality_and_hash():
+    assert Constant(3) == Constant(3)
+    assert Constant(3) != Constant(4)
+    assert len({Constant(3), Constant(3), Constant(4)}) == 2
+
+
+def test_global_var_initializer_padding():
+    gvar = GlobalVar("g", ArrayType(INT, 4), [1, 2])
+    assert gvar.initializer == [1, 2, 0, 0]
+    assert gvar.ctype == PointerType(ArrayType(INT, 4))
+
+
+def test_load_type_follows_pointee():
+    gvar = GlobalVar("g", INT)
+    load = ins.Load(gvar)
+    assert load.ctype == INT
+    assert load.is_memory_access()
+    assert load.accessed_pointer() is gvar
+
+
+def test_store_has_no_result():
+    gvar = GlobalVar("g", INT)
+    store = ins.Store(gvar, Constant(1))
+    assert store.ctype.is_void()
+    assert store.pointer is gvar
+    assert store.value == Constant(1)
+
+
+def test_gep_signature_field_offsets():
+    struct = make_struct()
+    base = GlobalVar("obj", struct)
+    gep_a = ins.Gep(base, [("field", struct, 0)], INT)
+    gep_c = ins.Gep(base, [("field", struct, 2)], INT)
+    assert gep_a.signature() == (("field", "s", 0),)
+    assert gep_c.signature() == (("field", "s", 4),)  # a(1) + b(3)
+
+
+def test_gep_index_operand_tracked():
+    index = Constant(2)
+    base = GlobalVar("arr", ArrayType(INT, 8))
+    gep = ins.Gep(base, [("index", INT, index)], INT)
+    assert index in gep.operands
+
+
+def test_replace_operand_updates_gep_path():
+    old_index = Constant(2)
+    new_index = Constant(5)
+    base = GlobalVar("arr", ArrayType(INT, 8))
+    gep = ins.Gep(base, [("index", INT, old_index)], INT)
+    gep.replace_operand(old_index, new_index)
+    assert gep.path[0][2] is new_index
+    assert new_index in gep.operands
+
+
+def test_rmw_requires_known_op():
+    gvar = GlobalVar("g", INT)
+    with pytest.raises(AssertionError):
+        ins.AtomicRMW("mul", gvar, Constant(2))
+
+
+def test_terminators_report_successors():
+    from repro.ir.module import BasicBlock
+
+    b1, b2 = BasicBlock("a"), BasicBlock("b")
+    br = ins.Br(b1)
+    assert br.successors() == [b1]
+    cond = ins.CondBr(Constant(1), b1, b2)
+    assert cond.successors() == [b1, b2]
+    assert ins.Ret().successors() == []
+    assert br.is_terminator and cond.is_terminator
+
+
+def test_ret_with_and_without_value():
+    ret_void = ins.Ret()
+    assert not ret_void.has_value and ret_void.value is None
+    ret_val = ins.Ret(Constant(3))
+    assert ret_val.has_value and ret_val.value == Constant(3)
+
+
+def test_marks_are_per_instruction():
+    gvar = GlobalVar("g", INT)
+    a, b = ins.Load(gvar), ins.Load(gvar)
+    a.marks.add("spin_control")
+    assert "spin_control" not in b.marks

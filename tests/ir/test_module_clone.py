@@ -1,0 +1,91 @@
+"""Tests for module cloning (the porting pipeline's isolation guarantee)."""
+
+from repro.api import compile_source
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+
+SOURCE = """
+struct node { int key; struct node *next; };
+int flag = 3;
+volatile int v;
+struct node pool[2];
+
+int helper(int x) { return x + flag; }
+
+void worker(int arg) {
+    pool[0].key = arg;
+}
+
+int main() {
+    int t = thread_create(worker, 7);
+    int r = helper(2);
+    struct node *p = &pool[1];
+    p->next = &pool[0];
+    while (flag != 0) { flag = flag - 1; }
+    thread_join(t);
+    assert(r == 5);
+    return r;
+}
+"""
+
+
+def test_clone_verifies_and_prints_identically():
+    module = compile_source(SOURCE, "orig")
+    clone = module.clone()
+    verify_module(clone)
+    original_text = print_module(module).replace("orig", "X")
+    clone_text = print_module(clone).replace("orig", "X")
+    assert original_text == clone_text
+
+
+def test_clone_is_fully_disjoint():
+    module = compile_source(SOURCE, "orig")
+    clone = module.clone()
+    original_instrs = {id(i) for i in module.instructions()}
+    clone_instrs = {id(i) for i in clone.instructions()}
+    assert not original_instrs & clone_instrs
+    for name, gvar in clone.globals.items():
+        assert gvar is not module.globals[name]
+
+
+def test_clone_remaps_call_targets():
+    module = compile_source(SOURCE, "orig")
+    clone = module.clone()
+    for instr in clone.instructions():
+        if isinstance(instr, (ins.Call, ins.ThreadCreate)):
+            assert instr.callee is clone.functions[instr.callee.name]
+            assert instr.callee is not module.functions[instr.callee.name]
+
+
+def test_mutating_clone_leaves_original_untouched():
+    module = compile_source(SOURCE, "orig")
+    clone = module.clone()
+    for instr in clone.instructions():
+        if isinstance(instr, (ins.Load, ins.Store)):
+            instr.order = MemoryOrder.SEQ_CST
+            instr.marks.add("mutated")
+    for instr in module.instructions():
+        if isinstance(instr, (ins.Load, ins.Store)):
+            has_annotation = instr.volatile or "annotation" in instr.marks
+            if not has_annotation:
+                assert instr.order is MemoryOrder.NOT_ATOMIC
+            assert "mutated" not in instr.marks
+
+
+def test_clone_preserves_marks_and_lines():
+    module = compile_source(SOURCE, "orig")
+    for instr in module.instructions():
+        instr.marks.add("tag")
+    clone = module.clone()
+    for instr in clone.instructions():
+        assert "tag" in instr.marks
+
+
+def test_clone_preserves_global_initializers():
+    module = compile_source(SOURCE, "orig")
+    clone = module.clone()
+    assert clone.globals["flag"].initializer == [3]
+    clone.globals["flag"].initializer[0] = 99
+    assert module.globals["flag"].initializer == [3]

@@ -1,0 +1,66 @@
+"""Tests for the textual IR printer."""
+
+from repro.api import compile_source, port_module
+from repro.core.config import PortingLevel
+from repro.ir.printer import print_function, print_module
+
+
+SOURCE = """
+struct node { int key; struct node *next; };
+volatile int v = 4;
+struct node pool[2];
+
+int get(struct node *p) { return p->key; }
+
+int main() {
+    while (v == 0) { }
+    return get(&pool[0]);
+}
+"""
+
+
+def test_module_header_lists_structs_and_globals():
+    text = print_module(compile_source(SOURCE, "m"))
+    assert "; module m" in text
+    assert "struct node { key: int, next: struct node* }" in text
+    assert "global @v: volatile int = 4" in text
+    assert "global @pool: struct node[2]" in text
+
+
+def test_function_signature_rendered():
+    module = compile_source(SOURCE, "m")
+    text = print_function(module.functions["get"])
+    assert text.startswith("func @get(%p: struct node*) -> int {")
+    assert text.rstrip().endswith("}")
+
+
+def test_block_labels_and_instructions_present():
+    module = compile_source(SOURCE, "m")
+    text = print_function(module.functions["main"])
+    assert "while.cond" in text
+    assert "load" in text and "ret" in text
+
+
+def test_marks_shown_as_comments():
+    module = compile_source(SOURCE, "m")
+    ported, _ = port_module(module, PortingLevel.ATOMIG)
+    text = print_module(ported)
+    assert "; marks:" in text
+    assert "spin_control" in text
+
+
+def test_atomic_orders_rendered():
+    module = compile_source("""
+int x;
+int main() { atomic_store(&x, 1); return atomic_load(&x); }
+""")
+    text = print_module(module)
+    assert "store atomic(seq_cst)" in text
+    assert "load atomic(seq_cst)" in text
+
+
+def test_gep_paths_rendered():
+    module = compile_source(SOURCE, "m")
+    text = print_module(module)
+    assert ".key" in text      # field step
+    assert "@pool[" in text    # index step

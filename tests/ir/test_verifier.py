@@ -1,0 +1,96 @@
+"""Tests for the structural IR verifier."""
+
+import pytest
+
+from repro.api import compile_source
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Constant
+from repro.ir.verifier import verify_module
+from repro.lang.ctypes import INT, VOID
+
+
+def make_trivial_module():
+    module = Module("m")
+    fn = Function("f", VOID, [], [])
+    module.add_function(fn)
+    block = fn.new_block("entry")
+    block.append(ins.Ret())
+    return module, fn, block
+
+
+def test_valid_module_passes():
+    module, _, _ = make_trivial_module()
+    assert verify_module(module)
+
+
+def test_compiled_modules_pass():
+    module = compile_source("""
+int g;
+int main() { for (int i = 0; i < 3; i++) { g = g + i; } return g; }
+""")
+    assert verify_module(module)
+
+
+def test_missing_terminator_rejected():
+    module, fn, block = make_trivial_module()
+    block.instructions.pop()
+    block.append(ins.BinOp("+", Constant(1), Constant(2)))
+    with pytest.raises(IRError, match="terminator"):
+        verify_module(module)
+
+
+def test_empty_block_rejected():
+    module, fn, _ = make_trivial_module()
+    fn.new_block("dangling")
+    with pytest.raises(IRError, match="empty block"):
+        verify_module(module)
+
+
+def test_mid_block_terminator_rejected():
+    module, fn, block = make_trivial_module()
+    block.insert(0, ins.Ret())
+    with pytest.raises(IRError, match="middle of a block"):
+        verify_module(module)
+
+
+def test_branch_to_foreign_block_rejected():
+    module, fn, block = make_trivial_module()
+    foreign = BasicBlock("foreign")
+    foreign.append(ins.Ret())
+    block.instructions.pop()
+    block.append(ins.Br(foreign))
+    with pytest.raises(IRError, match="foreign"):
+        verify_module(module)
+
+
+def test_cross_function_operand_rejected():
+    module, fn, block = make_trivial_module()
+    other = Function("g", INT, [], [])
+    module.add_function(other)
+    other_block = other.new_block("entry")
+    value = other_block.append(ins.BinOp("+", Constant(1), Constant(2)))
+    other_block.append(ins.Ret(value))
+    block.instructions.pop()
+    block.append(ins.Store(value, Constant(0)))  # bogus, cross-function
+    block.append(ins.Ret())
+    with pytest.raises(IRError, match="another function"):
+        verify_module(module)
+
+
+def test_call_to_out_of_module_function_rejected():
+    module, fn, block = make_trivial_module()
+    stranger = Function("stranger", VOID, [], [])
+    stranger_block = stranger.new_block("entry")
+    stranger_block.append(ins.Ret())
+    block.insert(0, ins.Call(stranger, []))
+    with pytest.raises(IRError, match="out-of-module"):
+        verify_module(module)
+
+
+def test_function_without_blocks_rejected():
+    module = Module("m")
+    module.add_function(Function("empty", VOID, [], []))
+    with pytest.raises(IRError, match="no blocks"):
+        verify_module(module)

@@ -1,0 +1,96 @@
+"""Unit tests for the Mini-C type system."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.ctypes import (
+    INT,
+    VOID,
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    is_assignable,
+    pointer_to,
+)
+
+
+def test_scalar_sizes():
+    assert INT.size == 1
+    assert PointerType(INT).size == 1
+    assert VOID.size == 0
+
+
+def test_array_size():
+    assert ArrayType(INT, 10).size == 10
+    assert ArrayType(ArrayType(INT, 3), 2).size == 6
+
+
+def test_struct_size_and_offsets():
+    struct = StructType("s")
+    struct.define([("a", INT), ("b", ArrayType(INT, 4)), ("c", PointerType(INT))])
+    assert struct.size == 6
+    assert struct.field_offset("a") == 0
+    assert struct.field_offset("b") == 1
+    assert struct.field_offset("c") == 5
+    assert struct.field_index("c") == 2
+    assert struct.field_type("b") == ArrayType(INT, 4)
+
+
+def test_struct_redefinition_rejected():
+    struct = StructType("s")
+    struct.define([("a", INT)])
+    with pytest.raises(SemanticError):
+        struct.define([("b", INT)])
+
+
+def test_struct_unknown_field_rejected():
+    struct = StructType("s")
+    struct.define([("a", INT)])
+    with pytest.raises(SemanticError):
+        struct.field_offset("zzz")
+
+
+def test_type_equality_is_structural():
+    assert IntType() == IntType("long")
+    assert PointerType(INT) == PointerType(IntType())
+    assert ArrayType(INT, 3) == ArrayType(INT, 3)
+    assert ArrayType(INT, 3) != ArrayType(INT, 4)
+
+
+def test_struct_equality_by_name():
+    a, b = StructType("n"), StructType("n")
+    assert a == b
+    assert StructType("n") != StructType("m")
+
+
+def test_types_are_hashable():
+    assert len({INT, PointerType(INT), ArrayType(INT, 2), StructType("x")}) == 4
+
+
+def test_assignability_int_pointer():
+    assert is_assignable(INT, PointerType(INT))
+    assert is_assignable(PointerType(INT), INT)
+    assert is_assignable(PointerType(INT), PointerType(VOID))
+
+
+def test_assignability_rejects_aggregates():
+    struct = StructType("s")
+    struct.define([("a", INT)])
+    assert not is_assignable(struct, INT)
+    assert not is_assignable(ArrayType(INT, 2), INT)
+
+
+def test_is_scalar_classification():
+    assert INT.is_scalar()
+    assert pointer_to(INT).is_scalar()
+    assert not ArrayType(INT, 2).is_scalar()
+    assert not VOID.is_scalar()
+    struct = StructType("s")
+    assert not struct.is_scalar()
+
+
+def test_pointer_classification():
+    assert pointer_to(INT).is_pointer()
+    assert not INT.is_pointer()
+    assert VOID.is_void()

@@ -1,0 +1,212 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.ctypes import IntType, PointerType, StructType
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def test_undeclared_identifier_rejected():
+    with pytest.raises(SemanticError):
+        check("int f() { return y; }")
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(SemanticError):
+        check("int x; int x;")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(SemanticError):
+        check("void f() { } void f() { }")
+
+
+def test_duplicate_struct_rejected():
+    with pytest.raises(SemanticError):
+        check("struct s { int a; };\nstruct s { int b; };")
+
+
+def test_shadowing_builtin_rejected():
+    with pytest.raises(SemanticError):
+        check("int malloc(int n) { return n; }")
+
+
+def test_local_shadowing_in_nested_scope_allowed():
+    program = check("int x;\nvoid f() { int x = 1; { int y = x; } }")
+    assert program is not None
+
+
+def test_redeclaration_in_same_scope_rejected():
+    with pytest.raises(SemanticError):
+        check("void f() { int x; int x; }")
+
+
+def test_expression_types_annotated():
+    program = check("int g;\nint f() { return g + 1; }")
+    ret = program.functions[0].body.statements[0]
+    assert isinstance(ret.value.ctype, IntType)
+
+
+def test_pointer_deref_type():
+    program = check("void f(int *p) { int x = *p; }")
+    decl = program.functions[0].body.statements[0]
+    assert isinstance(decl.init.ctype, IntType)
+
+
+def test_deref_non_pointer_rejected():
+    with pytest.raises(SemanticError):
+        check("void f(int x) { int y = *x; }")
+
+
+def test_deref_void_pointer_rejected():
+    with pytest.raises(SemanticError):
+        check("void f(void *p) { int x = *p; }")
+
+
+def test_member_access_resolves_struct():
+    program = check("""
+struct node { int key; struct node *next; };
+int f(struct node *n) { return n->next->key; }
+""")
+    ret = program.functions[0].body.statements[0]
+    assert isinstance(ret.value.ctype, IntType)
+
+
+def test_member_on_non_struct_rejected():
+    with pytest.raises(SemanticError):
+        check("void f(int x) { int y = x.field; }")
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(SemanticError):
+        check("struct s { int a; };\nint f(struct s *p) { return p->b; }")
+
+
+def test_incomplete_struct_member_rejected():
+    with pytest.raises(SemanticError):
+        check("struct s *g;\nint f() { return g->a; }")
+
+
+def test_arrow_requires_pointer():
+    with pytest.raises(SemanticError):
+        check("struct s { int a; };\nstruct s v;\nint f() { return v->a; }")
+
+
+def test_enum_constants_resolve():
+    program = check("enum { READY = 3 };\nint f() { return READY; }")
+    ret = program.functions[0].body.statements[0]
+    assert ret.value.binding == "enum"
+    assert ret.value.enum_value == 3
+
+
+def test_memory_order_constants_available():
+    program = check("""
+_Atomic int x;
+int f() { return atomic_load_explicit(&x, memory_order_acquire); }
+""")
+    assert program is not None
+
+
+def test_return_value_from_void_rejected():
+    with pytest.raises(SemanticError):
+        check("void f() { return 1; }")
+
+
+def test_missing_return_value_rejected():
+    with pytest.raises(SemanticError):
+        check("int f() { return; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError):
+        check("void f() { break; }")
+
+
+def test_continue_outside_loop_rejected():
+    with pytest.raises(SemanticError):
+        check("void f() { continue; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(SemanticError):
+        check("int g(int a) { return a; }\nint f() { return g(); }")
+
+
+def test_call_to_undefined_function_rejected():
+    with pytest.raises(SemanticError):
+        check("int f() { return missing(1); }")
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(SemanticError):
+        check("int x;\nvoid f() { atomic_store(&x); }")
+
+
+def test_atomic_builtin_requires_pointer():
+    with pytest.raises(SemanticError):
+        check("int x;\nvoid f() { atomic_store(x, 1); }")
+
+
+def test_thread_create_requires_function_name():
+    with pytest.raises(SemanticError):
+        check("int f() { return thread_create(42); }")
+
+
+def test_thread_create_accepts_function():
+    program = check("void w() { }\nint f() { return thread_create(w); }")
+    assert program is not None
+
+
+def test_assignment_to_rvalue_rejected():
+    with pytest.raises(SemanticError):
+        check("void f() { 1 = 2; }")
+
+
+def test_assignment_to_enum_rejected():
+    with pytest.raises(SemanticError):
+        check("enum { K = 1 };\nvoid f() { K = 2; }")
+
+
+def test_int_pointer_interchange_allowed():
+    program = check("int *p;\nint f() { int x = p; return x; }")
+    assert program is not None
+
+
+def test_void_global_rejected():
+    with pytest.raises(SemanticError):
+        check("void g;")
+
+
+def test_struct_field_offsets():
+    program = check("struct s { int a; int b[4]; int c; };\nstruct s v;")
+    struct = program.struct_types["s"]
+    assert struct.field_offset("a") == 0
+    assert struct.field_offset("b") == 1
+    assert struct.field_offset("c") == 5
+    assert struct.size == 6
+
+
+def test_recursive_struct_size():
+    program = check("struct n { int v; struct n *next; };\nstruct n x;")
+    assert program.struct_types["n"].size == 2
+
+
+def test_global_initializer_must_be_constant():
+    with pytest.raises(SemanticError):
+        check("int a;\nint b = a;")
+
+
+def test_global_initializer_enum_ok():
+    program = check("enum { N = 4 };\nint b = N;")
+    assert program is not None
+
+
+def test_too_many_array_initializers_rejected():
+    with pytest.raises(SemanticError):
+        check("int a[2] = {1, 2, 3};")

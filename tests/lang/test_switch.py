@@ -1,0 +1,240 @@
+"""Tests for switch/case/default across parser, sema, lowering and VM."""
+
+import pytest
+
+from repro.api import compile_source
+from repro.errors import SemanticError
+from repro.vm.interp import run_module
+
+
+def run(source):
+    return run_module(compile_source(source))
+
+
+def test_basic_dispatch():
+    source = """
+int classify(int x) {
+    switch (x) {
+    case 1:
+        return 10;
+    case 2:
+        return 20;
+    default:
+        return -1;
+    }
+}
+int main() {
+    print(classify(1));
+    print(classify(2));
+    print(classify(9));
+    return 0;
+}
+"""
+    assert run(source).output == [10, 20, -1]
+
+
+def test_fallthrough_semantics():
+    source = """
+int main() {
+    int hits = 0;
+    switch (2) {
+    case 1:
+        hits = hits + 1;
+    case 2:
+        hits = hits + 10;
+    case 3:
+        hits = hits + 100;
+        break;
+    case 4:
+        hits = hits + 1000;
+    }
+    return hits;
+}
+"""
+    assert run(source).exit_value == 110  # cases 2 and 3 run, 4 skipped
+
+
+def test_break_exits_switch_only():
+    source = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 4; i++) {
+        switch (i) {
+        case 0:
+            break;
+        case 1:
+            total = total + 1;
+            break;
+        default:
+            total = total + 10;
+        }
+    }
+    return total;
+}
+"""
+    assert run(source).exit_value == 21  # i=1 -> +1, i=2,3 -> +10 each
+
+
+def test_continue_inside_switch_targets_loop():
+    source = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 5; i++) {
+        switch (i % 2) {
+        case 0:
+            continue;
+        }
+        total = total + i;
+    }
+    return total;
+}
+"""
+    assert run(source).exit_value == 4  # 1 + 3
+
+
+def test_no_default_falls_to_end():
+    source = """
+int main() {
+    int x = 0;
+    switch (42) {
+    case 1:
+        x = 1;
+        break;
+    }
+    return x;
+}
+"""
+    assert run(source).exit_value == 0
+
+
+def test_enum_case_labels():
+    source = """
+enum { RED = 1, GREEN = 2, BLUE = 3 };
+int main() {
+    switch (GREEN) {
+    case RED:
+        return 100;
+    case GREEN:
+        return 200;
+    case BLUE:
+        return 300;
+    }
+    return 0;
+}
+"""
+    assert run(source).exit_value == 200
+
+
+def test_negative_case_labels():
+    source = """
+int main() {
+    switch (0 - 3) {
+    case -3:
+        return 33;
+    }
+    return 0;
+}
+"""
+    assert run(source).exit_value == 33
+
+
+def test_default_in_middle():
+    source = """
+int main() {
+    switch (9) {
+    case 1:
+        return 1;
+    default:
+        return 5;
+    case 2:
+        return 2;
+    }
+}
+"""
+    assert run(source).exit_value == 5
+
+
+def test_duplicate_case_rejected():
+    with pytest.raises(SemanticError, match="duplicate case"):
+        compile_source("""
+int main() {
+    switch (1) {
+    case 1:
+        break;
+    case 1:
+        break;
+    }
+    return 0;
+}
+""")
+
+
+def test_duplicate_default_rejected():
+    with pytest.raises(SemanticError, match="duplicate default"):
+        compile_source("""
+int main() {
+    switch (1) {
+    default:
+        break;
+    default:
+        break;
+    }
+    return 0;
+}
+""")
+
+
+def test_break_outside_breakable_rejected():
+    with pytest.raises(SemanticError, match="break outside"):
+        compile_source("int main() { break; return 0; }")
+
+
+def test_continue_not_allowed_by_switch_alone():
+    with pytest.raises(SemanticError, match="continue outside"):
+        compile_source("""
+int main() {
+    switch (1) {
+    case 1:
+        continue;
+    }
+    return 0;
+}
+""")
+
+
+def test_switch_in_ported_module_verifies():
+    from repro.api import check_module, port_module
+    from repro.core.config import PortingLevel
+
+    source = """
+int command = 0;
+int done = 0;
+
+void controller() {
+    command = 2;
+    done = 1;
+}
+
+int main() {
+    int t = thread_create(controller);
+    while (done == 0) { }
+    int result;
+    switch (command) {
+    case 1:
+        result = 10;
+        break;
+    case 2:
+        result = 20;
+        break;
+    default:
+        result = 0;
+    }
+    assert(result == 20);
+    thread_join(t);
+    return result;
+}
+"""
+    module = compile_source(source)
+    assert not check_module(module, model="wmm", max_steps=500).ok
+    ported, _ = port_module(module, PortingLevel.ATOMIG)
+    assert check_module(ported, model="wmm", max_steps=500).ok

@@ -1,0 +1,53 @@
+"""Tests for the x86 inline-assembly classification table."""
+
+import pytest
+
+from repro.lower.asm_map import (
+    COMPILER_BARRIER,
+    FENCE_SC,
+    PAUSE,
+    RMW_PREFIX,
+    UNKNOWN,
+    classify_asm,
+)
+
+
+@pytest.mark.parametrize("template", [
+    "mfence", "MFENCE", "  mfence  ", "lfence", "sfence",
+    "lock; addl $0, (%rsp)", "lock addl $0,0(%%rsp)",
+])
+def test_full_fences(template):
+    assert classify_asm(template) == FENCE_SC
+
+
+@pytest.mark.parametrize("template", ["", "   "])
+def test_compiler_barrier(template):
+    assert classify_asm(template) == COMPILER_BARRIER
+
+
+@pytest.mark.parametrize("template", ["pause", "rep; nop", "rep nop", "nop"])
+def test_pause_hints(template):
+    assert classify_asm(template) == PAUSE
+
+
+@pytest.mark.parametrize("template", [
+    "lock xaddl %0, %1",
+    "lock; cmpxchg %2, %1",
+    "xchg %0, %1",
+])
+def test_locked_rmw(template):
+    assert classify_asm(template) == RMW_PREFIX
+
+
+@pytest.mark.parametrize("template", ["dmb ish", "dsb sy", "isb"])
+def test_arm_barriers_in_expert_code(template):
+    assert classify_asm(template) == FENCE_SC
+
+
+@pytest.mark.parametrize("template", [
+    "vmovdqa %ymm0, (%rdi)",
+    "cpuid",
+    "rdtsc",
+])
+def test_unknown_asm(template):
+    assert classify_asm(template) == UNKNOWN

@@ -1,0 +1,140 @@
+"""Behavioural tests for lowered control flow (run on the VM)."""
+
+from repro.api import compile_source
+from repro.vm.interp import run_module
+
+
+def run(source):
+    return run_module(compile_source(source))
+
+
+def test_nested_loops_with_labels_and_goto():
+    result = run("""
+int main() {
+    int found = 0;
+    for (int i = 0; i < 5; i++) {
+        for (int j = 0; j < 5; j++) {
+            if (i * j == 6) {
+                found = i * 10 + j;
+                goto out;
+            }
+        }
+    }
+out:
+    return found;
+}
+""")
+    assert result.exit_value == 23  # i=2, j=3 is the first hit
+
+
+def test_do_while_executes_at_least_once():
+    result = run("""
+int main() {
+    int n = 0;
+    do { n = n + 1; } while (0);
+    return n;
+}
+""")
+    assert result.exit_value == 1
+
+
+def test_comma_operator_sequencing():
+    result = run("""
+int main() {
+    int a = 0;
+    int b = (a = 3, a + 4);
+    return b;
+}
+""")
+    assert result.exit_value == 7
+
+
+def test_ternary_evaluates_single_arm():
+    result = run("""
+int counter = 0;
+int tick(int v) { counter = counter + 1; return v; }
+int main() {
+    int x = 1 ? tick(5) : tick(9);
+    return x * 10 + counter;
+}
+""")
+    assert result.exit_value == 51  # one tick only
+
+
+def test_logical_operators_yield_zero_one():
+    result = run("""
+int main() {
+    int a = 5 && 9;
+    int b = 0 || 7;
+    int c = !3;
+    int d = !0;
+    return a * 1000 + b * 100 + c * 10 + d;
+}
+""")
+    assert result.exit_value == 1101
+
+
+def test_compound_assignment_operators():
+    result = run("""
+int main() {
+    int x = 10;
+    x += 5;
+    x -= 3;
+    x *= 2;
+    x /= 4;
+    x %= 4;
+    x <<= 3;
+    x >>= 1;
+    x |= 1;
+    x &= 7;
+    x ^= 2;
+    return x;
+}
+""")
+    x = 10
+    x += 5; x -= 3; x *= 2; x //= 4; x %= 4
+    x <<= 3; x >>= 1; x |= 1; x &= 7; x ^= 2
+    assert result.exit_value == x
+
+
+def test_pre_and_post_increment_values():
+    result = run("""
+int main() {
+    int x = 5;
+    int a = x++;
+    int b = ++x;
+    return a * 100 + b * 10 + x;
+}
+""")
+    assert result.exit_value == 5 * 100 + 7 * 10 + 7
+
+
+def test_pointer_increment_walks_elements():
+    result = run("""
+struct wide { int a; int b; int c; };
+struct wide arr[3];
+int main() {
+    for (int i = 0; i < 3; i++) { arr[i].b = i * 10; }
+    struct wide *p = &arr[0];
+    p++;
+    int mid = p->b;
+    p++;
+    return mid + p->b;
+}
+""")
+    assert result.exit_value == 30
+
+
+def test_early_return_in_loop_unwinds_stack():
+    result = run("""
+int find(int needle) {
+    int data[8];
+    for (int i = 0; i < 8; i++) { data[i] = i * i; }
+    for (int i = 0; i < 8; i++) {
+        if (data[i] == needle) { return i; }
+    }
+    return -1;
+}
+int main() { return find(16) * 10 + find(999); }
+""")
+    assert result.exit_value == 4 * 10 - 1

@@ -1,0 +1,41 @@
+"""Calibration of the operational machine against classic litmus tests."""
+
+import pytest
+
+from repro.mc.litmus import LITMUS_TESTS, expected_verdict, run_litmus
+
+CASES = [
+    (name, model)
+    for name in LITMUS_TESTS
+    for model in ("sc", "tso", "wmm")
+]
+
+
+@pytest.mark.parametrize("name,model", CASES,
+                         ids=[f"{n}-{m}" for n, m in CASES])
+def test_litmus_verdict(name, model):
+    result = run_litmus(name, model)
+    expected = expected_verdict(name, model)
+    assert result.ok == expected, (
+        f"{name} under {model}: got "
+        f"{'ok' if result.ok else result.violation}, expected "
+        f"{'ok' if expected else 'violation'}"
+    )
+    assert not result.truncated
+
+
+def test_sb_weak_outcome_has_trace():
+    result = run_litmus("SB", "tso")
+    assert not result.ok
+    assert result.trace  # counterexample schedule is reported
+
+
+def test_models_form_a_hierarchy():
+    """Anything that fails under TSO must also fail under the WMM, and
+    anything failing under SC fails everywhere (SC < TSO < WMM)."""
+    for name in LITMUS_TESTS:
+        verdicts = LITMUS_TESTS[name][1]
+        if not verdicts["sc"]:
+            assert not verdicts["tso"] and not verdicts["wmm"]
+        if not verdicts["tso"]:
+            assert not verdicts["wmm"]

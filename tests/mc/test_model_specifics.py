@@ -1,0 +1,194 @@
+"""Model-specific behaviours: TSO store forwarding, drains, WMM windows."""
+
+from repro.api import check_module, compile_source
+from repro.mc.models import SCModel, TSOModel, WMMModel, get_model
+
+
+def check(source, model, max_steps=500):
+    return check_module(compile_source(source), model=model,
+                        max_steps=max_steps)
+
+
+class TestModelProperties:
+    def test_registry(self):
+        assert isinstance(get_model("sc"), SCModel)
+        assert isinstance(get_model("tso"), TSOModel)
+        assert isinstance(get_model("wmm"), WMMModel)
+
+    def test_unknown_model_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown memory model"):
+            get_model("power")
+
+    def test_buffering_capabilities(self):
+        assert not SCModel().buffers_stores()
+        assert TSOModel().buffers_stores()
+        assert not TSOModel().buffers_loads()
+        assert WMMModel().buffers_stores()
+        assert WMMModel().buffers_loads()
+
+    def test_drain_requirements(self):
+        from repro.ir.instructions import MemoryOrder
+
+        assert TSOModel().rmw_requires_drain()  # x86 LOCK = full fence
+        assert not WMMModel().rmw_requires_drain()
+        assert TSOModel().store_requires_drain(MemoryOrder.SEQ_CST)
+        assert not TSOModel().store_requires_drain(MemoryOrder.NOT_ATOMIC)
+
+
+class TestTSOForwarding:
+    def test_thread_reads_its_own_buffered_store(self):
+        """Store forwarding: a thread always sees its own latest write,
+        even while the store sits in the buffer."""
+        result = check("""
+int x = 0;
+int other = 0;
+
+void noise() { other = 1; }
+
+int main() {
+    int t = thread_create(noise);
+    x = 5;
+    int mine = x;   // must forward 5 from the buffer
+    assert(mine == 5);
+    thread_join(t);
+    return 0;
+}
+""", "tso")
+        assert result.ok
+
+    def test_buffered_store_invisible_to_others(self):
+        """The SB weak outcome exists precisely because buffered stores
+        are not yet visible to the sibling."""
+        result = check("""
+int x = 0;
+int y = 0;
+int r1 = 0;
+void t1() { y = 1; r1 = x; }
+int main() {
+    int t = thread_create(t1);
+    x = 1;
+    int r0 = y;
+    thread_join(t);
+    assert(r0 + r1 >= 1);
+    return 0;
+}
+""", "tso")
+        assert not result.ok
+
+    def test_fence_makes_sb_disappear_on_tso(self):
+        result = check("""
+int x = 0;
+int y = 0;
+int r1 = 0;
+void t1() {
+    y = 1;
+    atomic_thread_fence(memory_order_seq_cst);
+    r1 = x;
+}
+int main() {
+    int t = thread_create(t1);
+    x = 1;
+    atomic_thread_fence(memory_order_seq_cst);
+    int r0 = y;
+    thread_join(t);
+    assert(r0 + r1 >= 1);
+    return 0;
+}
+""", "tso")
+        assert result.ok
+
+
+class TestWMMWindows:
+    def test_release_store_orders_prior_writes(self):
+        result = check("""
+int data = 0;
+int flag = 0;
+void w() {
+    data = 1;
+    atomic_store_explicit(&flag, 1, memory_order_release);
+}
+int main() {
+    int t = thread_create(w);
+    int f = atomic_load_explicit(&flag, memory_order_acquire);
+    int d = data;
+    assert(f == 0 || d == 1);
+    thread_join(t);
+    return 0;
+}
+""", "wmm")
+        assert result.ok
+
+    def test_relaxed_atomics_do_not_order(self):
+        result = check("""
+int data = 0;
+int flag = 0;
+void w() {
+    data = 1;
+    atomic_store_explicit(&flag, 1, memory_order_relaxed);
+}
+int main() {
+    int t = thread_create(w);
+    int f = atomic_load_explicit(&flag, memory_order_relaxed);
+    int d = data;
+    assert(f == 0 || d == 1);
+    thread_join(t);
+    return 0;
+}
+""", "wmm")
+        assert not result.ok
+
+    def test_dependent_address_forces_the_load(self):
+        """Address dependencies are respected: the index load must
+        commit before the dependent element load can even issue."""
+        result = check("""
+int table[4] = {9, 8, 7, 6};
+int idx = 0;
+void w() { idx = 2; }
+int main() {
+    int t = thread_create(w);
+    int i = idx;
+    int v = table[i];
+    assert((i == 0 && v == 9) || (i == 2 && v == 7));
+    thread_join(t);
+    return 0;
+}
+""", "wmm")
+        assert result.ok
+
+    def test_same_location_writes_stay_ordered(self):
+        """Coherence: two stores to one location by one thread are never
+        observed in the opposite order."""
+        result = check("""
+int x = 0;
+void w() {
+    x = 1;
+    x = 2;
+}
+int main() {
+    int t = thread_create(w);
+    int a = x;
+    int b = x;
+    assert(a <= b || b == 0);
+    thread_join(t);
+    return 0;
+}
+""", "wmm")
+        assert result.ok
+
+    def test_window_capacity_bounds_issue(self):
+        """More pending stores than the window allows still complete
+        (issuing blocks until commits make room)."""
+        result = check("""
+int sink[20];
+int main() {
+    for (int i = 0; i < 20; i++) { sink[i] = i; }
+    int total = 0;
+    for (int i = 0; i < 20; i++) { total = total + sink[i]; }
+    assert(total == 190);
+    return 0;
+}
+""", "wmm", max_steps=3000)
+        assert result.ok
+        assert not result.truncated

@@ -1,0 +1,94 @@
+"""Per-location (coherence) guarantees under the weak model."""
+
+from repro.api import check_module, compile_source
+
+
+def check(source, model="wmm", max_steps=600):
+    return check_module(compile_source(source), model=model,
+                        max_steps=max_steps)
+
+
+def test_thread_sees_its_own_store():
+    """Read-own-write: per-location program order is never violated."""
+    result = check("""
+int x = 0;
+int noise = 0;
+void w() { noise = 1; }
+int main() {
+    int t = thread_create(w);
+    x = 7;
+    int mine = x;
+    assert(mine == 7);
+    thread_join(t);
+    return 0;
+}
+""")
+    assert result.ok
+
+
+def test_store_store_same_location_ordered():
+    result = check("""
+int x = 0;
+void w() { x = 1; x = 2; }
+int main() {
+    int t = thread_create(w);
+    int a = x;
+    int b = x;
+    thread_join(t);
+    assert(x == 2);
+    assert(b != 1 || a != 2);
+    return 0;
+}
+""")
+    assert result.ok
+
+
+def test_load_load_same_location_monotone():
+    result = check("""
+int x = 0;
+void w() { x = 5; }
+int main() {
+    int t = thread_create(w);
+    int a = x;
+    int b = x;
+    assert(a == 0 || b == 5);
+    thread_join(t);
+    return 0;
+}
+""")
+    assert result.ok
+
+
+def test_different_locations_do_reorder():
+    """Control: the same shape over two locations IS weak (MP)."""
+    result = check("""
+int x = 0;
+int y = 0;
+void w() { x = 1; y = 1; }
+int main() {
+    int t = thread_create(w);
+    int b = y;
+    int a = x;
+    assert(b == 0 || a == 1);
+    thread_join(t);
+    return 0;
+}
+""")
+    assert not result.ok
+
+
+def test_rmw_same_location_after_store_sees_it():
+    result = check("""
+int x = 0;
+int noise = 0;
+void w() { noise = 1; }
+int main() {
+    int t = thread_create(w);
+    x = 3;
+    int old = atomic_fetch_add_explicit(&x, 1, memory_order_relaxed);
+    assert(old == 3);
+    thread_join(t);
+    return 0;
+}
+""")
+    assert result.ok

@@ -1,0 +1,100 @@
+"""Property-based tests of the detection passes' core invariants.
+
+1. Loops whose exits depend only on local state are never spinloops —
+   the false-positive direction the paper's definition is built to
+   avoid (Figure 3's non-examples, generalized).
+2. Loops spinning on a global with no in-loop local interference are
+   always detected, whatever body filler surrounds them.
+3. Porting is deterministic: same module, same report.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import compile_source, port_module
+from repro.core.config import PortingLevel
+from repro.core.spinloops import detect_spinloops
+
+_FILLERS = [
+    "acc = acc + {k};",
+    "acc = acc * 3 % 1000;",
+    "scratch[{k} % 4] = acc;",
+    "acc = acc ^ scratch[{k} % 4];",
+    "if (acc > 100) {{ acc = acc - 50; }}",
+]
+
+
+@st.composite
+def local_loops(draw):
+    """A for-loop with a local bound and random local-only body."""
+    bound = draw(st.integers(min_value=1, max_value=20))
+    fillers = draw(st.lists(st.sampled_from(_FILLERS), max_size=4))
+    body = "\n        ".join(
+        filler.format(k=index + 1) for index, filler in enumerate(fillers)
+    )
+    return f"""
+int global_noise;
+int main() {{
+    int acc = 0;
+    int scratch[4];
+    for (int i = 0; i < {bound}; i++) {{
+        {body}
+    }}
+    global_noise = acc;
+    return acc;
+}}
+"""
+
+
+@given(local_loops())
+@settings(max_examples=60, deadline=None)
+def test_local_loops_are_never_spinloops(source):
+    module = compile_source(source)
+    result = detect_spinloops(module)
+    assert result.spinloops == []
+
+
+@st.composite
+def spin_programs(draw):
+    """A genuine global-flag spinloop surrounded by random filler."""
+    fillers = draw(st.lists(st.sampled_from(_FILLERS), max_size=3))
+    pre = "\n    ".join(
+        filler.format(k=index + 1) for index, filler in enumerate(fillers)
+    )
+    flavor = draw(st.sampled_from([
+        "while (flag == 0) { }",
+        "while (flag != 1) { cpu_relax(); }",
+        "do { } while (flag == 0);",
+    ]))
+    return f"""
+int flag;
+int main() {{
+    int acc = 7;
+    int scratch[4];
+    {pre}
+    {flavor}
+    return acc;
+}}
+"""
+
+
+@given(spin_programs())
+@settings(max_examples=60, deadline=None)
+def test_global_spinloops_always_detected(source):
+    module = compile_source(source)
+    result = detect_spinloops(module)
+    assert len(result.spinloops) == 1
+    assert ("global", "flag") in result.control_keys
+
+
+@given(spin_programs())
+@settings(max_examples=25, deadline=None)
+def test_porting_is_deterministic(source):
+    module = compile_source(source)
+    _p1, report1 = port_module(module, PortingLevel.ATOMIG)
+    _p2, report2 = port_module(module, PortingLevel.ATOMIG)
+    assert report1.spinloops == report2.spinloops
+    assert report1.spin_controls == report2.spin_controls
+    assert (
+        report1.ported_implicit_barriers == report2.ported_implicit_barriers
+    )

@@ -1,0 +1,113 @@
+"""Property-based tests of memory semantics and porting safety.
+
+Random single-threaded write/read sequences over globals, arrays and
+struct fields must produce the same final state on the VM regardless of
+which porter transformed the module — porting changes *ordering
+guarantees*, never single-threaded meaning.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import compile_source, port_module
+from repro.core.config import PortingLevel
+from repro.ir.printer import print_module
+from repro.vm.interp import run_module
+
+SLOTS = 6
+
+
+@st.composite
+def write_programs(draw):
+    """A random series of writes/updates over globals and an array."""
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set_g", "set_a", "bump_g", "copy",
+                                 "set_f", "mix"]),
+                st.integers(min_value=0, max_value=SLOTS - 1),
+                st.integers(min_value=-20, max_value=20),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    lines = []
+    for op, index, value in operations:
+        if op == "set_g":
+            lines.append(f"g = {value};")
+        elif op == "set_a":
+            lines.append(f"a[{index}] = {value};")
+        elif op == "bump_g":
+            lines.append(f"g = g + {value};")
+        elif op == "copy":
+            lines.append(f"a[{index}] = g;")
+        elif op == "set_f":
+            lines.append(f"s.f{index % 3} = {value};")
+        elif op == "mix":
+            lines.append(f"g = a[{index}] + s.f{index % 3};")
+    body = "\n    ".join(lines)
+    checksum = " + ".join(
+        [f"a[{i}] * {i + 1}" for i in range(SLOTS)]
+        + ["g * 101", "s.f0 * 7", "s.f1 * 11", "s.f2 * 13"]
+    )
+    return f"""
+struct rec {{ int f0; int f1; int f2; }};
+int g = 0;
+int a[{SLOTS}];
+struct rec s;
+int main() {{
+    {body}
+    print({checksum});
+    return 0;
+}}
+"""
+
+
+@given(write_programs())
+@settings(max_examples=80, deadline=None)
+def test_porting_preserves_single_threaded_semantics(source):
+    module = compile_source(source)
+    expected = run_module(module).output
+    for level in (PortingLevel.ATOMIG, PortingLevel.NAIVE,
+                  PortingLevel.LASAGNE, PortingLevel.EXPL):
+        ported, _report = port_module(module, level)
+        assert run_module(ported).output == expected, level.value
+
+
+@given(write_programs())
+@settings(max_examples=40, deadline=None)
+def test_clone_roundtrip_preserves_printed_ir(source):
+    module = compile_source(source, "m")
+    clone = module.clone()
+    assert print_module(clone) == print_module(module)
+
+
+@given(write_programs())
+@settings(max_examples=30, deadline=None)
+def test_vm_and_model_checker_agree_single_threaded(source):
+    """For deterministic programs, the SC machine's unique execution
+    matches the VM's (same print output, no violations)."""
+    from repro.api import check_module
+
+    module = compile_source(source)
+    vm_output = run_module(module).output
+    result = check_module(module, model="sc", max_steps=4000)
+    assert result.ok
+
+
+@given(st.integers(min_value=1, max_value=30),
+       st.integers(min_value=-10, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_loop_summation_matches_closed_form(count, base):
+    base_text = f"(0 - {-base})" if base < 0 else str(base)
+    source = f"""
+int main() {{
+    int sum = 0;
+    for (int i = 0; i < {count}; i++) {{ sum = sum + i + {base_text}; }}
+    print(sum);
+    return 0;
+}}
+"""
+    expected = sum(i + base for i in range(count))
+    assert run_module(compile_source(source)).output == [expected]

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+MP = """
+int flag = 0;
+int msg = 0;
+void writer() { msg = 42; flag = 1; }
+int main() {
+    int t = thread_create(writer);
+    while (flag != 1) { }
+    assert(msg == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def mp_file(tmp_path):
+    path = tmp_path / "mp.c"
+    path.write_text(MP)
+    return str(path)
+
+
+def test_port_command(mp_file, capsys):
+    assert main(["port", mp_file]) == 0
+    out = capsys.readouterr().out
+    assert "1 spinloops" in out
+    assert "atomig" in out
+
+
+def test_port_emit_ir_to_file(mp_file, tmp_path, capsys):
+    out_path = tmp_path / "ported.ir"
+    assert main(["port", mp_file, "--emit-ir", "-o", str(out_path)]) == 0
+    text = out_path.read_text()
+    assert "atomic(seq_cst)" in text
+
+
+def test_check_command_finds_wmm_bug(mp_file, capsys):
+    code = main(["check", mp_file, "--models", "tso", "wmm",
+                 "--level", "original", "--max-steps", "400"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "tso: ok" in out
+    assert "VIOLATION" in out
+
+
+def test_check_command_ported_is_clean(mp_file, capsys):
+    code = main(["check", mp_file, "--models", "wmm",
+                 "--max-steps", "400"])
+    assert code == 0
+    assert "wmm: ok" in capsys.readouterr().out
+
+
+def test_check_trace_printed(mp_file, capsys):
+    main(["check", mp_file, "--models", "wmm", "--level", "original",
+          "--trace", "3", "--max-steps", "400"])
+    out = capsys.readouterr().out
+    assert "commit" in out  # schedule steps shown
+
+
+def test_run_command(mp_file, capsys):
+    assert main(["run", mp_file]) == 0
+    out = capsys.readouterr().out
+    assert "exit value: 0" in out
+    assert "cycles:" in out
+
+
+def test_run_with_ablation_flags(mp_file, capsys):
+    assert main(["run", mp_file, "--no-inline", "--level", "atomig"]) == 0
+
+
+def test_litmus_command(capsys):
+    assert main(["litmus", "SB"]) == 0
+    out = capsys.readouterr().out
+    assert "sc=ok" in out and "tso=bug" in out
+    assert "MISMATCH" not in out
+
+
+def test_litmus_unknown_name(capsys):
+    assert main(["litmus", "NOPE"]) == 2
+
+
+def test_tables_command_table1(capsys):
+    assert main(["tables", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "AtoMig" in out and "Naive" in out
+
+
+def test_tables_unknown_number(capsys):
+    assert main(["tables", "42"]) == 2

@@ -1,0 +1,55 @@
+"""Tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro import errors
+from repro.api import compile_source
+
+
+def test_hierarchy():
+    assert issubclass(errors.LexerError, errors.SourceError)
+    assert issubclass(errors.ParseError, errors.SourceError)
+    assert issubclass(errors.SemanticError, errors.SourceError)
+    assert issubclass(errors.SourceError, errors.ReproError)
+    assert issubclass(errors.IRError, errors.ReproError)
+    assert issubclass(errors.AssertionFailure, errors.VMError)
+    assert issubclass(errors.VMError, errors.ReproError)
+
+
+def test_source_errors_carry_positions():
+    error = errors.ParseError("boom", 12, 3)
+    assert error.line == 12
+    assert error.column == 3
+    assert str(error).startswith("12:3:")
+
+
+def test_source_error_without_position():
+    error = errors.SemanticError("no position")
+    assert error.line is None
+    assert str(error) == "no position"
+
+
+def test_assertion_failure_records_thread():
+    error = errors.AssertionFailure("bad", thread_id=2)
+    assert error.thread_id == 2
+
+
+@pytest.mark.parametrize("source,needle", [
+    ("int x = $;", "unexpected character"),
+    ("int x = ;", "expression"),
+    ("void f() { return 1; }", "void function"),
+    ("int f() { return g; }", "undeclared identifier"),
+    ("struct s { int a; };\nint f(struct s *p) { return p->zzz; }",
+     "no field"),
+])
+def test_diagnostics_name_the_problem(source, needle):
+    with pytest.raises(errors.ReproError) as excinfo:
+        compile_source(source)
+    assert needle in str(excinfo.value)
+
+
+def test_diagnostics_point_at_the_right_line():
+    source = "int ok = 1;\nint also_ok = 2;\nint bad = missing;\n"
+    with pytest.raises(errors.SemanticError) as excinfo:
+        compile_source(source)
+    assert excinfo.value.line == 3

@@ -1,0 +1,143 @@
+"""Tests for the pre-analysis inliner."""
+
+from repro.api import compile_source, run_module
+from repro.ir import instructions as ins
+from repro.ir.verifier import verify_module
+from repro.transform.inline import inline_module
+
+
+def calls_in(module, fn="main"):
+    return [
+        i for i in module.functions[fn].instructions()
+        if isinstance(i, ins.Call)
+    ]
+
+
+def test_small_callee_inlined():
+    module = compile_source("""
+int add(int a, int b) { return a + b; }
+int main() { return add(2, 3); }
+""")
+    inlined = inline_module(module)
+    assert inlined == 1
+    assert calls_in(module) == []
+    verify_module(module)
+    assert run_module(module).exit_value == 5
+
+
+def test_inlined_result_flows_to_uses():
+    module = compile_source("""
+int twice(int x) { return x * 2; }
+int main() { int a = twice(10); return a + twice(1); }
+""")
+    inline_module(module)
+    verify_module(module)
+    assert run_module(module).exit_value == 22
+
+
+def test_recursive_function_not_inlined():
+    module = compile_source("""
+int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+int main() { return fact(5); }
+""")
+    inline_module(module)
+    assert calls_in(module, "fact")  # self-call survives
+    verify_module(module)
+    assert run_module(module).exit_value == 120
+
+
+def test_size_limit_respected():
+    source = """
+int big(int x) {
+    int acc = x;
+""" + "\n".join(f"    acc = acc + {i};" for i in range(60)) + """
+    return acc;
+}
+int main() { return big(0); }
+"""
+    module = compile_source(source)
+    inlined = inline_module(module, size_limit=10)
+    assert inlined == 0
+    assert calls_in(module)
+
+
+def test_multilevel_inlining_bottom_up():
+    module = compile_source("""
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) * 2; }
+int main() { return mid(3); }
+""")
+    inlined = inline_module(module)
+    assert inlined >= 2
+    assert calls_in(module) == []
+    verify_module(module)
+    assert run_module(module).exit_value == 8
+
+
+def test_void_callee_inlined():
+    module = compile_source("""
+int g;
+void bump() { g = g + 1; }
+int main() { bump(); bump(); return g; }
+""")
+    inline_module(module)
+    assert calls_in(module) == []
+    verify_module(module)
+    assert run_module(module).exit_value == 2
+
+
+def test_inline_with_control_flow_in_callee():
+    module = compile_source("""
+int absval(int x) { if (x < 0) { return 0 - x; } return x; }
+int main() { return absval(0 - 9) + absval(4); }
+""")
+    inline_module(module)
+    verify_module(module)
+    assert run_module(module).exit_value == 13
+
+
+def test_inline_preserves_memory_semantics():
+    module = compile_source("""
+int buf[4];
+void put(int i, int v) { buf[i] = v; }
+int get(int i) { return buf[i]; }
+int main() {
+    put(1, 11);
+    put(2, 22);
+    return get(1) + get(2);
+}
+""")
+    inline_module(module)
+    verify_module(module)
+    assert run_module(module).exit_value == 33
+
+
+def test_inline_exposes_cross_function_spinloop():
+    from repro.core.spinloops import detect_spinloops
+
+    module = compile_source("""
+int flag;
+int read_flag() { return flag; }
+int main() { while (read_flag() == 0) { } return 0; }
+""")
+    before = detect_spinloops(module)
+    assert before.control_keys == set()  # hidden behind the call
+    inline_module(module)
+    after = detect_spinloops(module)
+    assert ("global", "flag") in after.control_keys
+
+
+def test_thread_entry_functions_survive():
+    module = compile_source("""
+int g;
+void worker() { g = 1; }
+int main() {
+    int t = thread_create(worker);
+    thread_join(t);
+    return g;
+}
+""")
+    inline_module(module)
+    assert "worker" in module.functions
+    verify_module(module)
+    assert run_module(module).exit_value == 1

@@ -1,0 +1,72 @@
+"""Tests for the Arm-calibrated cost model."""
+
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.values import Constant, GlobalVar
+from repro.lang.ctypes import INT
+from repro.vm.costs import CostModel
+
+
+def test_barrier_cost_hierarchy():
+    """The paper's design rationale [48]: plain <= implicit << explicit."""
+    costs = CostModel()
+    assert costs.plain_load <= costs.acquire_load
+    assert costs.plain_store < costs.release_store
+    assert costs.release_store < costs.fence
+    assert costs.rmw <= costs.rmw_sc < costs.fence
+
+
+def test_relaxed_atomics_cost_like_plain():
+    """Relaxed atomics compile to plain LDR/STR on Armv8."""
+    costs = CostModel()
+    assert costs.load_cost(MemoryOrder.RELAXED) == costs.plain_load
+    assert costs.store_cost(MemoryOrder.RELAXED) == costs.plain_store
+
+
+def test_order_sensitive_costs():
+    costs = CostModel()
+    assert costs.load_cost(MemoryOrder.SEQ_CST) == costs.acquire_load
+    assert costs.load_cost(MemoryOrder.ACQUIRE) == costs.acquire_load
+    assert costs.store_cost(MemoryOrder.SEQ_CST) == costs.release_store
+    assert costs.store_cost(MemoryOrder.RELEASE) == costs.release_store
+    assert costs.rmw_cost(MemoryOrder.SEQ_CST) == costs.rmw_sc
+    assert costs.rmw_cost(MemoryOrder.RELAXED) == costs.rmw
+
+
+def test_instruction_cost_dispatch():
+    costs = CostModel()
+    gvar = GlobalVar("g", INT)
+    assert costs.instruction_cost(ins.Load(gvar)) == costs.plain_load
+    assert costs.instruction_cost(
+        ins.Store(gvar, Constant(1), MemoryOrder.SEQ_CST)
+    ) == costs.release_store
+    assert costs.instruction_cost(ins.Fence()) == costs.fence
+    assert costs.instruction_cost(
+        ins.AtomicRMW("add", gvar, Constant(1))
+    ) == costs.rmw_sc
+    assert costs.instruction_cost(
+        ins.BinOp("+", Constant(1), Constant(2))
+    ) == costs.alu
+    assert costs.instruction_cost(ins.Sleep(Constant(1))) == costs.sleep_op
+    assert costs.instruction_cost(ins.CompilerBarrier()) == 0
+
+
+def test_contention_hierarchy():
+    costs = CostModel()
+    assert costs.contention < costs.contention_atomic
+
+
+def test_custom_cost_model_flows_into_runs():
+    from repro.api import compile_source
+    from repro.vm.interp import run_module
+
+    module = compile_source("""
+int g;
+int main() {
+    atomic_thread_fence(memory_order_seq_cst);
+    return g;
+}
+""")
+    cheap = run_module(module, cost_model=CostModel(fence=1))
+    dear = run_module(module, cost_model=CostModel(fence=500))
+    assert dear.cycles - cheap.cycles == 499

@@ -1,0 +1,279 @@
+"""Tests for the performance VM's execution semantics."""
+
+import pytest
+
+from repro.api import compile_source
+from repro.errors import AssertionFailure, VMError
+from repro.vm.interp import run_module
+
+
+def run(source, **kwargs):
+    return run_module(compile_source(source), **kwargs)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert run("int main() { return 2 + 3 * 4; }").exit_value == 14
+        assert run("int main() { return (2 + 3) * 4; }").exit_value == 20
+        assert run("int main() { return 17 % 5; }").exit_value == 2
+        assert run("int main() { return 17 / 5; }").exit_value == 3
+
+    def test_c_style_truncating_division(self):
+        assert run("int main() { return (0 - 7) / 2; }").exit_value == -3
+        assert run("int main() { return (0 - 7) % 2; }").exit_value == -1
+
+    def test_bitwise_ops(self):
+        assert run("int main() { return (12 & 10) | (1 << 4); }").exit_value == 24
+        assert run("int main() { return 255 ^ 15; }").exit_value == 240
+        assert run("int main() { return 32 >> 2; }").exit_value == 8
+
+    def test_comparisons_produce_zero_one(self):
+        assert run("int main() { return (3 < 4) + (4 <= 4) + (5 > 9); }").exit_value == 2
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(VMError, match="division"):
+            run("int z = 0;\nint main() { return 1 / z; }")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run("""
+int main() {
+    int x = 5;
+    if (x > 3) { return 1; } else { return 2; }
+}
+""").exit_value == 1
+
+    def test_loops_accumulate(self):
+        assert run("""
+int main() {
+    int sum = 0;
+    for (int i = 1; i <= 100; i++) { sum = sum + i; }
+    return sum;
+}
+""").exit_value == 5050
+
+    def test_break_and_continue(self):
+        assert run("""
+int main() {
+    int sum = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i % 2 == 0) { continue; }
+        if (i > 6) { break; }
+        sum = sum + i;
+    }
+    return sum;
+}
+""").exit_value == 9  # 1 + 3 + 5
+
+    def test_goto(self):
+        assert run("""
+int main() {
+    int x = 1;
+    goto skip;
+    x = 99;
+skip:
+    return x;
+}
+""").exit_value == 1
+
+    def test_short_circuit_evaluation(self):
+        assert run("""
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+    int r = 0 && bump();
+    int s = 1 || bump();
+    return calls * 10 + r + s;
+}
+""").exit_value == 1  # bump never called
+
+    def test_ternary(self):
+        assert run("int main() { int x = 7; return x > 5 ? 10 : 20; }").exit_value == 10
+
+
+class TestFunctionsAndMemory:
+    def test_recursion(self):
+        assert run("""
+int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+int main() { return fib(10); }
+""").exit_value == 55
+
+    def test_pointer_arguments(self):
+        assert run("""
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+int main() {
+    int x = 3;
+    int y = 4;
+    swap(&x, &y);
+    return x * 10 + y;
+}
+""").exit_value == 43
+
+    def test_struct_fields(self):
+        assert run("""
+struct point { int x; int y; };
+int main() {
+    struct point p;
+    p.x = 3;
+    p.y = 4;
+    struct point *q = &p;
+    return q->x * q->y;
+}
+""").exit_value == 12
+
+    def test_arrays_and_pointer_walk(self):
+        assert run("""
+int data[5] = {1, 2, 3, 4, 5};
+int main() {
+    int *p = data;
+    int sum = 0;
+    for (int i = 0; i < 5; i++) { sum = sum + *(p + i); }
+    return sum;
+}
+""").exit_value == 15
+
+    def test_malloc_heap(self):
+        assert run("""
+struct node { int v; struct node *next; };
+int main() {
+    struct node *head = NULL;
+    for (int i = 1; i <= 3; i++) {
+        struct node *n = (struct node *)malloc(sizeof(struct node));
+        n->v = i;
+        n->next = head;
+        head = n;
+    }
+    int sum = 0;
+    while (head != NULL) {
+        sum = sum + head->v;
+        head = head->next;
+    }
+    return sum;
+}
+""").exit_value == 6
+
+    def test_stack_frames_reclaimed(self):
+        result = run("""
+int leafy(int n) { int local[16]; local[0] = n; return local[0]; }
+int main() {
+    int total = 0;
+    for (int i = 0; i < 50; i++) { total = total + leafy(1); }
+    return total;
+}
+""")
+        assert result.exit_value == 50
+
+    def test_stack_overflow_detected(self):
+        with pytest.raises(VMError, match="stack overflow"):
+            run("""
+int down(int n) { return down(n + 1); }
+int main() { return down(0); }
+""")
+
+
+class TestThreads:
+    def test_two_threads_join(self):
+        result = run("""
+int a = 0;
+void worker(int v) { a = v; }
+int main() {
+    int t = thread_create(worker, 9);
+    thread_join(t);
+    return a;
+}
+""")
+        assert result.exit_value == 9
+        assert result.stats.threads_spawned == 1
+
+    def test_spinlock_protects_counter(self):
+        result = run("""
+int lock = 0;
+int counter = 0;
+void work() {
+    for (int i = 0; i < 50; i++) {
+        while (atomic_cmpxchg(&lock, 0, 1) != 0) { }
+        counter = counter + 1;
+        lock = 0;
+    }
+}
+int main() {
+    int t = thread_create(work);
+    work();
+    thread_join(t);
+    return counter;
+}
+""")
+        assert result.exit_value == 100
+
+    def test_schedule_seed_changes_interleaving_not_result(self):
+        source = """
+int flag = 0;
+int main() {
+    int t = thread_create(setter);
+    while (flag == 0) { }
+    thread_join(t);
+    return flag;
+}
+void setter() { flag = 3; }
+"""
+        for seed in range(4):
+            assert run(source, schedule_seed=seed).exit_value == 3
+
+    def test_self_join_deadlock_detected(self):
+        with pytest.raises(VMError, match="deadlock"):
+            run("""
+int main() {
+    thread_join(0);
+    return 0;
+}
+""")
+
+    def test_unknown_join_target_rejected(self):
+        with pytest.raises(VMError, match="unknown thread"):
+            run("""
+int main() {
+    thread_join(99);
+    return 0;
+}
+""")
+
+
+class TestObservability:
+    def test_assert_failure_raises(self):
+        with pytest.raises(AssertionFailure):
+            run("int main() { assert(1 == 2); return 0; }")
+
+    def test_print_output_collected(self):
+        result = run("""
+int main() {
+    for (int i = 0; i < 3; i++) { print(i * i); }
+    return 0;
+}
+""")
+        assert result.output == [0, 1, 4]
+
+    def test_stats_counters(self):
+        result = run("""
+int g;
+int main() {
+    atomic_store(&g, 5);
+    int x = atomic_load(&g);
+    atomic_fetch_add(&g, 1);
+    atomic_thread_fence(memory_order_seq_cst);
+    return x;
+}
+""")
+        stats = result.stats
+        assert stats.atomic_loads == 1
+        assert stats.atomic_stores == 1
+        assert stats.rmw_ops == 1
+        assert stats.fences == 1
+        assert stats.cycles > 0
+
+    def test_instruction_budget_enforced(self):
+        with pytest.raises(VMError, match="budget"):
+            run("""
+int stop = 0;
+int main() { while (stop == 0) { } return 0; }
+""", max_instructions=5_000)
