@@ -1,0 +1,62 @@
+"""Lint pruning: fewer barriers on the legacy lock benchmarks, still safe.
+
+The legacy variants of ck_spinlock_cas and CLHT-lb declare their
+critical-section data ``volatile`` (as the real CK and CLHT sources
+do), so AtoMig's annotation pass atomizes accesses that the per-bucket
+or TAS lock already protects.  With ``prune_protected`` the lockset
+analysis proves the protection and exempts those accesses; this suite
+asserts the implicit-barrier count strictly drops while the pruned
+module still verifies under WMM.
+
+It also re-lints the whole corpus against the committed snapshot
+(``benchmarks/results/lint_corpus.txt``) so classification changes show
+up as a diff in CI rather than silently.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+
+from repro.bench.tables import LINT_BENCHMARKS, format_table, table_lint
+
+SNAPSHOT = os.path.join(
+    os.path.dirname(__file__), "results", "lint_corpus.txt"
+)
+
+
+def test_lint_pruning_reduces_barriers(benchmark, record_table):
+    rows = benchmark.pedantic(table_lint, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        ["benchmark", "atomig_impl", "pruned_impl", "pruned", "wmm_ok"],
+        title="Table 7: lock-protection pruning (atomig lint)",
+    )
+    record_table("table_lint", text)
+    assert {row["benchmark"] for row in rows} == set(LINT_BENCHMARKS)
+    for row in rows:
+        assert row["pruned"] > 0, (
+            f"{row['benchmark']}: nothing pruned"
+        )
+        assert row["pruned_impl"] < row["atomig_impl"], (
+            f"{row['benchmark']}: pruning did not reduce implicit barriers"
+        )
+        assert row["wmm_ok"], (
+            f"{row['benchmark']}: pruned module fails under WMM"
+        )
+
+
+def test_lint_corpus_matches_snapshot():
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        exit_code = main(["lint", "--corpus"])
+    assert exit_code == 0
+    current = buffer.getvalue()
+    with open(SNAPSHOT) as handle:
+        expected = handle.read()
+    assert current == expected, (
+        "lint classifications changed; review and regenerate the snapshot "
+        "with: PYTHONPATH=src python -m repro lint --corpus "
+        "> benchmarks/results/lint_corpus.txt"
+    )

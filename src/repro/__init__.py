@@ -27,18 +27,21 @@ from repro.api import (
     PortingLevel,
     check_module,
     compile_source,
+    lint_module,
     port_module,
     run_module,
 )
 from repro.core.config import AtoMigConfig
-from repro.core.report import PortingReport
+from repro.core.report import LintReport, PortingReport
 
 __all__ = [
     "AtoMigConfig",
+    "LintReport",
     "PortingLevel",
     "PortingReport",
     "check_module",
     "compile_source",
+    "lint_module",
     "port_module",
     "run_module",
 ]

@@ -5,14 +5,22 @@ from repro.analysis.dominators import DominatorTree
 from repro.analysis.loops import Loop, find_loops
 from repro.analysis.nonlocal_ import NonLocalInfo
 from repro.analysis.influence import InfluenceAnalysis
-from repro.analysis.callgraph import CallGraph
+from repro.analysis.callgraph import CallGraph, CallSite
+from repro.analysis.lockset import LocksetResult, compute_locksets
+from repro.analysis.races import AccessClass, RaceReport, classify_module
 
 __all__ = [
+    "AccessClass",
     "CallGraph",
+    "CallSite",
     "DominatorTree",
     "InfluenceAnalysis",
     "Loop",
+    "LocksetResult",
     "NonLocalInfo",
+    "RaceReport",
+    "classify_module",
+    "compute_locksets",
     "find_loops",
     "predecessors",
     "reverse_postorder",

@@ -1,6 +1,34 @@
-"""Call graph with recursion detection, used by the pre-inlining pass."""
+"""Call graph with recursion detection and per-site provenance.
+
+Besides the caller/callee edge sets used by the pre-inlining pass, the
+graph records every call *site* — (caller, block, instruction index) —
+so context-sensitive interprocedural passes (e.g. the lockset analysis)
+can evaluate the dataflow state *at* each site rather than merging all
+calls of a function into one edge.
+"""
+
+from dataclasses import dataclass
 
 from repro.ir import instructions as ins
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One direct call (or thread spawn) with its exact position."""
+
+    caller: str
+    callee: str
+    block_label: str
+    #: Index of the call instruction within its block.
+    index: int
+    #: The Call / ThreadCreate instruction itself.
+    instr: object
+
+    def __repr__(self):
+        return (
+            f"CallSite(@{self.caller}/{self.block_label}[{self.index}] "
+            f"-> @{self.callee})"
+        )
 
 
 class CallGraph:
@@ -11,13 +39,35 @@ class CallGraph:
         self.callees = {name: set() for name in module.functions}
         self.callers = {name: set() for name in module.functions}
         self.thread_entries = set()
+        #: All direct call sites, in block order per function.
+        self.call_sites = []
+        #: Thread spawn sites (ThreadCreate), with the same provenance.
+        self.spawn_sites = []
         for function in module.functions.values():
-            for instr in function.instructions():
-                if isinstance(instr, ins.Call):
-                    self.callees[function.name].add(instr.callee.name)
-                    self.callers[instr.callee.name].add(function.name)
-                elif isinstance(instr, ins.ThreadCreate):
-                    self.thread_entries.add(instr.callee.name)
+            for block in function.blocks:
+                for index, instr in enumerate(block.instructions):
+                    if isinstance(instr, ins.Call):
+                        site = CallSite(
+                            function.name, instr.callee.name,
+                            block.label, index, instr,
+                        )
+                        self.call_sites.append(site)
+                        self.callees[function.name].add(instr.callee.name)
+                        self.callers[instr.callee.name].add(function.name)
+                    elif isinstance(instr, ins.ThreadCreate):
+                        self.spawn_sites.append(CallSite(
+                            function.name, instr.callee.name,
+                            block.label, index, instr,
+                        ))
+                        self.thread_entries.add(instr.callee.name)
+
+    def sites_of(self, callee):
+        """All call sites whose target is ``callee`` (spawns excluded)."""
+        return [site for site in self.call_sites if site.callee == callee]
+
+    def sites_in(self, caller):
+        """All call sites located inside ``caller``, in block order."""
+        return [site for site in self.call_sites if site.caller == caller]
 
     def recursive_functions(self):
         """Names of functions in call-graph cycles (incl. self-recursion)."""

@@ -52,6 +52,21 @@ def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000):
     return _check(module, model=model, max_steps=max_steps, max_states=max_states)
 
 
+def lint_module(module, name_heuristic=True):
+    """Run the static race & portability linter on ``module``.
+
+    Classifies every non-local memory access as lock / protected /
+    unshared / read-only / racy / unknown using the interprocedural
+    lockset analysis.  Returns a :class:`repro.core.report.LintReport`.
+    """
+    from repro.analysis.races import classify_module
+    from repro.core.report import LintReport
+
+    return LintReport(races=classify_module(
+        module, name_heuristic=name_heuristic
+    ))
+
+
 def run_module(module, entry="main", schedule_seed=0, cost_model=None):
     """Execute ``module`` on the performance VM.
 
@@ -71,6 +86,7 @@ __all__ = [
     "PortingLevel",
     "check_module",
     "compile_source",
+    "lint_module",
     "port_module",
     "run_module",
 ]

@@ -100,6 +100,15 @@ _register(Benchmark(
 ))
 
 _register(Benchmark(
+    name="ck_spinlock_cas_legacy",
+    description="CAS spinlock with volatile critical-section data "
+                "(lint-pruning target)",
+    mc_source=ck_spinlock_cas.legacy_mc_source,
+    perf_source=ck_spinlock_cas.legacy_perf_source,
+    tags=("lint",),
+))
+
+_register(Benchmark(
     name="lf_hash",
     description="MariaDB lock-free hash (Figure 7 bug)",
     mc_source=lf_hash.mc_source,
@@ -139,6 +148,15 @@ _register(Benchmark(
     paper_naive=1.89,
     paper_atomig=1.10,
     tags=("table5",),
+))
+
+_register(Benchmark(
+    name="clht_lb_legacy",
+    description="CLHT lock-based with volatile values, as in the real "
+                "sources (lint-pruning target)",
+    mc_source=clht.lb_legacy_mc_source,
+    perf_source=clht.lb_legacy_perf_source,
+    tags=("lint",),
 ))
 
 _register(Benchmark(

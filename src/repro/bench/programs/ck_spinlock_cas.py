@@ -56,6 +56,29 @@ void unlock() {
 """
 
 
+def _tso_lock_legacy():
+    # Legacy-TSO variant: the critical-section data itself is declared
+    # volatile (CK habitually accesses shared fields through volatile
+    # casts).  AtoMig's §3.2 annotation pass promotes every volatile
+    # access to an SC atomic even though the lock already protects them
+    # — the over-atomization the lint pruning stage removes.
+    return """
+int lock_word = 0;
+volatile int counter = 0;
+volatile int shared_data[64];
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void unlock() {
+    lock_word = 0;
+}
+"""
+
+
 def _expert_lock():
     # CK's aarch64 port: explicit barriers around acquire and release.
     return """
@@ -87,3 +110,11 @@ def perf_source(rounds=150, payload=24):
 
 def expert_source(rounds=150, payload=24):
     return _expert_lock() + _BODY.format(rounds=rounds, payload=payload)
+
+
+def legacy_mc_source():
+    return _tso_lock_legacy() + _BODY.format(rounds=1, payload=1)
+
+
+def legacy_perf_source(rounds=150, payload=24):
+    return _tso_lock_legacy() + _BODY.format(rounds=rounds, payload=payload)

@@ -72,6 +72,17 @@ int clht_get(int key) {{
 }}
 """
 
+# Legacy variant faithful to the real CLHT sources, where values are
+# declared ``volatile clht_val_t`` even though every access happens
+# under the per-bucket spin lock.  AtoMig's annotation pass promotes
+# every volatile access to an SC atomic; the lint pruning stage proves
+# the lock already protects them and demotes them back to plain.
+_LB_LEGACY = _LB.replace(
+    "int bucket_key[{slots_total}];\nint bucket_val[{slots_total}];",
+    "volatile int bucket_key[{slots_total}];\n"
+    "volatile int bucket_val[{slots_total}];",
+)
+
 _LF = """
 enum {{ BUCKETS = {buckets}, SLOTS = 4 }};
 
@@ -159,6 +170,20 @@ def lb_mc_source(buckets=2):
 
 def lb_perf_source(ops=200, buckets=16):
     table = _HASH.format() + _LB.format(buckets=buckets, slots_total=buckets * 4)
+    return table + _PERF_CLIENT.format(ops=ops)
+
+
+def lb_legacy_mc_source(buckets=2):
+    table = _HASH.format() + _LB_LEGACY.format(
+        buckets=buckets, slots_total=buckets * 4
+    )
+    return table + _MC_CLIENT.format()
+
+
+def lb_legacy_perf_source(ops=200, buckets=16):
+    table = _HASH.format() + _LB_LEGACY.format(
+        buckets=buckets, slots_total=buckets * 4
+    )
     return table + _PERF_CLIENT.format(ops=ops)
 
 

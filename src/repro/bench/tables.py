@@ -90,6 +90,49 @@ def table2(max_steps=600, max_states=400_000):
 
 
 # ---------------------------------------------------------------------------
+# Lint-pruning table — effect of prune_protected on the legacy benchmarks
+# ---------------------------------------------------------------------------
+
+
+LINT_BENCHMARKS = ("ck_spinlock_cas_legacy", "clht_lb_legacy")
+
+
+def table_lint(benchmarks=LINT_BENCHMARKS, max_steps=4000,
+               max_states=400_000):
+    """Barrier counts with and without lock-protection pruning.
+
+    For each legacy benchmark (volatile critical-section data, as in the
+    real CK / CLHT sources) port once with plain AtoMig and once with
+    ``prune_protected``; report the implicit-barrier counts, how many
+    accesses the lockset analysis exempted, and whether the pruned
+    variant still verifies under WMM.
+    """
+    from repro.core.config import AtoMigConfig
+    from repro.core.report import count_barriers
+
+    rows = []
+    for name in benchmarks:
+        benchmark = BENCHMARKS[name]
+        module = compile_source(benchmark.mc_source(), name)
+        atomig, _ = port_module(module, PortingLevel.ATOMIG)
+        pruned, report = port_module(
+            module, PortingLevel.ATOMIG,
+            config=AtoMigConfig(prune_protected=True),
+        )
+        result = check_module(
+            pruned, model="wmm", max_steps=max_steps, max_states=max_states,
+        )
+        rows.append({
+            "benchmark": name,
+            "atomig_impl": count_barriers(atomig)[1],
+            "pruned_impl": count_barriers(pruned)[1],
+            "pruned": report.pruned_protected,
+            "wmm_ok": result.ok,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Table 3 — scalability statistics on the large applications
 # ---------------------------------------------------------------------------
 

@@ -5,6 +5,7 @@ Subcommands mirror the library workflow:
 - ``atomig port file.c``    — port a Mini-C file, print the report / IR;
 - ``atomig check file.c``   — model-check under sc/tso/wmm;
 - ``atomig run file.c``     — execute on the performance VM;
+- ``atomig lint file.c``    — static race & portability linter;
 - ``atomig litmus [NAME]``  — run the calibration litmus tests;
 - ``atomig tables [N ...]`` — regenerate the paper's evaluation tables.
 """
@@ -12,7 +13,13 @@ Subcommands mirror the library workflow:
 import argparse
 import sys
 
-from repro.api import check_module, compile_source, port_module, run_module
+from repro.api import (
+    check_module,
+    compile_source,
+    lint_module,
+    port_module,
+    run_module,
+)
 from repro.core.config import AtoMigConfig, PortingLevel
 
 _LEVELS = {level.value: level for level in PortingLevel}
@@ -39,7 +46,7 @@ def _add_level_arg(parser):
 
 def _build_config(args):
     if not (args.polling or args.barrier_seeds or args.strict_spinloops
-            or args.no_inline or args.no_alias):
+            or args.no_inline or args.no_alias or args.prune_protected):
         return None
     return AtoMigConfig(
         detect_polling_loops=args.polling,
@@ -47,6 +54,7 @@ def _build_config(args):
         strict_spinloop_definition=args.strict_spinloops,
         inline_before_analysis=not args.no_inline,
         alias_exploration=not args.no_alias,
+        prune_protected=args.prune_protected,
     )
 
 
@@ -61,6 +69,9 @@ def _add_config_args(parser):
                         help="disable pre-analysis inlining (ablation)")
     parser.add_argument("--no-alias", action="store_true",
                         help="disable alias exploration (ablation)")
+    parser.add_argument("--prune-protected", action="store_true",
+                        help="exempt lint-proven lock-protected accesses "
+                             "from atomization")
 
 
 def cmd_port(args):
@@ -75,6 +86,8 @@ def cmd_port(args):
         print(f"optimistic loops: {report.optimistic_loops}")
     if report.fences_inserted:
         print(f"explicit fences inserted: {report.fences_inserted}")
+    if report.pruned_protected:
+        print(f"lock-protected accesses pruned: {report.pruned_protected}")
     for note in report.notes:
         print(f"note: {note}")
     if args.emit_ir:
@@ -141,6 +154,50 @@ def cmd_diff(args):
     return 0
 
 
+def cmd_lint(args):
+    if args.corpus:
+        return _lint_corpus(args)
+    if not args.file:
+        print("lint: a FILE is required unless --corpus is given")
+        return 2
+    module = _load(args.file)
+    report = lint_module(module, name_heuristic=not args.no_name_heuristic)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(show=_lint_classes(args)))
+    racy = report.counts().get("racy", 0)
+    return 1 if args.fail_on_racy and racy else 0
+
+
+def _lint_classes(args):
+    if args.all:
+        return ("lock", "protected", "unshared", "read_only", "racy",
+                "unknown", "unreachable")
+    return ("racy", "unknown", "protected", "lock")
+
+
+def _lint_corpus(args):
+    """Lint every corpus benchmark (the CI regression snapshot)."""
+    from repro.bench.corpus import BENCHMARKS
+
+    for name in sorted(BENCHMARKS):
+        benchmark = BENCHMARKS[name]
+        source = benchmark.mc_source or benchmark.perf_source
+        if source is None:
+            continue
+        module = compile_source(source(), name)
+        report = lint_module(module)
+        counts = report.counts()
+        histogram = " ".join(
+            f"{key}={counts[key]}" for key in sorted(counts)
+        )
+        print(f"{name:20s} locks={len(report.races.locks)} {histogram}")
+    return 0
+
+
 def cmd_litmus(args):
     from repro.mc.litmus import LITMUS_TESTS, expected_verdict, run_litmus
 
@@ -167,7 +224,7 @@ def cmd_litmus(args):
 def cmd_tables(args):
     from repro.bench import tables as T
 
-    selected = args.numbers or [1, 2, 3, 4, 5, 6]
+    selected = args.numbers or [1, 2, 3, 4, 5, 6, 7]
     printers = {
         1: lambda: T.format_table(
             T.table1(),
@@ -197,6 +254,10 @@ def cmd_tables(args):
             ["benchmark", "naive", "lasagne", "atomig",
              "paper_naive", "paper_lasagne", "paper_atomig"],
             title="Table 6: Phoenix"),
+        7: lambda: T.format_table(
+            T.table_lint(),
+            ["benchmark", "atomig_impl", "pruned_impl", "pruned", "wmm_ok"],
+            title="Table 7: lock-protection pruning (atomig lint)"),
     }
     for number in selected:
         if number not in printers:
@@ -248,6 +309,25 @@ def build_parser():
     _add_level_arg(diff)
     _add_config_args(diff)
     diff.set_defaults(func=cmd_diff)
+
+    lint = sub.add_parser(
+        "lint", help="static race & portability linter (lockset analysis)"
+    )
+    lint.add_argument("file", nargs="?",
+                      help="Mini-C or .ir file to lint")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the structured report as JSON")
+    lint.add_argument("--all", action="store_true",
+                      help="show every classification, not just the "
+                           "actionable ones")
+    lint.add_argument("--fail-on-racy", action="store_true",
+                      help="exit 1 when racy accesses are found")
+    lint.add_argument("--no-name-heuristic", action="store_true",
+                      help="disable the lock/unlock function-pair "
+                           "name heuristic")
+    lint.add_argument("--corpus", action="store_true",
+                      help="lint every corpus benchmark (CI snapshot mode)")
+    lint.set_defaults(func=cmd_lint)
 
     litmus = sub.add_parser("litmus", help="run calibration litmus tests")
     litmus.add_argument("names", nargs="*")

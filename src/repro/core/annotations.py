@@ -40,13 +40,13 @@ def analyze_annotations(module, blacklist=()):
         info = NonLocalInfo(function)
         for instr in function.instructions():
             if isinstance(instr, (ins.Load, ins.Store)):
-                if instr.volatile and not _blacklisted(instr, blacklist):
-                    _mark(instr, info, result)
-                elif instr.order.is_atomic:
-                    _mark(instr, info, result)
+                if instr.order.is_atomic:
+                    _mark(instr, info, result, "annotation_atomic")
+                elif instr.volatile and not _blacklisted(instr, blacklist):
+                    _mark(instr, info, result, "annotation_volatile")
             elif isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
                 # RMW operations are atomic by construction; raise to SC.
-                _mark(instr, info, result)
+                _mark(instr, info, result, "annotation_atomic")
     return result
 
 
@@ -61,11 +61,15 @@ def _blacklisted(instr, blacklist):
     return isinstance(root, GlobalVar) and root.name in blacklist
 
 
-def _mark(instr, info, result):
+def _mark(instr, info, result, kind):
     if instr.order is not MemoryOrder.SEQ_CST:
         instr.order = MemoryOrder.SEQ_CST
         result.conversions += 1
+    # ``annotation`` is the public provenance mark; the ``kind`` sub-mark
+    # distinguishes volatile promotions (prunable when lock-protected)
+    # from source-level atomics (never prunable).
     instr.marks.add("annotation")
+    instr.marks.add(kind)
     result.marked_instructions.add(instr)
     key = info.location_key(instr.accessed_pointer())
     if key is not None:

@@ -69,6 +69,12 @@ class AtoMigConfig:
     #: §6 extension: use compiler-barrier placements
     #: (``__asm__("" ::: "memory")``) as additional detection seeds.
     compiler_barrier_seeds: bool = False
+    #: Lint-based pruning: exempt accesses the static race linter proves
+    #: consistently lock-protected (structural lock idioms only) from
+    #: atomization.  They are race-free under any memory model, so the
+    #: SC promotion is pure overhead.  Off by default to match the
+    #: paper's evaluated configuration.
+    prune_protected: bool = False
 
     @classmethod
     def for_level(cls, level):

@@ -12,6 +12,7 @@ from repro.core.annotations import analyze_annotations
 from repro.core.atomize import atomize_accesses, insert_optimistic_fences
 from repro.core.config import AtoMigConfig, PortingLevel
 from repro.core.optimistic import detect_optimistic_loops
+from repro.core.prune import prune_protected_accesses
 from repro.core.report import PortingReport, count_barriers
 from repro.core.spinloops import detect_spinloops
 from repro.ir.verifier import verify_module
@@ -118,8 +119,19 @@ def _run_atomig(ported, level, config, report):
         sticky, _index = explore_aliases(ported, seed_keys)
         report.sticky_conversions = len(sticky - marked)
 
+    to_atomize = marked | sticky
+    if config.prune_protected:
+        pruned = prune_protected_accesses(ported, to_atomize)
+        to_atomize -= pruned
+        report.pruned_protected = len(pruned)
+        if pruned:
+            report.notes.append(
+                f"lint pruning: {len(pruned)} lock-protected accesses "
+                f"left plain"
+            )
+
     atomize_accesses(
-        marked | sticky, force_explicit=config.force_explicit_barriers
+        to_atomize, force_explicit=config.force_explicit_barriers
     )
 
     if optimistic is not None and optimistic.optimistic_loops:

@@ -1,0 +1,55 @@
+"""Lock-protection pruning of over-atomization (``prune_protected``).
+
+AtoMig deliberately over-approximates (§3.5): volatile promotion and
+sticky-buddy alias exploration mark every type-compatible access, so
+consistently lock-protected plain accesses get promoted to SC atomics —
+pure overhead.  By the reduction argument for well-locked programs,
+accesses that hold a common lock at every concurrent occurrence are
+race-free under *any* memory model; this stage exempts exactly those
+from atomization.
+
+Never pruned, regardless of what the linter says:
+
+- lock-word accesses themselves (class ``lock``);
+- spin and optimistic controls (the WMM repair depends on them);
+- source-level C11 atomics (``annotation_atomic``): the programmer
+  asked for atomicity, only its *order* was AtoMig's doing;
+- RMW instructions (atomic by construction, nothing to demote);
+- accesses proven protected only by the name-pair heuristic.
+"""
+
+from repro.analysis.races import classify_module
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+
+#: Provenance marks that veto pruning.
+_VETO_MARKS = frozenset(
+    ("spin_control", "optimistic_control", "annotation_atomic")
+)
+
+
+def prune_protected_accesses(module, candidates, race_report=None):
+    """Demote protected ``candidates`` back to plain accesses.
+
+    ``candidates`` is the set of marked instructions about to be
+    atomized.  Returns the pruned subset; each pruned access gets a
+    ``pruned_protected`` provenance mark and its order reset to plain.
+    The race report used for the decision is stored in
+    ``module.metadata["lint_report"]`` for downstream reporting.
+    """
+    report = race_report or classify_module(module)
+    module.metadata["lint_report"] = report
+    protected = report.protected_instructions(structural_only=True)
+
+    pruned = set()
+    for instr in candidates:
+        if instr not in protected:
+            continue
+        if not isinstance(instr, (ins.Load, ins.Store)):
+            continue
+        if instr.marks & _VETO_MARKS:
+            continue
+        instr.order = MemoryOrder.NOT_ATOMIC
+        instr.marks.add("pruned_protected")
+        pruned.add(instr)
+    return pruned

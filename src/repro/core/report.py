@@ -28,6 +28,8 @@ class PortingReport:
     annotation_conversions: int = 0
     #: Accesses converted via sticky-buddy alias exploration.
     sticky_conversions: int = 0
+    #: Marked accesses exempted by lock-protection pruning.
+    pruned_protected: int = 0
     #: Explicit fences inserted by the optimistic-loop transformation.
     fences_inserted: int = 0
     #: Barrier counts before the transformation.
@@ -60,6 +62,95 @@ class PortingReport:
             f"{self.ported_explicit_barriers} expl / "
             f"{self.ported_implicit_barriers} impl"
         )
+
+
+@dataclass
+class LintReport:
+    """Rendering wrapper around a :class:`repro.analysis.races.RaceReport`.
+
+    This is what ``atomig lint`` prints: one line per non-local access
+    with provenance, classification, the locks held, and a suggested
+    remediation — plus the lock inventory and a class histogram.
+    """
+
+    races: object = None
+
+    @property
+    def module_name(self):
+        return self.races.module_name
+
+    @property
+    def findings(self):
+        return self.races.findings
+
+    def counts(self):
+        return self.races.counts()
+
+    def summary(self):
+        counts = self.counts()
+        parts = ", ".join(
+            f"{counts[k]} {k}" for k in sorted(counts)
+        ) or "no non-local accesses"
+        return (
+            f"lint {self.module_name}: {len(self.races.locks)} locks, "
+            f"{parts}"
+        )
+
+    def render(self, show=("racy", "unknown", "protected", "lock")):
+        """Multi-line human-readable report."""
+        lines = [self.summary()]
+        for key, lock in sorted(
+            self.races.locks.items(), key=lambda item: repr(item[0])
+        ):
+            kind = "heuristic" if lock.heuristic else "structural"
+            lines.append(
+                f"  lock {lock.describe()} [{kind}]: "
+                f"{len(lock.acquire_sites)} acquire / "
+                f"{len(lock.release_sites)} release sites"
+            )
+        for finding in self.findings:
+            if finding.classification.value not in show:
+                continue
+            held = f" holding {{{', '.join(finding.lockset)}}}" if (
+                finding.lockset
+            ) else ""
+            lines.append(
+                f"  [{finding.classification.value}] {finding.location()} "
+                f"{finding.instr!r}{held}"
+            )
+            lines.append(f"      -> {finding.remediation}")
+        return "\n".join(lines)
+
+    def to_dict(self):
+        """JSON-ready structure (used by ``atomig lint --json``)."""
+        return {
+            "module": self.module_name,
+            "counts": self.counts(),
+            "locks": [
+                {
+                    "key": list(lock.key),
+                    "heuristic": lock.heuristic,
+                    "acquire_sites": lock.acquire_sites,
+                    "release_sites": lock.release_sites,
+                }
+                for lock in self.races.locks.values()
+            ],
+            "findings": [
+                {
+                    "function": finding.function,
+                    "block": finding.block_label,
+                    "line": finding.source_line,
+                    "instr": repr(finding.instr),
+                    "key": list(finding.key) if finding.key else None,
+                    "class": finding.classification.value,
+                    "lockset": list(finding.lockset),
+                    "confidence": finding.confidence,
+                    "concurrent": finding.concurrent,
+                    "remediation": finding.remediation,
+                }
+                for finding in self.findings
+            ],
+        }
 
 
 def count_barriers(module):

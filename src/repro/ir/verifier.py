@@ -4,11 +4,38 @@ Catches the invariant violations that passes could introduce: blocks
 without terminators, terminators in the middle of a block, operands that
 belong to other functions, dangling branch targets, and calls to
 functions outside the module.
+
+It also enforces C11 memory-order well-formedness so no pass can emit
+semantically meaningless combinations: loads cannot carry release
+orders, stores cannot carry acquire/consume orders, fences must have an
+order that actually fences, and atomic accesses must target a
+single-slot (atomic-capable) location — never a whole array or struct.
 """
 
 from repro.errors import IRError
 from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
 from repro.ir.values import Argument, Constant, GlobalVar
+
+#: Orders a stand-alone fence may carry.  ``fence relaxed`` (and weaker)
+#: is a no-op C11 forbids; consume fences are promoted to acquire by
+#: every compiler and never reach the IR.
+_FENCE_ORDERS = frozenset((
+    MemoryOrder.ACQUIRE,
+    MemoryOrder.RELEASE,
+    MemoryOrder.ACQ_REL,
+    MemoryOrder.SEQ_CST,
+))
+
+#: Orders that are invalid on a load (release semantics need a write).
+_BAD_LOAD_ORDERS = frozenset((MemoryOrder.RELEASE, MemoryOrder.ACQ_REL))
+
+#: Orders that are invalid on a store (acquire semantics need a read).
+_BAD_STORE_ORDERS = frozenset((
+    MemoryOrder.CONSUME,
+    MemoryOrder.ACQUIRE,
+    MemoryOrder.ACQ_REL,
+))
 
 
 def verify_module(module):
@@ -61,6 +88,7 @@ def _verify_function(function, module):
                         f"@{function.name}: call to out-of-module function "
                         f"@{instr.callee.name}"
                     )
+            _verify_memory_semantics(function, block, instr)
 
     # Operand sanity: every non-constant operand must be a global, an
     # argument of this function, or an instruction of this function.
@@ -71,6 +99,47 @@ def _verify_function(function, module):
         for instr in block.instructions:
             for operand in instr.operands:
                 _verify_operand(function, instr, operand, instruction_set)
+
+
+def _verify_memory_semantics(function, block, instr):
+    where = f"@{function.name}/{block.label}"
+    if isinstance(instr, ins.Fence):
+        if instr.order not in _FENCE_ORDERS:
+            raise IRError(
+                f"{where}: fence with invalid order "
+                f"{instr.order.name.lower()}"
+            )
+        return
+    if isinstance(instr, ins.Load) and instr.order in _BAD_LOAD_ORDERS:
+        raise IRError(
+            f"{where}: load cannot have release semantics "
+            f"({instr.order.name.lower()})"
+        )
+    if isinstance(instr, ins.Store) and instr.order in _BAD_STORE_ORDERS:
+        raise IRError(
+            f"{where}: store cannot have acquire semantics "
+            f"({instr.order.name.lower()})"
+        )
+    atomic = isinstance(instr, (ins.AtomicRMW, ins.Cmpxchg)) or (
+        isinstance(instr, (ins.Load, ins.Store)) and instr.order.is_atomic
+    )
+    if atomic:
+        size = _pointee_slots(instr.pointer)
+        if size > 1:
+            raise IRError(
+                f"{where}: atomic {instr.opcode} on multi-slot operand "
+                f"{instr.pointer.short()} ({size} slots; not "
+                f"atomic-capable)"
+            )
+
+
+def _pointee_slots(pointer):
+    """Number of memory slots an access through ``pointer`` covers."""
+    if isinstance(pointer, GlobalVar):
+        return max(pointer.value_type.size, 1)
+    if isinstance(pointer, ins.Alloca):
+        return max(pointer.allocated_type.size, 1)
+    return 1
 
 
 def _branch_targets(instr):

@@ -56,6 +56,55 @@ int main() { return a() + b(); }
     assert graph.recursive_functions() == set()
 
 
+def test_call_sites_record_exact_positions():
+    module = compile_source("""
+int leaf() { return 1; }
+int mid() { return leaf() + leaf(); }
+int main() { return mid(); }
+""")
+    graph = CallGraph(module)
+    sites = graph.sites_of("leaf")
+    assert len(sites) == 2
+    assert all(site.caller == "mid" for site in sites)
+    for site in sites:
+        block = module.functions["mid"].block_map()[site.block_label]
+        assert block.instructions[site.index] is site.instr
+        assert site.instr.callee.name == "leaf"
+    # The two calls are distinct sites even when in the same block.
+    assert len({(s.block_label, s.index) for s in sites}) == 2
+
+
+def test_sites_in_lists_a_functions_own_calls():
+    module = compile_source("""
+int a() { return 1; }
+int b() { return a(); }
+int main() { return a() + b(); }
+""")
+    graph = CallGraph(module)
+    assert {site.callee for site in graph.sites_in("main")} == {"a", "b"}
+    assert {site.callee for site in graph.sites_in("b")} == {"a"}
+    assert graph.sites_in("a") == []
+
+
+def test_spawn_sites_are_separate_from_call_sites():
+    module = compile_source("""
+void worker() { }
+int main() {
+    int t = thread_create(worker);
+    worker();
+    thread_join(t);
+    return 0;
+}
+""")
+    graph = CallGraph(module)
+    assert len(graph.spawn_sites) == 1
+    spawn = graph.spawn_sites[0]
+    assert (spawn.caller, spawn.callee) == ("main", "worker")
+    # sites_of only returns plain calls; the spawn is not among them.
+    assert len(graph.sites_of("worker")) == 1
+    assert graph.sites_of("worker")[0].instr is not spawn.instr
+
+
 def test_bottom_up_order_visits_callees_first():
     module = compile_source("""
 int leaf() { return 1; }

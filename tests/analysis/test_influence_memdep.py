@@ -178,6 +178,128 @@ int main() {
     )
 
 
+def test_nested_loops_have_distinct_closures():
+    function, loops, influence = setup("""
+int flag;
+int work;
+int main() {
+    for (int i = 0; i < 4; i++) {
+        work = work + i;
+        while (flag == 0) { cpu_relax(); }
+    }
+    return 0;
+}
+""")
+    assert len(loops) == 2
+    inner = min(loops, key=lambda loop: len(loop.body))
+    outer = max(loops, key=lambda loop: len(loop.body))
+    assert inner.body < outer.body  # properly nested
+    condition = inner.exit_conditions()[0]
+    closure = influence.closure(condition, inner.body)
+    # The inner spin condition depends on @flag but not on @work or the
+    # outer induction variable's in-loop stores outside the region.
+    assert closure.has_nonlocal
+    names = {
+        getattr(acc.pointer, "name", None)
+        for acc in closure.nonlocal_accesses
+        if hasattr(acc, "pointer")
+    }
+    assert "flag" in names
+    assert "work" not in names
+
+
+def test_outer_loop_closure_sees_inner_dependencies():
+    function, loops, influence = setup("""
+int limit;
+int main() {
+    int total = 0;
+    for (int i = 0; i < limit; i++) {
+        for (int j = 0; j < 4; j++) { total = total + 1; }
+    }
+    return total;
+}
+""")
+    assert len(loops) == 2
+    outer = max(loops, key=lambda loop: len(loop.body))
+    condition = outer.exit_conditions()[0]
+    closure = influence.closure(condition, outer.body)
+    assert closure.has_nonlocal
+    assert any(
+        getattr(acc.pointer, "name", None) == "limit"
+        for acc in closure.nonlocal_accesses
+    )
+
+
+def test_memdep_scopes_stores_to_inner_region():
+    function, loops, _ = setup("""
+int g;
+int main() {
+    int l = 0;
+    for (int i = 0; i < 4; i++) {
+        l = 1;
+        do { l = g; } while (l == 0);
+    }
+    return l;
+}
+""")
+    memdep = MemoryDependence(function)
+    inner = min(loops, key=lambda loop: len(loop.body))
+    inner_loads = [
+        i for i in inner.instructions()
+        if isinstance(i, ins.Load) and isinstance(i.pointer, ins.Alloca)
+    ]
+    cond_load = inner_loads[-1]
+    # Within the inner region only the l = g store reaches the
+    # condition; the outer loop's l = 1 is out of region.
+    stores = memdep.reaching_stores(cond_load, inner.body)
+    assert len(stores) == 1
+    assert not any(
+        getattr(store.value, "value", None) == 1 for store in stores
+    )
+
+
+def test_multi_level_gep_address_dependency():
+    function, loops, influence = setup("""
+int grid[4][4];
+int row;
+int col;
+int main() {
+    while (grid[row][col] == 0) { cpu_relax(); }
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    # The element load plus both index loads feed the condition.
+    names = {
+        getattr(acc.pointer, "name", None)
+        for acc in closure.nonlocal_accesses
+        if hasattr(acc, "pointer")
+    }
+    assert {"row", "col"} <= names
+    assert len(closure.nonlocal_accesses) == 3
+
+
+def test_escaped_local_spin_is_nonlocal_influence():
+    function, loops, influence = setup("""
+void publish(int *p) { *p = 1; }
+int main() {
+    int ready = 0;
+    int t = thread_create(publish, &ready);
+    while (ready == 0) { cpu_relax(); }
+    thread_join(t);
+    return 0;
+}
+""")
+    loop = loops[0]
+    condition = loop.exit_conditions()[0]
+    closure = influence.closure(condition, loop.body)
+    # ready's address escaped through the spawn, so spinning on it is a
+    # non-local dependence even though it is an alloca.
+    assert closure.has_nonlocal
+
+
 def test_nonlocal_stores_matching_by_global():
     function, loops, influence = setup("""
 int flag;

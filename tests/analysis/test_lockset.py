@@ -1,0 +1,260 @@
+"""Tests for the interprocedural must-lockset analysis."""
+
+from repro.analysis.lockset import Transfer, compute_locksets
+from repro.api import compile_source
+from repro.ir import instructions as ins
+
+LOCK_KEY = ("global", "lock_word")
+
+TAS_PROGRAM = """
+int lock_word = 0;
+int counter = 0;
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void unlock() {
+    lock_word = 0;
+}
+
+void work() {
+    counter = counter + 1;
+}
+
+void worker() {
+    lock();
+    work();
+    unlock();
+}
+
+void thread_fn() {
+    worker();
+}
+
+int main() {
+    int t = thread_create(thread_fn);
+    worker();
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def _find(module, function, predicate):
+    found = [
+        instr for instr in module.functions[function].instructions()
+        if predicate(instr)
+    ]
+    assert found, f"no matching instruction in @{function}"
+    return found
+
+
+def _accesses(module, function, global_name, kind=(ins.Load, ins.Store)):
+    return _find(module, function, lambda i: (
+        isinstance(i, kind)
+        and getattr(i.accessed_pointer(), "name", None) == global_name
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Transfer algebra
+# ---------------------------------------------------------------------------
+
+
+def test_transfer_apply():
+    xfer = Transfer(gen=frozenset({"a"}), kill=frozenset({"b"}))
+    assert xfer.apply(frozenset({"b", "c"})) == frozenset({"a", "c"})
+
+
+def test_transfer_sequential_composition():
+    acquire = Transfer(gen=frozenset({"l"}))
+    release = Transfer(kill=frozenset({"l"}))
+    assert acquire.then(release).apply(frozenset()) == frozenset()
+    assert release.then(acquire).apply(frozenset()) == frozenset({"l"})
+    # A later kill erases an earlier gen from the composite gen set.
+    assert acquire.then(release).gen == frozenset()
+    assert acquire.then(release).kill == frozenset({"l"})
+
+
+def test_transfer_meet_is_must():
+    left = Transfer(gen=frozenset({"a", "b"}), kill=frozenset({"x"}))
+    right = Transfer(gen=frozenset({"b"}), kill=frozenset({"y"}))
+    met = left.meet(right)
+    assert met.gen == frozenset({"b"})
+    assert met.kill == frozenset({"x", "y"})
+    assert left.meet(None) == left
+
+
+def test_transfer_taint_propagates():
+    tainted = Transfer(tainted=True)
+    assert Transfer().then(tainted).tainted
+    assert tainted.meet(Transfer()).tainted
+
+
+# ---------------------------------------------------------------------------
+# Lock discovery and per-instruction locksets
+# ---------------------------------------------------------------------------
+
+
+def test_tas_idiom_discovers_structural_lock():
+    module = compile_source(TAS_PROGRAM)
+    result = compute_locksets(module)
+    assert LOCK_KEY in result.locks
+    assert not result.locks[LOCK_KEY].heuristic
+    assert LOCK_KEY in result.structural_keys()
+    assert result.locks[LOCK_KEY].acquire_sites
+    assert result.locks[LOCK_KEY].release_sites
+
+
+def test_lock_held_inside_callee_of_critical_section():
+    module = compile_source(TAS_PROGRAM)
+    result = compute_locksets(module)
+    # work() is only ever called between lock() and unlock().  (The
+    # name heuristic adds an fnpair token alongside the structural key.)
+    assert LOCK_KEY in result.entry_held["work"]
+    for instr in _accesses(module, "work", "counter"):
+        held, tainted = result.lockset_at(instr)
+        assert LOCK_KEY in held
+        assert not tainted
+
+
+def test_lock_not_held_at_roots_or_after_release():
+    module = compile_source(TAS_PROGRAM)
+    result = compute_locksets(module)
+    assert result.entry_held["main"] == frozenset()
+    assert result.entry_held["thread_fn"] == frozenset()
+    assert result.entry_held["worker"] == frozenset()
+    # unlock()'s summary kills the lock.
+    assert LOCK_KEY in result.summaries["unlock"].kill
+    assert LOCK_KEY in result.summaries["lock"].gen
+
+
+def test_xchg_acquire_idiom_recognized():
+    module = compile_source("""
+int lock_word = 0;
+int data = 0;
+
+void take() {
+    while (atomic_exchange_explicit(&lock_word, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void drop() { lock_word = 0; }
+
+void thread_fn() { take(); data = data + 1; drop(); }
+int main() {
+    int t = thread_create(thread_fn);
+    take();
+    data = data + 1;
+    drop();
+    thread_join(t);
+    return 0;
+}
+""")
+    result = compute_locksets(module)
+    assert LOCK_KEY in result.structural_keys()
+    for instr in _accesses(module, "thread_fn", "data"):
+        held, _tainted = result.lockset_at(instr)
+        assert LOCK_KEY in held
+
+
+def test_unknown_instruction_defaults_to_tainted_empty():
+    module = compile_source(TAS_PROGRAM)
+    other = compile_source("int g; int main() { g = 1; return g; }")
+    result = compute_locksets(module)
+    stray = next(iter(other.functions["main"].instructions()))
+    assert result.lockset_at(stray) == (frozenset(), True)
+
+
+def test_recursive_function_summary_is_tainted_kill_all():
+    module = compile_source("""
+int lock_word = 0;
+int counter = 0;
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) { }
+}
+void unlock() { lock_word = 0; }
+
+void spin(int n) {
+    if (n > 0) { spin(n - 1); }
+}
+
+void thread_fn() {
+    lock();
+    spin(3);
+    counter = counter + 1;
+    unlock();
+}
+
+int main() {
+    int t = thread_create(thread_fn);
+    thread_join(t);
+    return counter;
+}
+""")
+    result = compute_locksets(module)
+    summary = result.summaries["spin"]
+    assert summary.tainted
+    assert LOCK_KEY in summary.kill
+    # After the opaque call the lock is no longer provably held.
+    for instr in _accesses(module, "thread_fn", "counter"):
+        held, tainted = result.lockset_at(instr)
+        assert held == frozenset()
+        assert tainted
+
+
+def test_module_without_locks_is_untainted_everywhere():
+    module = compile_source("""
+int g = 0;
+int main() { g = g + 1; return g; }
+""")
+    result = compute_locksets(module)
+    assert result.locks == {}
+    for instr in module.functions["main"].instructions():
+        assert result.lockset_at(instr) == (frozenset(), False)
+
+
+def test_name_pair_heuristic_token():
+    source = """
+int owner = 0;
+int counter = 0;
+
+void my_lock() {
+    while (atomic_exchange_explicit(&owner, 1, memory_order_relaxed) == 1) {
+        cpu_relax();
+    }
+}
+
+void my_unlock() { owner = 0; }
+
+void thread_fn() { my_lock(); counter = counter + 1; my_unlock(); }
+int main() {
+    int t = thread_create(thread_fn);
+    my_lock();
+    counter = counter + 1;
+    my_unlock();
+    thread_join(t);
+    return counter;
+}
+"""
+    module = compile_source(source)
+    result = compute_locksets(module)
+    token = ("fnpair", "my_lock")
+    # The `== 1` test does not match the TAS `!= 0` shape, so only the
+    # name heuristic finds this lock — flagged, and not pruning-grade.
+    assert token in result.locks
+    assert result.locks[token].heuristic
+    assert token not in result.structural_keys()
+    for instr in _accesses(module, "thread_fn", "counter"):
+        held, _tainted = result.lockset_at(instr)
+        assert token in held
+
+    disabled = compute_locksets(
+        compile_source(source), name_heuristic=False
+    )
+    assert token not in disabled.locks

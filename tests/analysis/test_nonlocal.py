@@ -149,6 +149,101 @@ int main() { return o.body.b; }
     assert gep_signature(load.pointer) == ("field", "inner", 1)
 
 
+def test_multi_level_gep_on_2d_array_keys_to_global():
+    module = compile_source("""
+int grid[4][4];
+int main() { return grid[1][2]; }
+""")
+    load = loads_in(module)[-1]
+    # Two index levels, no field step: the key falls back to the global.
+    assert gep_signature(load.pointer) is None
+    info = NonLocalInfo(module.functions["main"])
+    assert info.location_key(load.pointer) == ("global", "grid")
+    assert info.is_nonlocal_pointer(load.pointer)
+
+
+def test_array_field_inside_struct_keys_to_field():
+    module = compile_source("""
+struct buf { int len; int data[4]; };
+struct buf b;
+int main() { return b.data[3]; }
+""")
+    load = loads_in(module)[-1]
+    # Innermost *field* step wins even with an index step below it:
+    # data sits at slot offset 1 of struct buf.
+    assert gep_signature(load.pointer) == ("field", "buf", 1)
+
+
+def test_struct_array_element_field_through_two_levels():
+    module = compile_source("""
+struct node { int value; int next; };
+struct node ring[4];
+int main() { return ring[2].value + ring[3].next; }
+""")
+    signatures = {
+        gep_signature(l.pointer) for l in loads_in(module)
+        if gep_signature(l.pointer)
+    }
+    assert signatures == {("field", "node", 0), ("field", "node", 1)}
+
+
+def test_local_escapes_via_thread_spawn_argument():
+    module = compile_source("""
+void consumer(int *p) { *p = 1; }
+int main() {
+    int x = 0;
+    int t = thread_create(consumer, &x);
+    thread_join(t);
+    return x;
+}
+""")
+    info = NonLocalInfo(module.functions["main"])
+    final_load = loads_in(module)[-1]
+    root = pointer_root(final_load.pointer)
+    assert isinstance(root, ins.Alloca)
+    assert root in info.escaped
+    assert info.is_nonlocal_pointer(final_load.pointer)
+    # Escaped locals still have no nameable location key.
+    assert info.location_key(final_load.pointer) is None
+
+
+def test_local_escaping_via_nested_call_argument_gep():
+    module = compile_source("""
+struct pair { int a; int b; };
+void sink(int *p) { *p = 9; }
+int main() {
+    struct pair local;
+    local.a = 0;
+    sink(&local.b);
+    return local.a;
+}
+""")
+    info = NonLocalInfo(module.functions["main"])
+    # Passing &local.b (a gep-derived pointer) escapes the whole alloca,
+    # so the sibling field access is non-local too.
+    final_load = loads_in(module)[-1]
+    root = pointer_root(final_load.pointer)
+    assert isinstance(root, ins.Alloca)
+    assert root in info.escaped
+    assert info.is_nonlocal_pointer(final_load.pointer)
+
+
+def test_address_only_used_in_cmpxchg_desired_escapes():
+    module = compile_source("""
+int *slot;
+int main() {
+    int x = 0;
+    int old = atomic_cmpxchg((int *)&slot, 0, (int)&x);
+    return x;
+}
+""")
+    info = NonLocalInfo(module.functions["main"])
+    final_load = loads_in(module)[-1]
+    root = pointer_root(final_load.pointer)
+    assert isinstance(root, ins.Alloca)
+    assert root in info.escaped
+
+
 def test_pointer_root_through_cast_and_gep():
     module = compile_source("""
 struct n { int v; };

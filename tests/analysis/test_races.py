@@ -1,0 +1,216 @@
+"""Tests for the static race classifier behind ``atomig lint``."""
+
+from repro.analysis.races import AccessClass, classify_module
+from repro.api import compile_source
+
+TAS_PROGRAM = """
+int lock_word = 0;
+int counter = 0;
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void unlock() {
+    lock_word = 0;
+}
+
+void worker() {
+    lock();
+    counter = counter + 1;
+    unlock();
+}
+
+void thread_fn() {
+    worker();
+}
+
+int main() {
+    int t = thread_create(thread_fn);
+    worker();
+    thread_join(t);
+    assert(counter == 2);
+    return counter;
+}
+"""
+
+MESSAGE_PASSING = """
+int flag = 0;
+int msg = 0;
+
+void sender() {
+    msg = 42;
+    flag = 1;
+}
+
+int main() {
+    int t = thread_create(sender);
+    while (flag == 0) { cpu_relax(); }
+    int m = msg;
+    thread_join(t);
+    assert(m == 42);
+    return m;
+}
+"""
+
+
+def _classes_for(report, global_name):
+    return {
+        finding.classification
+        for finding in report.findings
+        if finding.key == ("global", global_name)
+    }
+
+
+def test_message_passing_accesses_are_racy():
+    report = classify_module(compile_source(MESSAGE_PASSING))
+    assert _classes_for(report, "flag") == {AccessClass.RACY}
+    assert _classes_for(report, "msg") == {AccessClass.RACY}
+    assert not report.protected_instructions()
+
+
+def test_tas_protected_and_lock_classification():
+    report = classify_module(compile_source(TAS_PROGRAM))
+    assert _classes_for(report, "lock_word") == {AccessClass.LOCK}
+    assert _classes_for(report, "counter") == {AccessClass.PROTECTED}
+    protected = [
+        f for f in report.findings
+        if f.classification is AccessClass.PROTECTED
+    ]
+    assert all(f.confidence == "structural" for f in protected)
+    assert report.protected_instructions()
+
+
+def test_post_join_accesses_are_not_concurrent():
+    report = classify_module(compile_source(TAS_PROGRAM))
+    main_counter = [
+        f for f in report.findings
+        if f.function == "main" and f.key == ("global", "counter")
+    ]
+    assert main_counter
+    # The assert runs after thread_join: no other thread is live, so
+    # its lock-free read cannot break the key's protected verdict.
+    assert all(not f.concurrent for f in main_counter)
+
+
+def test_unshared_when_no_threads_exist():
+    report = classify_module(compile_source("""
+int g = 0;
+void bump() { g = g + 1; }
+int main() { bump(); bump(); return g; }
+"""))
+    assert _classes_for(report, "g") == {AccessClass.UNSHARED}
+
+
+def test_read_only_shared_data():
+    report = classify_module(compile_source("""
+int config = 7;
+int out_a = 0;
+int out_b = 0;
+
+void reader() { out_a = config; }
+
+int main() {
+    int t = thread_create(reader);
+    out_b = config;
+    thread_join(t);
+    return out_b;
+}
+"""))
+    assert _classes_for(report, "config") == {AccessClass.READ_ONLY}
+
+
+def test_heuristic_protection_is_not_pruning_grade():
+    report = classify_module(compile_source("""
+int owner = 0;
+int counter = 0;
+
+void my_lock() {
+    while (atomic_exchange_explicit(&owner, 1, memory_order_relaxed) == 1) {
+        cpu_relax();
+    }
+}
+
+void my_unlock() { owner = 0; }
+
+void thread_fn() { my_lock(); counter = counter + 1; my_unlock(); }
+
+int main() {
+    int t = thread_create(thread_fn);
+    my_lock();
+    counter = counter + 1;
+    my_unlock();
+    thread_join(t);
+    return counter;
+}
+"""))
+    protected = [
+        f for f in report.findings
+        if f.classification is AccessClass.PROTECTED
+    ]
+    assert protected
+    assert all(f.confidence == "heuristic" for f in protected)
+    assert "review" in protected[0].remediation
+    # Heuristic findings are reported but never offered for pruning.
+    assert not report.protected_instructions(structural_only=True)
+    assert report.protected_instructions(structural_only=False)
+
+
+def test_uncalled_function_is_unreachable():
+    report = classify_module(compile_source("""
+int g = 0;
+void dead() { g = 5; }
+int main() { g = 1; return g; }
+"""))
+    dead = [f for f in report.findings if f.function == "dead"]
+    assert dead
+    assert all(
+        f.classification is AccessClass.UNREACHABLE for f in dead
+    )
+    # The dead write does not poison main's verdict.
+    live = [f for f in report.findings if f.function == "main"]
+    assert all(
+        f.classification is AccessClass.UNSHARED for f in live
+    )
+
+
+def test_inconsistent_locking_is_racy():
+    report = classify_module(compile_source("""
+int lock_word = 0;
+int counter = 0;
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void unlock() { lock_word = 0; }
+
+void careful() { lock(); counter = counter + 1; unlock(); }
+void sloppy() { counter = counter + 1; }
+
+void thread_fn() { careful(); }
+
+int main() {
+    int t = thread_create(thread_fn);
+    sloppy();
+    thread_join(t);
+    return counter;
+}
+"""))
+    # One lock-free concurrent writer empties the common lockset.
+    assert _classes_for(report, "counter") == {AccessClass.RACY}
+
+
+def test_counts_and_report_shape():
+    report = classify_module(compile_source(TAS_PROGRAM))
+    counts = report.counts()
+    assert counts["lock"] >= 2
+    assert counts["protected"] >= 2
+    assert sum(counts.values()) == len(report.findings)
+    for finding in report.findings:
+        assert finding.location().startswith(f"@{finding.function}/")
+        assert finding.remediation

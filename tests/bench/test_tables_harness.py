@@ -1,12 +1,14 @@
 """Smoke tests for the table harnesses (fast, reduced configurations)."""
 
 from repro.bench.tables import (
+    LINT_BENCHMARKS,
     PERF_SEEDS,
     TABLE2_PAPER,
     format_table,
     table1,
     table4,
     table5,
+    table_lint,
 )
 
 
@@ -40,6 +42,16 @@ def test_table5_single_benchmark_subset():
     assert row["benchmark"] == "message_passing"
     assert row["naive"] > 0 and row["atomig"] > 0
     assert row["atomig"] <= row["naive"] + 0.10
+
+
+def test_table_lint_single_benchmark_subset():
+    assert "ck_spinlock_cas_legacy" in LINT_BENCHMARKS
+    rows = table_lint(benchmarks=("ck_spinlock_cas_legacy",))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["pruned"] > 0
+    assert row["pruned_impl"] < row["atomig_impl"]
+    assert row["wmm_ok"] is True
 
 
 def test_format_table_alignment_and_values():

@@ -8,19 +8,43 @@ from repro import (
     PortingLevel,
     check_module,
     compile_source,
+    lint_module,
     port_module,
     run_module,
 )
-from repro.core.report import PortingReport, count_barriers
+from repro.core.report import LintReport, PortingReport, count_barriers
 from repro.errors import ParseError, SemanticError
 
 
 def test_package_exports():
     assert repro.__version__
     for name in ("compile_source", "port_module", "check_module",
-                 "run_module", "PortingLevel", "AtoMigConfig",
-                 "PortingReport"):
+                 "run_module", "lint_module", "PortingLevel",
+                 "AtoMigConfig", "PortingReport", "LintReport"):
         assert hasattr(repro, name)
+
+
+def test_lint_module_api():
+    module = compile_source("""
+int flag;
+void w() { flag = 1; }
+int main() {
+    int t = thread_create(w);
+    while (flag == 0) { }
+    thread_join(t);
+    return flag;
+}
+""", "lintable")
+    report = lint_module(module)
+    assert isinstance(report, LintReport)
+    assert report.module_name == "lintable"
+    assert report.counts().get("racy")
+    assert "racy" in report.summary()
+    rendered = report.render()
+    assert "@flag" in rendered
+    payload = report.to_dict()
+    assert payload["module"] == "lintable"
+    assert payload["findings"]
 
 
 def test_compile_source_rejects_bad_syntax():

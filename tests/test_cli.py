@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -17,11 +19,38 @@ int main() {
 }
 """
 
+TAS = """
+int lock_word = 0;
+volatile int counter = 0;
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+void unlock() { lock_word = 0; }
+void worker() { lock(); counter = counter + 1; unlock(); }
+void thread_fn() { worker(); }
+int main() {
+    int t = thread_create(thread_fn);
+    worker();
+    thread_join(t);
+    return counter;
+}
+"""
+
 
 @pytest.fixture
 def mp_file(tmp_path):
     path = tmp_path / "mp.c"
     path.write_text(MP)
+    return str(path)
+
+
+@pytest.fixture
+def tas_file(tmp_path):
+    path = tmp_path / "tas.c"
+    path.write_text(TAS)
     return str(path)
 
 
@@ -71,6 +100,56 @@ def test_run_command(mp_file, capsys):
 
 def test_run_with_ablation_flags(mp_file, capsys):
     assert main(["run", mp_file, "--no-inline", "--level", "atomig"]) == 0
+
+
+def test_lint_command_reports_races(mp_file, capsys):
+    assert main(["lint", mp_file]) == 0
+    out = capsys.readouterr().out
+    assert "racy" in out
+    assert "unordered concurrent access" in out
+
+
+def test_lint_fail_on_racy(mp_file, tas_file):
+    assert main(["lint", mp_file, "--fail-on-racy"]) == 1
+    assert main(["lint", tas_file, "--fail-on-racy"]) == 0
+
+
+def test_lint_classifies_protected(tas_file, capsys):
+    assert main(["lint", tas_file]) == 0
+    out = capsys.readouterr().out
+    assert "[lock]" in out
+    assert "[protected]" in out
+    assert "@lock_word" in out
+
+
+def test_lint_json_output(tas_file, capsys):
+    assert main(["lint", tas_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["protected"] >= 2
+    assert any(
+        lock["key"] == ["global", "lock_word"] and not lock["heuristic"]
+        for lock in payload["locks"]
+    )
+    assert all(
+        {"function", "class", "remediation"} <= set(f)
+        for f in payload["findings"]
+    )
+
+
+def test_lint_no_name_heuristic(tas_file, capsys):
+    assert main(["lint", tas_file, "--no-name-heuristic"]) == 0
+    out = capsys.readouterr().out
+    assert "name heuristic" not in out
+
+
+def test_lint_requires_file_or_corpus(capsys):
+    assert main(["lint"]) == 2
+
+
+def test_port_with_prune_protected(tas_file, capsys):
+    assert main(["port", tas_file, "--prune-protected"]) == 0
+    out = capsys.readouterr().out
+    assert "lock-protected accesses pruned:" in out
 
 
 def test_litmus_command(capsys):
