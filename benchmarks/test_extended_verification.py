@@ -5,11 +5,16 @@ through the same Original/AtoMig pipeline — including the paper's §1
 motivating scenario (a DPDK-style ring silently broken by an Arm
 recompile) and a case that is broken *even on TSO* (fence-less
 Peterson), which porting alone cannot and should not "fix".
+
+The 15 checks run through the parallel harness; ``ATOMIG_JOBS=N`` in
+the environment fans them across N worker processes (CI and local runs
+default to sequential, which is bit-identical).
 """
 
-from repro.api import check_module, compile_source, port_module
+import os
+
 from repro.bench.programs import classic_locks
-from repro.core.config import PortingLevel
+from repro.mc.parallel import CheckTask, run_tasks
 
 
 CASES = {
@@ -28,18 +33,26 @@ CASES = {
     "dpdk_ring": (classic_locks.dpdk_ring_mc_source, True, False, True),
 }
 
+#: Each case expands into (model, porting level) checks in this order.
+_MATRIX = (("tso", None), ("wmm", None), ("wmm", "atomig"))
+
 
 def test_extended_verification(benchmark, record_table):
+    jobs = int(os.environ.get("ATOMIG_JOBS", "0")) or None
+
     def run():
-        rows = []
-        for name, (builder, tso_ok, wmm_ok, fixed_ok) in CASES.items():
-            module = compile_source(builder(), name)
-            tso = check_module(module, model="tso", max_steps=1500)
-            wmm = check_module(module, model="wmm", max_steps=1500)
-            ported, _ = port_module(module, PortingLevel.ATOMIG)
-            fixed = check_module(ported, model="wmm", max_steps=1500)
-            rows.append((name, tso, wmm, fixed, tso_ok, wmm_ok, fixed_ok))
-        return rows
+        tasks = [
+            CheckTask(name=name, source=builder(), model=model, level=level,
+                      max_steps=1500)
+            for name, (builder, *_expected) in CASES.items()
+            for model, level in _MATRIX
+        ]
+        results = iter(run_tasks(tasks, jobs=jobs))
+        return [
+            (name, next(results), next(results), next(results),
+             tso_ok, wmm_ok, fixed_ok)
+            for name, (_builder, tso_ok, wmm_ok, fixed_ok) in CASES.items()
+        ]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = ["Extended verification (beyond Table 2)",

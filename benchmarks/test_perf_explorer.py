@@ -1,0 +1,114 @@
+"""Exploration-performance gate: the reduction must stay ≥5x on its
+headroom programs, verdict-equivalent everywhere, and leave a
+``BENCH_mc.json`` trail (states, wall time, states/sec) so the perf
+trajectory is tracked from PR 2 onward (EXPERIMENTS.md).
+
+Gate workloads are the Table-2 corpus programs; where the default
+model-checking client is fully lock-serialized (one contended address —
+a regime where conflict-based partial-order reduction provably has
+little headroom), the program's ``gate_source`` client exercises the
+same data structure with disjoint-address parallelism, which is where
+the reduction must deliver.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api import compile_source, port_module
+from repro.bench.corpus import BENCHMARKS
+from repro.bench.tables import TABLE2_BENCHMARKS
+from repro.core.config import PortingLevel
+from repro.mc.explorer import check_module
+
+BOUNDS = dict(max_steps=3000, max_states=1_500_000)
+#: Programs that must individually clear the 5x bar (ck_ring's default
+#: SPSC client and the disjoint-address gate clients); the acceptance
+#: floor is three.
+REDUCTION_FLOOR = 5.0
+MIN_PROGRAMS_OVER_FLOOR = 3
+
+
+def _measure_rows():
+    rows = []
+    for name in TABLE2_BENCHMARKS:
+        bench = BENCHMARKS[name]
+        builder = bench.gate_source or bench.mc_source
+        module = compile_source(builder(), name)
+        ported, _report = port_module(module, PortingLevel.ATOMIG)
+        oracle = check_module(ported, model="wmm", reduce=False, **BOUNDS)
+        reduced = check_module(ported, model="wmm", reduce=True, **BOUNDS)
+        rows.append({
+            "program": name,
+            "client": "gate" if bench.gate_source else "mc",
+            "verdict": reduced.outcome,
+            "verdicts_match": (reduced.ok == oracle.ok
+                               and reduced.outcome == oracle.outcome),
+            "unreduced": {
+                "states_explored": oracle.states_explored,
+                "wall_seconds": oracle.stats.wall_seconds,
+                "states_per_second": oracle.stats.states_per_second,
+            },
+            "reduced": {
+                "states_explored": reduced.states_explored,
+                "wall_seconds": reduced.stats.wall_seconds,
+                "states_per_second": reduced.stats.states_per_second,
+                "stats": reduced.stats.to_dict(),
+            },
+            "reduction_ratio": (
+                oracle.states_explored / max(reduced.states_explored, 1)
+            ),
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def gate_rows():
+    return _measure_rows()
+
+
+def test_verdict_equivalence_on_gate_set(gate_rows):
+    for row in gate_rows:
+        assert row["verdicts_match"], row["program"]
+
+
+def test_reduced_never_explores_more(gate_rows):
+    for row in gate_rows:
+        assert (row["reduced"]["states_explored"]
+                <= row["unreduced"]["states_explored"]), row["program"]
+
+
+def test_reduction_floor(gate_rows):
+    """At least three Table-2 programs clear the ≥5x state-count bar."""
+    over = [row["program"] for row in gate_rows
+            if row["reduction_ratio"] >= REDUCTION_FLOOR]
+    assert len(over) >= MIN_PROGRAMS_OVER_FLOOR, (
+        f"only {over} cleared {REDUCTION_FLOOR}x; "
+        f"ratios: { {r['program']: round(r['reduction_ratio'], 2) for r in gate_rows} }"
+    )
+
+
+def test_bench_mc_json_regenerated(gate_rows, results_dir):
+    payload = {
+        "model": "wmm",
+        "level": "atomig",
+        "bounds": BOUNDS,
+        "reduction_floor": REDUCTION_FLOOR,
+        "min_programs_over_floor": MIN_PROGRAMS_OVER_FLOOR,
+        "rows": gate_rows,
+        "summary": {
+            "programs_over_floor": sorted(
+                row["program"] for row in gate_rows
+                if row["reduction_ratio"] >= REDUCTION_FLOOR
+            ),
+            "all_verdicts_match": all(
+                row["verdicts_match"] for row in gate_rows
+            ),
+        },
+    }
+    path = os.path.join(results_dir, "BENCH_mc.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    assert os.path.getsize(path) > 0

@@ -40,16 +40,20 @@ def port_module(module, level=PortingLevel.ATOMIG, config=None):
     return run_porting(module, level=level, config=config)
 
 
-def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000):
+def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000,
+                 reduce=True):
     """Exhaustively model-check ``module`` starting from ``main``.
 
     ``model`` is ``"sc"``, ``"tso"`` or ``"wmm"``.  Returns a
     :class:`repro.mc.explorer.CheckResult` whose ``violation`` field
     holds a counterexample trace when an assertion can fail.
+    ``reduce=False`` turns off the partial-order reduction and explores
+    every interleaving (slow; used as the oracle in perf tests).
     """
     from repro.mc.explorer import check_module as _check
 
-    return _check(module, model=model, max_steps=max_steps, max_states=max_states)
+    return _check(module, model=model, max_steps=max_steps,
+                  max_states=max_states, reduce=reduce)
 
 
 def lint_module(module, name_heuristic=True):

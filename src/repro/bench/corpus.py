@@ -24,6 +24,10 @@ class Benchmark:
     description: str
     #: Builds the litmus-scale model-checking client (or None).
     mc_source: object = None
+    #: Builds the exploration-perf gate client (defaults to mc_source):
+    #: a model-checking-scale workload with disjoint-address
+    #: parallelism, where partial-order reduction has real headroom.
+    gate_source: object = None
     #: Builds the performance client (TSO input code).
     perf_source: object = None
     #: Builds the expert hand-ported WMM variant (CK benchmarks only);
@@ -92,6 +96,7 @@ _register(Benchmark(
     name="ck_spinlock_mcs",
     description="Concurrency Kit MCS queue lock",
     mc_source=ck_spinlock_mcs.mc_source,
+    gate_source=ck_spinlock_mcs.gate_source,
     perf_source=ck_spinlock_mcs.perf_source,
     expert_source=ck_spinlock_mcs.expert_source,
     paper_naive=5.29,
@@ -112,6 +117,7 @@ _register(Benchmark(
     name="lf_hash",
     description="MariaDB lock-free hash (Figure 7 bug)",
     mc_source=lf_hash.mc_source,
+    gate_source=lf_hash.gate_source,
     perf_source=lf_hash.perf_source,
     paper_naive=3.05,
     paper_atomig=1.01,

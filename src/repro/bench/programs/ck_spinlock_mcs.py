@@ -107,6 +107,70 @@ def mc_source():
     return _MCS_TSO + _CLIENT.format(rounds=1, payload=1)
 
 
+def gate_source():
+    """Per-CPU MCS client for the exploration-perf gate.
+
+    Two threads each take their *own* MCS lock guarding their own
+    counter — the per-CPU data idiom CK itself relies on.  The lock
+    handoff machinery is identical to :func:`mc_source`, but the two
+    threads' commits never touch a common address, so the reduced
+    explorer should keep the state count near one thread-local chain
+    per thread while the unreduced oracle interleaves both enqueue
+    sequences (the ≥5x gate in ``benchmarks/test_perf_explorer.py``).
+    """
+    return """
+struct mcs_node { int locked; struct mcs_node *next; };
+
+struct mcs_node *mcs_tail[2];
+struct mcs_node nodes[2];
+int counter[2];
+
+void mcs_lock(int me) {
+    struct mcs_node *node = &nodes[me];
+    node->locked = 1;
+    node->next = NULL;
+    struct mcs_node *prev = atomic_exchange_explicit(&mcs_tail[me], node, memory_order_relaxed);
+    if (prev != NULL) {
+        prev->next = node;
+        while (node->locked != 0) { cpu_relax(); }
+    }
+}
+
+void mcs_unlock(int me) {
+    struct mcs_node *node = &nodes[me];
+    if (node->next == NULL) {
+        if (atomic_cmpxchg_explicit(&mcs_tail[me], node, NULL, memory_order_relaxed) == node) {
+            return;
+        }
+        while (node->next == NULL) { cpu_relax(); }
+    }
+    struct mcs_node *succ = node->next;
+    succ->locked = 0;
+}
+
+void worker(int me) {
+    for (int r = 0; r < 2; r++) {
+        mcs_lock(me);
+        counter[me] = counter[me] + 1;
+        mcs_unlock(me);
+    }
+}
+
+void thread_fn(int me) {
+    worker(me);
+}
+
+int main() {
+    int t = thread_create(thread_fn, 1);
+    worker(0);
+    thread_join(t);
+    assert(counter[0] == 2);
+    assert(counter[1] == 2);
+    return 0;
+}
+"""
+
+
 def perf_source(rounds=150, payload=24):
     return _MCS_TSO + _CLIENT.format(rounds=rounds, payload=payload)
 

@@ -44,6 +44,80 @@ int main() {
 """
 
 
+def gate_source():
+    """Bucket-parallel insert client for the exploration-perf gate.
+
+    Two writers push fresh nodes into *disjoint* buckets of a miniature
+    bucketed table (the §4.3 "parallel insertions" workload at
+    model-checking scale).  Their commits target disjoint addresses, so
+    a partial-order-reduced explorer should collapse the interleaving
+    product to nearly one trace, while the unreduced oracle enumerates
+    the full cross product — the workload behind the ≥5x state-count
+    gate in ``benchmarks/test_perf_explorer.py``.
+    """
+    return """
+struct node { int state; int key; int val; struct node *next; };
+
+enum { INVALID = 0, VALID = 1 };
+
+struct node *bucket_head[2];
+struct node pool[4];
+
+void l_insert(int slot, int b, int key, int val) {
+    struct node *node = &pool[slot];
+    node->key = key;
+    node->val = val;
+    node->state = VALID;
+    while (1) {
+        struct node *head = bucket_head[b];
+        node->next = head;
+        if (atomic_cmpxchg_explicit(&bucket_head[b], head, node, memory_order_relaxed) == head) {
+            return;
+        }
+    }
+}
+
+int l_find(int b, int key) {
+    struct node *cur = bucket_head[b];
+    while (cur != NULL) {
+        int state;
+        int k;
+        do {
+            state = cur->state;
+            k = cur->key;
+        } while (state != cur->state);
+        if (state == VALID && k == key) {
+            return cur->val;
+        }
+        cur = cur->next;
+    }
+    return -1;
+}
+
+void writer_a() {
+    l_insert(0, 0, 10, 100);
+    l_insert(1, 0, 11, 110);
+}
+
+void writer_b() {
+    l_insert(2, 1, 20, 200);
+    l_insert(3, 1, 21, 210);
+}
+
+int main() {
+    int ta = thread_create(writer_a);
+    int tb = thread_create(writer_b);
+    thread_join(ta);
+    thread_join(tb);
+    assert(l_find(0, 10) == 100);
+    assert(l_find(0, 11) == 110);
+    assert(l_find(1, 20) == 200);
+    assert(l_find(1, 21) == 210);
+    return 0;
+}
+"""
+
+
 def perf_source(ops=80, buckets=64, nodes=None):
     # Each insert consumes a fresh pool node; reuse would create cycles
     # in the bucket lists, so the pool is sized to the total insert

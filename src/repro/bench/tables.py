@@ -8,7 +8,7 @@ under ``benchmarks/`` call these and record paper-vs-measured values.
 import math
 import time
 
-from repro.api import check_module, compile_source, port_module, run_module
+from repro.api import compile_source, port_module, run_module
 from repro.bench.corpus import BENCHMARKS, PHOENIX_PAPER_NUMBERS
 from repro.bench.synth import PAPER_TABLE3, generate_codebase
 from repro.core.config import PortingLevel
@@ -66,19 +66,29 @@ _TABLE2_LEVELS = (
 )
 
 
-def table2(max_steps=600, max_states=400_000):
-    """Model-check each benchmark variant under WMM (paper Table 2)."""
+def table2(max_steps=600, max_states=400_000, jobs=None):
+    """Model-check each benchmark variant under WMM (paper Table 2).
+
+    ``jobs`` fans the 20 benchmark × level checks across worker
+    processes (``atomig tables 2 --jobs N``); the default runs them
+    sequentially in-process.
+    """
+    from repro.mc.parallel import CheckTask, run_tasks
+
+    tasks = [
+        CheckTask(
+            name=name, source=BENCHMARKS[name].mc_source(), model="wmm",
+            level=level.value, max_steps=max_steps, max_states=max_states,
+        )
+        for name in TABLE2_BENCHMARKS
+        for _level_name, level in _TABLE2_LEVELS
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs))
     rows = []
     for name in TABLE2_BENCHMARKS:
-        benchmark = BENCHMARKS[name]
-        module = compile_source(benchmark.mc_source(), name)
         row = {"benchmark": name}
-        for level_name, level in _TABLE2_LEVELS:
-            ported, _report = port_module(module, level)
-            result = check_module(
-                ported, model="wmm", max_steps=max_steps,
-                max_states=max_states,
-            )
+        for level_name, _level in _TABLE2_LEVELS:
+            result = next(results)
             row[level_name] = result.ok
             row[f"{level_name}_states"] = result.states_explored
         expected = TABLE2_PAPER[name]
@@ -98,29 +108,37 @@ LINT_BENCHMARKS = ("ck_spinlock_cas_legacy", "clht_lb_legacy")
 
 
 def table_lint(benchmarks=LINT_BENCHMARKS, max_steps=4000,
-               max_states=400_000):
+               max_states=400_000, jobs=None):
     """Barrier counts with and without lock-protection pruning.
 
     For each legacy benchmark (volatile critical-section data, as in the
     real CK / CLHT sources) port once with plain AtoMig and once with
     ``prune_protected``; report the implicit-barrier counts, how many
     accesses the lockset analysis exempted, and whether the pruned
-    variant still verifies under WMM.
+    variant still verifies under WMM.  ``jobs`` fans the WMM checks —
+    the expensive part — across worker processes.
     """
     from repro.core.config import AtoMigConfig
     from repro.core.report import count_barriers
+    from repro.mc.parallel import CheckTask, run_tasks
 
+    tasks = [
+        CheckTask(
+            name=name, source=BENCHMARKS[name].mc_source(), model="wmm",
+            level="atomig", config=AtoMigConfig(prune_protected=True),
+            max_steps=max_steps, max_states=max_states,
+        )
+        for name in benchmarks
+    ]
+    results = run_tasks(tasks, jobs=jobs)
     rows = []
-    for name in benchmarks:
+    for name, result in zip(benchmarks, results):
         benchmark = BENCHMARKS[name]
         module = compile_source(benchmark.mc_source(), name)
         atomig, _ = port_module(module, PortingLevel.ATOMIG)
         pruned, report = port_module(
             module, PortingLevel.ATOMIG,
             config=AtoMigConfig(prune_protected=True),
-        )
-        result = check_module(
-            pruned, model="wmm", max_steps=max_steps, max_states=max_states,
         )
         rows.append({
             "benchmark": name,

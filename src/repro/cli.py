@@ -103,25 +103,62 @@ def cmd_port(args):
     return 0
 
 
-def cmd_check(args):
+def _check_results(args):
+    """Run one check per requested model, possibly on a process pool."""
+    reduce = not args.no_reduce
+    if args.jobs and args.jobs > 1:
+        from repro.mc.parallel import CheckTask, run_tasks
+
+        with open(args.file) as handle:
+            source = handle.read()
+        tasks = [
+            CheckTask(
+                name=args.file, source=source, model=model,
+                level=None if args.level == "original" else args.level,
+                max_steps=args.max_steps, reduce=reduce,
+                config=_build_config(args), is_ir=args.file.endswith(".ir"),
+            )
+            for model in args.models
+        ]
+        return zip(args.models, run_tasks(tasks, jobs=args.jobs))
     module = _load(args.file)
     if args.level != "original":
         module, _report = port_module(
             module, _LEVELS[args.level], config=_build_config(args)
         )
+    return (
+        (model, check_module(
+            module, model=model, max_steps=args.max_steps, reduce=reduce,
+        ))
+        for model in args.models
+    )
+
+
+def cmd_check(args):
     failures = 0
-    for model in args.models:
-        result = check_module(
-            module, model=model, max_steps=args.max_steps
-        )
-        status = "ok" if result.ok else f"VIOLATION: {result.violation}"
+    for model, result in _check_results(args):
+        if result.violation is not None:
+            status = f"VIOLATION: {result.violation}"
+        elif result.deadlock:
+            status = "DEADLOCK"
+        else:
+            status = "ok"
         extra = " (truncated)" if result.truncated else ""
         print(f"{model:>3}: {status}  "
               f"[{result.states_explored} states{extra}]")
-        if not result.ok:
+        if args.stats and result.stats is not None:
+            from repro.core.report import format_exploration_stats
+
+            print(format_exploration_stats(result.stats))
+        if result.violation is not None:
             failures += 1
             if args.trace:
                 for step in result.trace[-args.trace:]:
+                    print(f"      {step}")
+        elif result.deadlock:
+            failures += 1
+            if args.trace:
+                for step in result.deadlock_trace[-args.trace:]:
                     print(f"      {step}")
     return 1 if failures else 0
 
@@ -231,7 +268,7 @@ def cmd_tables(args):
             ["approach", "safe", "efficient", "scalable", "practical"],
             title="Table 1: Comparison of Porting Approaches"),
         2: lambda: T.format_table(
-            T.table2(),
+            T.table2(jobs=args.jobs),
             ["benchmark", "original", "expl", "spin", "atomig",
              "matches_paper"],
             title="Table 2: Verification results (WMM)"),
@@ -255,7 +292,7 @@ def cmd_tables(args):
              "paper_naive", "paper_lasagne", "paper_atomig"],
             title="Table 6: Phoenix"),
         7: lambda: T.format_table(
-            T.table_lint(),
+            T.table_lint(jobs=args.jobs),
             ["benchmark", "atomig_impl", "pruned_impl", "pruned", "wmm_ok"],
             title="Table 7: lock-protection pruning (atomig lint)"),
     }
@@ -290,7 +327,16 @@ def build_parser():
                        choices=["sc", "tso", "wmm"])
     check.add_argument("--max-steps", type=int, default=2500)
     check.add_argument("--trace", type=int, default=0, metavar="N",
-                       help="print the last N trace steps on violation")
+                       help="print the last N trace steps on violation "
+                            "or deadlock")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="check the requested models on N worker "
+                            "processes")
+    check.add_argument("--stats", action="store_true",
+                       help="print exploration statistics per model")
+    check.add_argument("--no-reduce", action="store_true",
+                       help="disable partial-order reduction and "
+                            "macro-stepping (the slow oracle)")
     _add_level_arg(check)
     _add_config_args(check)
     check.set_defaults(func=cmd_check)
@@ -335,6 +381,9 @@ def build_parser():
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("numbers", nargs="*", type=int)
+    tables.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan model-checking rows (tables 2 and 7) "
+                             "across N worker processes")
     tables.set_defaults(func=cmd_tables)
 
     return parser

@@ -153,6 +153,32 @@ class LintReport:
         }
 
 
+def format_exploration_stats(stats):
+    """Render an :class:`repro.mc.explorer.ExplorationStats` record.
+
+    Multi-line, aligned — what ``atomig check --stats`` prints under
+    each model's verdict line.
+    """
+    rows = [
+        ("scheduling decisions", f"{stats.states_explored}"),
+        ("states visited", f"{stats.states_visited}"),
+        ("transitions", f"{stats.transitions}"),
+        ("macro steps", f"{stats.macro_steps}"),
+        ("ample steps", f"{stats.ample_steps}"),
+        ("sleep-set prunes", f"{stats.sleep_prunes}"),
+        ("self-loop prunes", f"{stats.loop_prunes}"),
+        ("dedup hits", f"{stats.dedup_hits}"),
+        ("peak frontier", f"{stats.peak_frontier}"),
+        ("compression", f"{stats.compression_ratio:.1f}x"),
+        ("throughput", f"{stats.states_per_second:,.0f} states/s"),
+        ("wall time", f"{stats.wall_seconds:.3f}s"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(
+        f"      {label.ljust(width)}  {value}" for label, value in rows
+    )
+
+
 def count_barriers(module):
     """Count (explicit, implicit) barriers in ``module``.
 

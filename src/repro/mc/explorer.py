@@ -1,15 +1,100 @@
 """Exhaustive state-space exploration over the operational machine.
 
-A stateless-model-checking-style DFS: every quiescent state's canonical
-form is hashed, revisits are pruned, and the per-thread step bound keeps
-spinloops finite (a bound hit marks the result *truncated* rather than
-failing).  Assertion violations surface as counterexample traces.
+A stateless-model-checking-style DFS over quiescent states, with a
+reduction layer that keeps it verdict-equivalent while exploring far
+fewer scheduling decisions (DESIGN.md §6b):
+
+- **Macro-stepping**: runs of states with a single explorable action are
+  executed as one uninterruptible macro-step instead of re-entering the
+  scheduler, so thread-local stretches never inflate the state count.
+- **Invisible-commit determinization**: a commit whose address no other
+  live thread can ever reach (static access sets + dynamic windows) is
+  taken as a singleton step — a persistent-set reduction.
+- **Sleep sets**: commit actions on disjoint addresses by different
+  threads commute, so of two independent actions only one ordering is
+  explored; the other is put to sleep (Godefroid-style), pruning the
+  redundant half of every such diamond.
+
+Dedup keys are 128-bit BLAKE2 digests of the canonical state (not
+Python ``hash()``, whose 64-bit collisions could silently prune an
+unexplored state and mask a violation).  A stuck state with no enabled
+actions and unfinished threads is reported as a *deadlock* outcome with
+its trace; bound hits still mark the result *truncated*.
 """
 
+import hashlib
+import time
 from dataclasses import dataclass, field
 
-from repro.mc.machine import Context, FINISHED, LIMIT, Machine
+from repro.mc.machine import Context, FINISHED, LIMIT, Machine, is_pending
 from repro.mc.models import get_model
+
+
+@dataclass
+class ExplorationStats:
+    """Observability record for one exploration (``atomig check --stats``)."""
+
+    #: Scheduling decision points (mirrored into CheckResult).
+    states_explored: int = 0
+    #: Unique canonical states inserted into the dedup set.
+    states_visited: int = 0
+    #: Actions applied (including macro/ample steps).
+    transitions: int = 0
+    #: Single-choice transitions compressed into macro-steps.
+    macro_steps: int = 0
+    #: Invisible-commit singleton steps (persistent-set reduction).
+    ample_steps: int = 0
+    #: Actions skipped because a sleep set proved them redundant.
+    sleep_prunes: int = 0
+    #: Self-loop transitions dropped (spin retries that do not change
+    #: the canonical state — e.g. a failing CAS or a re-read of an
+    #: unchanged flag).
+    loop_prunes: int = 0
+    #: Revisits cut by canonical-state dedup.
+    dedup_hits: int = 0
+    #: Largest DFS frontier (stack) observed.
+    peak_frontier: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def states_per_second(self):
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.states_visited / self.wall_seconds
+
+    @property
+    def compression_ratio(self):
+        """Transitions per scheduling decision (1.0 = no compression)."""
+        return self.transitions / max(self.states_explored, 1)
+
+    def to_dict(self):
+        return {
+            "states_explored": self.states_explored,
+            "states_visited": self.states_visited,
+            "transitions": self.transitions,
+            "macro_steps": self.macro_steps,
+            "ample_steps": self.ample_steps,
+            "sleep_prunes": self.sleep_prunes,
+            "loop_prunes": self.loop_prunes,
+            "dedup_hits": self.dedup_hits,
+            "peak_frontier": self.peak_frontier,
+            "wall_seconds": self.wall_seconds,
+            "states_per_second": self.states_per_second,
+            "compression_ratio": self.compression_ratio,
+        }
+
+    def summary(self):
+        return (
+            f"{self.states_explored} decisions / {self.states_visited} states "
+            f"/ {self.transitions} transitions "
+            f"({self.compression_ratio:.1f}x compressed), "
+            f"{self.macro_steps} macro + {self.ample_steps} ample steps, "
+            f"{self.sleep_prunes} sleep + {self.loop_prunes} loop prunes, "
+            f"{self.dedup_hits} dedup hits, "
+            f"frontier {self.peak_frontier}, "
+            f"{self.states_per_second:,.0f} states/s, "
+            f"{self.wall_seconds:.3f}s"
+        )
 
 
 @dataclass
@@ -24,79 +109,324 @@ class CheckResult:
     states_explored: int = 0
     #: True when a bound (steps / states) cut exploration short.
     truncated: bool = False
+    #: True when a reachable state has unfinished threads but no enabled
+    #: actions (e.g. a join cycle) — a genuine deadlock, not a bound.
+    deadlock: bool = False
+    #: Trace of the first deadlocked state found (when any).
+    deadlock_trace: list = field(default_factory=list)
     notes: list = field(default_factory=list)
+    #: Exploration observability (states/sec, prunes, compression...).
+    stats: ExplorationStats = None
 
     @property
     def ok(self):
         return self.violation is None
 
+    @property
+    def outcome(self):
+        if self.violation is not None:
+            return "violation"
+        if self.deadlock:
+            return "deadlock"
+        if self.truncated:
+            return "truncated"
+        return "ok"
+
     def __repr__(self):
         status = "ok" if self.ok else f"VIOLATION: {self.violation}"
-        extra = " (truncated)" if self.truncated else ""
+        extra = ""
+        if self.deadlock:
+            extra += " (deadlock)"
+        if self.truncated:
+            extra += " (truncated)"
         return (
             f"CheckResult({self.model}, {status}, "
             f"{self.states_explored} states{extra})"
         )
 
 
+def _digest(canonical):
+    """Collision-safe dedup key: 128-bit BLAKE2 of the canonical form.
+
+    The canonical form is a nesting of tuples over ints, strings and
+    None, for which ``repr`` is a stable, injective serialization.
+    """
+    return hashlib.blake2b(repr(canonical).encode(), digest_size=16).digest()
+
+
+def _action_key(state, action):
+    """Stable identity of an action, carrying the data independence needs.
+
+    A commit is identified by ``(tid, kind, addr, rank)`` where rank
+    counts earlier same-``(kind, addr)`` window entries — *not* by its
+    window index, which shifts when the same thread commits an earlier
+    (independent) entry.  The key is canonical-stable: two concrete
+    states with equal :meth:`State.canonical` forms assign every
+    enabled action the same key, so sleep sets stored with visited
+    states stay meaningful on revisits.  A key can only go stale
+    through a *dependent* action (same thread + same address, or a
+    visible step of the thread), which removes it from every sleep set
+    first.  The final component records whether the entry still holds
+    an unresolved pending value (such entries mutate when the thread
+    commits the feeding load, so they are treated as dependent on
+    everything same-thread).
+    """
+    if action[0] == "visible":
+        return ("v", action[1])
+    _kind, tid, index = action
+    window = state.threads[tid].window
+    entry = window[index]
+    rank = sum(
+        1 for earlier in window[:index]
+        if earlier.kind == entry.kind and earlier.addr == entry.addr
+    )
+    pristine = not (
+        is_pending(entry.value) or is_pending(entry.rmw_operand)
+        or is_pending(entry.rmw_expected) or is_pending(entry.rmw_desired)
+    )
+    return ("c", tid, entry.kind, entry.addr, rank, pristine)
+
+
+def _independent(key_a, key_b):
+    """May the two actions be reordered without changing the outcome?
+
+    Commits by different threads on different addresses always commute
+    (memory effects are disjoint, value resolutions stay thread-local,
+    and reservations only constrain same-address operations).  On the
+    *same* address, reads still commute: a load commit only reads
+    memory, and the "rmw" exec half also only reads (its write happens
+    at the later ``rmw_store`` commit) — but two rmw execs race for the
+    reservation, so only load/load and load/rmw pairs are independent.
+    Two commits of the *same* thread commute when they target different
+    addresses and neither entry holds a pending value: ``may_commit``
+    constraints only mention earlier window entries, so committing
+    either cannot disable the other, and their memory/resolution
+    effects are disjoint.  Visible steps depend on everything.
+    """
+    if key_a[0] != "c" or key_b[0] != "c":
+        return False
+    if key_a[1] == key_b[1]:  # same thread
+        return key_a[3] != key_b[3] and key_a[5] and key_b[5]
+    if key_a[3] != key_b[3]:
+        return True
+    kinds = (key_a[2], key_b[2])
+    return "load" in kinds and kinds[0] in ("load", "rmw") \
+        and kinds[1] in ("load", "rmw")
+
+
 def check_module(module, model="wmm", entry="main", max_steps=2500,
-                 max_states=2_000_000):
+                 max_states=2_000_000, reduce=True):
     """Exhaustively check all executions of ``module`` from ``entry``.
 
     Returns the first assertion violation found (depth-first order) or
     an ``ok`` result once the reachable quiescent-state space is
-    exhausted.
+    exhausted.  ``reduce=False`` disables the partial-order reduction
+    and macro-stepping (the unreduced explorer is the oracle the
+    reduction is validated against).
     """
     model_obj = get_model(model)
     context = Context(module, model_obj, entry=entry)
     machine = Machine(context, max_steps=max_steps)
     result = CheckResult(model=model)
+    stats = ExplorationStats()
+    result.stats = stats
+    started = time.perf_counter()
+
+    def finish():
+        stats.wall_seconds = time.perf_counter() - started
+        stats.states_explored = result.states_explored
+        return result
 
     try:
         initial = machine.initial_state()
     except Exception as error:  # setup errors are violations too
         result.violation = f"initialization failed: {error}"
-        return result
+        return finish()
 
-    stack = [initial]
-    visited = set()
+    stack = [(initial, frozenset())]
+    visited = {}  # digest -> sleep set the state was explored under
     while stack:
-        state = stack.pop()
-        if state.violation is not None:
-            result.violation = state.violation
-            result.trace = list(state.trace)
-            return result
-        key = hash(state.canonical())
-        if key in visited:
-            continue
-        visited.add(key)
-        result.states_explored += 1
-        if result.states_explored >= max_states:
-            result.truncated = True
-            result.notes.append("state budget exhausted")
-            return result
+        if len(stack) > stats.peak_frontier:
+            stats.peak_frontier = len(stack)
+        state, sleep = stack.pop()
+        while True:
+            if state.violation is not None:
+                result.violation = state.violation
+                result.trace = state.trace_list()
+                return finish()
+            key = _digest(state.canonical())
+            stored = visited.get(key)
+            revisit = stored is not None
+            if revisit:
+                if stored <= sleep:
+                    stats.dedup_hits += 1
+                    break
+                # Explored before, but with more actions asleep than
+                # now: only the formerly-slept ones still need work
+                # (Godefroid's state caching); future visits are
+                # covered by both sleep sets.
+                visited[key] = stored & sleep
+            else:
+                visited[key] = sleep
+                stats.states_visited += 1
+                if not reduce:
+                    result.states_explored += 1
+                if stats.states_visited >= max_states:
+                    result.truncated = True
+                    result.notes.append("state budget exhausted")
+                    return finish()
 
-        if any(t.status == LIMIT for t in state.threads.values()):
-            result.truncated = True
-            continue
+            if any(t.status == LIMIT for t in state.threads.values()):
+                result.truncated = True
+                if reduce and not revisit:
+                    result.states_explored += 1
+                break
 
-        actions = machine.enabled_actions(state)
-        if not actions:
-            if all(t.status == FINISHED for t in state.threads.values()):
-                continue  # normal termination
-            blocked = [
-                f"T{tid}:{t.status}" for tid, t in state.threads.items()
-                if t.status != FINISHED
+            actions = machine.enabled_actions(state)
+            if not actions:
+                if revisit:
+                    stats.dedup_hits += 1
+                    break
+                if reduce:
+                    result.states_explored += 1
+                if all(t.status == FINISHED
+                       for t in state.threads.values()):
+                    break  # normal termination
+                blocked = [
+                    f"T{tid}:{t.status}"
+                    for tid, t in state.threads.items()
+                    if t.status != FINISHED
+                ]
+                if not result.deadlock:
+                    result.deadlock = True
+                    result.deadlock_trace = state.trace_list() + [
+                        f"deadlock: no enabled actions "
+                        f"({', '.join(blocked)})"
+                    ]
+                result.notes.append(
+                    f"deadlocked state ({', '.join(blocked)})"
+                )
+                break
+
+            pairs = [
+                (action, _action_key(state, action)) for action in actions
             ]
-            result.notes.append(f"stuck state pruned ({', '.join(blocked)})")
-            result.truncated = True
-            continue
+            if revisit:
+                # Actions outside the stored sleep set were explored on
+                # an earlier visit; their subtrees cover this state, so
+                # they act like already-explored siblings.
+                explorable = [
+                    (action, akey) for action, akey in pairs
+                    if akey in stored and akey not in sleep
+                ]
+                covered = [akey for _, akey in pairs if akey not in stored]
+                if not explorable:
+                    stats.dedup_hits += 1
+                    break
+            else:
+                covered = ()
+                if sleep:
+                    explorable = [
+                        (action, akey) for action, akey in pairs
+                        if akey not in sleep
+                    ]
+                    stats.sleep_prunes += len(pairs) - len(explorable)
+                    if not explorable:
+                        break  # every ordering already covered elsewhere
+                else:
+                    explorable = pairs
 
-        for action in actions:
-            successor = state.clone()
-            machine.apply_action(successor, action)
-            stack.append(successor)
-    return result
+            if reduce and len(explorable) == 1:
+                # Macro-step: no scheduling choice, run uninterrupted.
+                action, akey = explorable[0]
+                machine.apply_action(state, action)
+                sleep = frozenset(
+                    k for k in sleep if _independent(akey, k)
+                ) | frozenset(
+                    c for c in covered if _independent(akey, c)
+                )
+                stats.transitions += 1
+                stats.macro_steps += 1
+                continue
+
+            if reduce and not revisit:
+                invisible = next(
+                    (pair for pair in explorable
+                     if machine.action_invisible(state, pair[0])),
+                    None,
+                )
+                if invisible is not None:
+                    action, akey = invisible
+                    successor = state.clone()
+                    machine.apply_action(successor, action)
+                    # Cycle provision: determinize only into fresh
+                    # territory, else fall back to full expansion so no
+                    # competing action is ignored around a cycle.
+                    if (successor.violation is not None
+                            or _digest(successor.canonical()) not in visited):
+                        state = successor
+                        sleep = frozenset(
+                            k for k in sleep if _independent(akey, k)
+                        )
+                        stats.transitions += 1
+                        stats.ample_steps += 1
+                        continue
+
+            # Full expansion: a genuine scheduling decision.
+            stats.transitions += len(explorable)
+            if reduce:
+                children = []
+                for action, akey in explorable:
+                    successor = state.clone()
+                    machine.apply_action(successor, action)
+                    # Spin retries (a failing CAS, a re-read of an
+                    # unchanged flag) loop back to the canonically same
+                    # state: their subtree IS this state's subtree, so
+                    # exploring them adds nothing.
+                    if (successor.violation is None
+                            and _digest(successor.canonical()) == key):
+                        stats.loop_prunes += 1
+                        continue
+                    children.append((successor, akey))
+                if not children:
+                    break  # nothing but spin retries: covered right here
+                if len(children) == 1:
+                    # The choice was illusory: continue as a macro-step.
+                    successor, akey = children[0]
+                    state = successor
+                    sleep = frozenset(
+                        k for k in sleep if _independent(akey, k)
+                    ) | frozenset(
+                        c for c in covered if _independent(akey, c)
+                    )
+                    stats.macro_steps += 1
+                    continue
+                result.states_explored += 1
+                for index, (successor, akey) in enumerate(children):
+                    child_sleep = {
+                        k for k in sleep if _independent(akey, k)
+                    }
+                    for c in covered:
+                        if _independent(akey, c):
+                            child_sleep.add(c)
+                    # Siblings pushed after this one are popped
+                    # (explored) first; their orderings cover this
+                    # child's, so they sleep here if independent.
+                    for later_index in range(index + 1, len(children)):
+                        later_key = children[later_index][1]
+                        if _independent(later_key, akey):
+                            child_sleep.add(later_key)
+                    stack.append((successor, frozenset(child_sleep)))
+                break
+            # Unreduced: push every child, reusing the current state for
+            # the last one (the DFS pops it first).
+            last = len(explorable) - 1
+            for index, (action, _akey) in enumerate(explorable):
+                successor = state if index == last else state.clone()
+                machine.apply_action(successor, action)
+                stack.append((successor, frozenset()))
+            break
+    return finish()
 
 
 def compare_models(module, models=("sc", "tso", "wmm"), **kwargs):

@@ -45,13 +45,16 @@ class Context:
         self.entry = entry
         self.global_addr = {}
         self.global_layout = []  # (addr, value) initial memory image
+        self.global_regions = []  # (start, end, name), sorted by start
         addr = GLOBAL_BASE
         for gvar in module.globals.values():
             self.global_addr[gvar.name] = addr
             for offset, value in enumerate(gvar.initializer):
                 if value != 0:
                     self.global_layout.append((addr + offset, value))
-            addr += max(gvar.value_type.size, 1)
+            size = max(gvar.value_type.size, 1)
+            self.global_regions.append((addr, addr + size, gvar.name))
+            addr += size
         # Static classification: which accesses are provably private.
         self.private = set()
         for function in module.functions.values():
@@ -61,10 +64,143 @@ class Context:
                     pointer = instr.accessed_pointer()
                     if not info.is_nonlocal_pointer(pointer):
                         self.private.add(id(instr))
+        self._compute_access_sets(module)
+
+    # -- static reachable-access sets (for partial-order reduction) -------
+
+    def _compute_access_sets(self, module):
+        """For every function, which globals its transitive closure may
+        touch non-privately.
+
+        ``func_access[name]`` is ``(reads, runknown, writes, wunknown)``:
+        the globals the function (or anything it transitively calls or
+        spawns) may access / may write, with an ``unknown`` flag set when
+        some access goes through a pointer we cannot attribute to a
+        single global (heap, escaped stack, argument) and must be
+        treated as touching anything.  ``reads`` includes the writes.
+        ``spawn_access[name]`` is the same 4-tuple restricted to code
+        only reachable through ``thread_create`` edges — the accesses a
+        *new* thread spawned from here might perform.
+        """
+        direct = {}
+        call_edges = {}
+        create_edges = {}
+        for function in module.functions.values():
+            reads, writes = set(), set()
+            runknown = wunknown = False
+            calls = set()
+            creates = set()
+            for instr in function.instructions():
+                if instr.is_memory_access() and id(instr) not in self.private:
+                    is_write = not isinstance(instr, ins.Load)
+                    root = _pointer_root(instr.accessed_pointer())
+                    if root is None:
+                        runknown = True
+                        wunknown = wunknown or is_write
+                    else:
+                        reads.add(root)
+                        if is_write:
+                            writes.add(root)
+                if isinstance(instr, ins.Call):
+                    calls.add(instr.callee.name)
+                elif isinstance(instr, ins.ThreadCreate):
+                    creates.add(instr.callee.name)
+            direct[function.name] = (reads, runknown, writes, wunknown)
+            call_edges[function.name] = calls
+            create_edges[function.name] = creates
+
+        # Fixpoint over call + create edges: everything the function or
+        # anything it (transitively) runs or spawns may access.
+        _TOP = (set(), True, set(), True)
+        access = {
+            name: (set(t[0]), t[1], set(t[2]), t[3])
+            for name, t in direct.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in access:
+                reads, runknown, writes, wunknown = access[name]
+                for callee in call_edges[name] | create_edges[name]:
+                    cr, cru, cw, cwu = access.get(callee, _TOP)
+                    if not reads >= cr:
+                        reads |= cr
+                        changed = True
+                    if not writes >= cw:
+                        writes |= cw
+                        changed = True
+                    if (cru and not runknown) or (cwu and not wunknown):
+                        runknown = runknown or cru
+                        wunknown = wunknown or cwu
+                        changed = True
+                access[name] = (reads, runknown, writes, wunknown)
+        self.func_access = {
+            name: (frozenset(t[0]), t[1], frozenset(t[2]), t[3])
+            for name, t in access.items()
+        }
+
+        # Call-closure (calls only, no create edges) per function.
+        closure = {}
+        for name in call_edges:
+            seen = {name}
+            frontier = [name]
+            while frontier:
+                current = frontier.pop()
+                for callee in call_edges.get(current, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        frontier.append(callee)
+            closure[name] = seen
+        _FTOP = (frozenset(), True, frozenset(), True)
+        self.spawn_access = {}
+        for name, funcs in closure.items():
+            reads, writes = set(), set()
+            runknown = wunknown = False
+            for fn in funcs:
+                for callee in create_edges.get(fn, ()):
+                    cr, cru, cw, cwu = self.func_access.get(callee, _FTOP)
+                    reads |= cr
+                    writes |= cw
+                    runknown = runknown or cru
+                    wunknown = wunknown or cwu
+            self.spawn_access[name] = (
+                frozenset(reads), runknown, frozenset(writes), wunknown,
+            )
+
+    def global_region(self, addr):
+        """Name of the global variable containing ``addr``, or None."""
+        from bisect import bisect_right
+
+        regions = self.global_regions
+        index = bisect_right(regions, (addr, float("inf"), "")) - 1
+        if index >= 0:
+            start, end, name = regions[index]
+            if start <= addr < end:
+                return name
+        return None
+
+
+def _pointer_root(pointer):
+    """The global a pointer provably points into, or None (unknown)."""
+    while True:
+        if isinstance(pointer, GlobalVar):
+            return pointer.name
+        if isinstance(pointer, ins.Gep):
+            pointer = pointer.base
+        elif isinstance(pointer, ins.Cast):
+            pointer = pointer.value
+        else:
+            return None
 
 
 class WindowEntry:
-    """One pending memory operation in a thread's commit window."""
+    """One pending memory operation in a thread's commit window.
+
+    Entries are *immutable* once constructed: every in-place update the
+    machine used to perform (executing an RMW, resolving a pending
+    value) now replaces the entry instead.  Immutability lets cloned
+    states share entry objects and lets ``canonical`` memoize itself.
+    """
 
     __slots__ = (
         "kind",
@@ -77,6 +213,7 @@ class WindowEntry:
         "rmw_operand",
         "rmw_expected",
         "rmw_desired",
+        "_canon",
     )
 
     def __init__(self, kind, addr, order, instr, value=None, token=None,
@@ -92,10 +229,12 @@ class WindowEntry:
         self.rmw_operand = rmw_operand
         self.rmw_expected = rmw_expected
         self.rmw_desired = rmw_desired
+        self._canon = None
 
-    def clone(self):
+    def resolved_with(self, value):
+        """A copy of this entry with its pending value bound."""
         return WindowEntry(
-            self.kind, self.addr, self.order, self.instr, self.value,
+            self.kind, self.addr, self.order, self.instr, value,
             self.token, self.rmw_op, self.rmw_operand, self.rmw_expected,
             self.rmw_desired,
         )
@@ -120,13 +259,20 @@ class WindowEntry:
         return self.order is MemoryOrder.SEQ_CST
 
     def canonical(self, token_map):
+        if self._canon is not None:
+            return self._canon
         value = self.value
         if is_pending(value):
             value = ("p", token_map[value[1]])
         token = token_map.get(self.token) if self.token is not None else None
-        return (self.kind, self.addr, value, int(self.order), token,
-                self.rmw_op, self.rmw_operand, self.rmw_expected,
-                self.rmw_desired)
+        result = (self.kind, self.addr, value, int(self.order), token,
+                  self.rmw_op, self.rmw_operand, self.rmw_expected,
+                  self.rmw_desired)
+        if self.token is None and not is_pending(self.value):
+            # Token-free entries canonicalize the same way in every
+            # state, so the tuple can be cached on the (immutable) entry.
+            self._canon = result
+        return result
 
     def __repr__(self):
         return (
@@ -172,11 +318,13 @@ LIMIT = "limit"  # hit the per-thread step bound
 
 
 class Thread:
-    __slots__ = ("tid", "frames", "window", "status", "steps", "stack_top")
+    __slots__ = ("tid", "frames", "window", "status", "steps", "stack_top",
+                 "owned")
 
     def __init__(self, tid, frame):
         self.tid = tid
         self.frames = [frame]
+        self.owned = [True]
         self.window = []
         self.status = RUN
         self.steps = 0
@@ -184,18 +332,45 @@ class Thread:
         frame.stack_base = self.stack_top
 
     def clone(self):
+        """Copy-on-write clone: frames and window entries are shared.
+
+        Window entries are immutable, so sharing them is always safe.
+        Frames are mutable, so *both* sides drop ownership: whichever
+        state mutates a shared frame first clones it privately via
+        :meth:`mutable_frame`.
+        """
         copy = Thread.__new__(Thread)
         copy.tid = self.tid
-        copy.frames = [frame.clone() for frame in self.frames]
-        copy.window = [entry.clone() for entry in self.window]
+        copy.frames = list(self.frames)
+        copy.window = list(self.window)
         copy.status = self.status
         copy.steps = self.steps
         copy.stack_top = self.stack_top
+        copy.owned = [False] * len(self.frames)
+        self.owned = [False] * len(self.frames)
         return copy
 
     @property
     def frame(self):
         return self.frames[-1]
+
+    def mutable_frame(self):
+        """The top frame, privately owned (cloned on first write)."""
+        return self.mutable_frame_at(len(self.frames) - 1)
+
+    def mutable_frame_at(self, index):
+        if not self.owned[index]:
+            self.frames[index] = self.frames[index].clone()
+            self.owned[index] = True
+        return self.frames[index]
+
+    def push_frame(self, frame):
+        self.frames.append(frame)
+        self.owned.append(True)
+
+    def pop_frame(self):
+        self.owned.pop()
+        return self.frames.pop()
 
     def done(self):
         return self.status in (FINISHED, LIMIT)
@@ -205,7 +380,8 @@ class State:
     """A full machine state; cloned at every exploration branch."""
 
     __slots__ = ("memory", "threads", "next_tid", "heap_top", "reservations",
-                 "violation", "trace", "output", "token_counter")
+                 "violation", "trace_tail", "trace_len", "output",
+                 "token_counter")
 
     def __init__(self):
         self.memory = {}
@@ -214,7 +390,8 @@ class State:
         self.heap_top = HEAP_BASE
         self.reservations = {}
         self.violation = None
-        self.trace = []
+        self.trace_tail = None  # persistent (parent, message) chain
+        self.trace_len = 0
         self.output = []
         self.token_counter = 0
 
@@ -226,14 +403,26 @@ class State:
         copy.heap_top = self.heap_top
         copy.reservations = dict(self.reservations)
         copy.violation = self.violation
-        copy.trace = list(self.trace)
+        copy.trace_tail = self.trace_tail  # shared: the chain is immutable
+        copy.trace_len = self.trace_len
         copy.output = list(self.output)
         copy.token_counter = self.token_counter
         return copy
 
     def log(self, message):
-        if len(self.trace) < 400:
-            self.trace.append(message)
+        if self.trace_len < 400:
+            self.trace_tail = (self.trace_tail, message)
+            self.trace_len += 1
+
+    def trace_list(self):
+        """Materialize the scheduler/commit trace, oldest first."""
+        messages = []
+        node = self.trace_tail
+        while node is not None:
+            node, message = node
+            messages.append(message)
+        messages.reverse()
+        return messages
 
     def canonical(self):
         """Hashable canonical form (steps and token ids normalized)."""
@@ -375,6 +564,65 @@ class Machine:
             if thread.status in (BLOCKED, READY):
                 thread.status = RUN
 
+    # -- partial-order reduction support -----------------------------------
+
+    def action_invisible(self, state, action):
+        """Is ``action`` a commit no *other* thread could ever observe?
+
+        A *load* commit only reads memory, so it is invisible when no
+        other live thread can ever **write** the address; a *store* (or
+        RMW) commit is invisible only when no other thread can access
+        the address at all.  "Can": the address is not pending in their
+        windows (conflictingly), and the static access sets of their
+        remaining code (including anything they may still call or
+        spawn) cannot name it.  Such a commit commutes with every
+        action of every other thread, so the explorer may take it as an
+        uninterruptible singleton step.
+        """
+        if action[0] != "commit":
+            return False
+        tid, index = action[1], action[2]
+        thread = state.threads[tid]
+        entry = thread.window[index]
+        addr = entry.addr
+        # A load commit is a pure read; only writers can conflict.  The
+        # "rmw" exec half also reads only, but it acquires a
+        # reservation, so treat anything non-load as a write.
+        read_only = entry.kind == "load"
+        region = self.ctx.global_region(addr)
+        for other_tid, other in state.threads.items():
+            if other_tid == tid or other.status == FINISHED:
+                continue
+            for pending in other.window:
+                if pending.addr == addr and (
+                        not read_only or pending.kind != "load"):
+                    return False
+            if other.status == LIMIT:
+                continue  # bounded away: its code never runs again
+            for frame in other.frames:
+                reads, runknown, writes, wunknown = (
+                    self.ctx.func_access[frame.function.name])
+                names, unknown = (
+                    (writes, wunknown) if read_only else (reads, runknown))
+                if unknown:
+                    return False
+                if region is not None and region in names:
+                    return False
+        # Threads the committing thread itself may still spawn run
+        # concurrently with the rest of its window: their accesses
+        # count as "other thread" accesses too.
+        if thread.status not in (FINISHED, FINISHING, LIMIT):
+            for frame in thread.frames:
+                reads, runknown, writes, wunknown = (
+                    self.ctx.spawn_access[frame.function.name])
+                names, unknown = (
+                    (writes, wunknown) if read_only else (reads, runknown))
+                if unknown:
+                    return False
+                if region is not None and region in names:
+                    return False
+        return True
+
     # -- commits -------------------------------------------------------------
 
     def _commit(self, state, tid, index):
@@ -401,31 +649,38 @@ class Machine:
 
     def _exec_rmw(self, state, thread, entry, index):
         old = state.memory.get(entry.addr, 0)
+        token = entry.token
         if entry.rmw_expected is not None:
             # Compare-exchange.
             if old == entry.rmw_expected:
-                entry.kind = "rmw_store"
-                entry.value = entry.rmw_desired
+                thread.window[index] = WindowEntry(
+                    "rmw_store", entry.addr, entry.order, entry.instr,
+                    value=entry.rmw_desired,
+                )
                 state.reservations[entry.addr] = thread.tid
             else:
                 del thread.window[index]  # failed CAS: no store half
         else:
-            entry.kind = "rmw_store"
-            entry.value = _rmw_compute(entry.rmw_op, old, entry.rmw_operand)
+            thread.window[index] = WindowEntry(
+                "rmw_store", entry.addr, entry.order, entry.instr,
+                value=_rmw_compute(entry.rmw_op, old, entry.rmw_operand),
+            )
             state.reservations[entry.addr] = thread.tid
-        self._resolve(state, thread, entry.token, old)
+        self._resolve(state, thread, token, old)
         state.log(f"T{thread.tid} exec rmw @{entry.addr} old={old}")
 
     def _resolve(self, state, thread, token, value):
         """Bind a pending load's value everywhere it may have flowed."""
         pending = (_PENDING, token)
-        for frame in thread.frames:
-            for key, held in frame.env.items():
-                if held == pending:
-                    frame.env[key] = value
-        for entry in thread.window:
+        for index, frame in enumerate(thread.frames):
+            if any(held == pending for held in frame.env.values()):
+                frame = thread.mutable_frame_at(index)
+                for key, held in frame.env.items():
+                    if held == pending:
+                        frame.env[key] = value
+        for index, entry in enumerate(thread.window):
             if entry.value == pending:
-                entry.value = value
+                thread.window[index] = entry.resolved_with(value)
         for addr, held in state.memory.items():
             if held == pending:
                 state.memory[addr] = value
@@ -455,7 +710,7 @@ class Machine:
         if thread.steps >= self.max_steps:
             thread.status = LIMIT
             return False
-        frame = thread.frame
+        frame = thread.mutable_frame()
         instr = frame.block.instructions[frame.index]
         thread.steps += 1
 
@@ -713,11 +968,11 @@ class Machine:
         for addr in range(frame.stack_base, thread.stack_top):
             state.memory.pop(addr, None)
         thread.stack_top = frame.stack_base
-        thread.frames.pop()
+        thread.pop_frame()
         if not thread.frames:
             thread.status = FINISHING if thread.window else FINISHED
             return _CONTROL
-        caller = thread.frame
+        caller = thread.mutable_frame()
         call_instr = frame.call_instr
         if call_instr is not None:
             caller.env[id(call_instr)] = value
@@ -739,7 +994,7 @@ class Machine:
         callee_frame.stack_base = thread.stack_top
         for argument, value in zip(instr.callee.arguments, args):
             callee_frame.env[id(argument)] = value
-        thread.frames.append(callee_frame)
+        thread.push_frame(callee_frame)
         return _CONTROL
 
     def _do_thread_create(self, state, thread, frame, instr):

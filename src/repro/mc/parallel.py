@@ -1,0 +1,105 @@
+"""Parallel check harness: fan model-checking jobs across cores.
+
+Every headline artefact (Table 2, Table 7, extended verification, the
+litmus calibration matrix) is a batch of *independent* ``check_module``
+calls, so they parallelize embarrassingly.  A :class:`CheckTask` is a
+picklable description of one job — source text plus porting level and
+exploration bounds — and :func:`run_tasks` executes a batch either
+sequentially (``jobs`` unset or 1, the deterministic default) or on a
+``multiprocessing`` pool (``atomig check --jobs N`` / ``atomig tables
+--jobs N``).
+
+Tasks carry source text rather than IR modules: compiling is cheap and
+text pickles everywhere, so the same task list works under both the
+``fork`` and ``spawn`` start methods.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckTask:
+    """One model-checking job, self-contained and picklable."""
+
+    #: Module name (diagnostics only).
+    name: str
+    #: Mini-C source text (or IR text when ``is_ir``).
+    source: str
+    model: str = "wmm"
+    #: PortingLevel value ("original", "expl", ..., or None to check the
+    #: compiled module as-is, without running the porting pipeline).
+    level: str = None
+    entry: str = "main"
+    max_steps: int = 2500
+    max_states: int = 2_000_000
+    reduce: bool = True
+    #: Optional AtoMigConfig for the porting pipeline.
+    config: object = None
+    #: Parse ``source`` as IR text instead of Mini-C.
+    is_ir: bool = False
+
+
+def run_task(task):
+    """Compile, port and check one task; returns its ``CheckResult``.
+
+    Top-level (not a closure) so it pickles under every multiprocessing
+    start method.
+    """
+    from repro.api import compile_source, port_module
+    from repro.core.config import PortingLevel
+    from repro.mc.explorer import check_module
+
+    if task.is_ir:
+        from repro.ir.parser import parse_module
+
+        module = parse_module(task.source)
+    else:
+        module = compile_source(task.source, task.name)
+    if task.level is not None:
+        module, _report = port_module(
+            module, PortingLevel(task.level), config=task.config
+        )
+    return check_module(
+        module, model=task.model, entry=task.entry,
+        max_steps=task.max_steps, max_states=task.max_states,
+        reduce=task.reduce,
+    )
+
+
+def run_tasks(tasks, jobs=None):
+    """Run a batch of tasks; results align with the input order.
+
+    ``jobs=None`` or ``jobs<=1`` runs sequentially in-process.  Larger
+    values use a ``fork`` pool when the platform has it (cheap, shares
+    the warmed-up interpreter) and fall back to ``spawn`` otherwise.
+    """
+    tasks = list(tasks)
+    if jobs is None or jobs <= 1 or len(tasks) <= 1:
+        return [run_task(task) for task in tasks]
+
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (e.g. Windows)
+        context = multiprocessing.get_context("spawn")
+    # chunksize=1: tasks are few and lumpy (one slow corpus row must
+    # not strand a prefetched batch behind it).
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(run_task, tasks, chunksize=1)
+
+
+def compare_models_parallel(source, name="module", models=("sc", "tso", "wmm"),
+                            jobs=None, **task_fields):
+    """Parallel analogue of :func:`repro.mc.explorer.compare_models`.
+
+    Takes source text (tasks must pickle); extra keyword arguments are
+    forwarded into each :class:`CheckTask` (``max_steps``, ``level``...).
+    Returns ``{model: CheckResult}``.
+    """
+    tasks = [
+        CheckTask(name=name, source=source, model=model, **task_fields)
+        for model in models
+    ]
+    results = run_tasks(tasks, jobs=jobs)
+    return dict(zip(models, results))
