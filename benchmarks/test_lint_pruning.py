@@ -45,6 +45,23 @@ def test_lint_pruning_reduces_barriers(benchmark, record_table):
         )
 
 
+def test_lint_json_carries_schema_version(tmp_path):
+    """Downstream consumers key on schema_version to parse lint JSON."""
+    import json
+
+    from repro.bench.corpus import get_benchmark
+    from repro.cli import main
+    from repro.core.report import LINT_SCHEMA_VERSION
+
+    path = tmp_path / "mp.c"
+    path.write_text(get_benchmark("message_passing").mc_source())
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert main(["lint", str(path), "--json"]) == 0
+    payload = json.loads(buffer.getvalue())
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION
+
+
 def test_lint_corpus_matches_snapshot():
     from repro.cli import main
 

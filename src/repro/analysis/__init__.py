@@ -3,22 +3,40 @@
 from repro.analysis.cfg import predecessors, reverse_postorder
 from repro.analysis.dominators import DominatorTree
 from repro.analysis.loops import Loop, find_loops
-from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.analysis.nonlocal_ import (
+    LocationKeyProvider,
+    NonLocalInfo,
+    TypeBasedKeyProvider,
+)
 from repro.analysis.influence import InfluenceAnalysis
 from repro.analysis.callgraph import CallGraph, CallSite
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.pointsto import (
+    AbstractObject,
+    PointsToAnalysis,
+    PointsToKeyProvider,
+)
+from repro.analysis.escape import ThreadEscapeAnalysis
 from repro.analysis.lockset import LocksetResult, compute_locksets
 from repro.analysis.races import AccessClass, RaceReport, classify_module
 
 __all__ = [
+    "AbstractObject",
     "AccessClass",
+    "AnalysisCache",
     "CallGraph",
     "CallSite",
     "DominatorTree",
     "InfluenceAnalysis",
+    "LocationKeyProvider",
     "Loop",
     "LocksetResult",
     "NonLocalInfo",
+    "PointsToAnalysis",
+    "PointsToKeyProvider",
     "RaceReport",
+    "ThreadEscapeAnalysis",
+    "TypeBasedKeyProvider",
     "classify_module",
     "compute_locksets",
     "find_loops",

@@ -1,0 +1,81 @@
+"""Shared per-module analysis cache.
+
+Almost every pipeline stage (annotations, spinloops, optimistic loops,
+alias exploration, pruning) needs ``NonLocalInfo`` for the functions it
+inspects, and before this cache each stage rebuilt it from scratch —
+``AccessIndex._build`` alone recomputed it once per index build.  The
+cache memoizes the per-function and module-wide analyses for one module
+*snapshot*: build it after pre-inlining and thread it through the rest
+of the pipeline.  It must never be stored on the module itself
+(``Module.clone`` deep-copies metadata, and the cached analyses hold
+references into the original IR).
+"""
+
+
+class AnalysisCache:
+    """Memoized analyses over one (already-transformed) module."""
+
+    def __init__(self, module):
+        self.module = module
+        self._nonlocal = {}
+        self._callgraph = None
+        self._pointsto = None
+        self._escape = None
+        self._providers = {}
+
+    def nonlocal_info(self, function):
+        """Per-function :class:`NonLocalInfo`, computed at most once."""
+        info = self._nonlocal.get(function.name)
+        if info is None or info.function is not function:
+            from repro.analysis.nonlocal_ import NonLocalInfo
+
+            info = NonLocalInfo(function)
+            self._nonlocal[function.name] = info
+        return info
+
+    def nonlocal_infos(self):
+        """name -> NonLocalInfo for every function in the module."""
+        return {
+            name: self.nonlocal_info(function)
+            for name, function in self.module.functions.items()
+        }
+
+    def callgraph(self):
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self.module)
+        return self._callgraph
+
+    def pointsto(self):
+        if self._pointsto is None:
+            from repro.analysis.pointsto import PointsToAnalysis
+
+            self._pointsto = PointsToAnalysis(self.module)
+        return self._pointsto
+
+    def thread_escape(self):
+        if self._escape is None:
+            from repro.analysis.escape import ThreadEscapeAnalysis
+
+            self._escape = ThreadEscapeAnalysis(
+                self.module, self.pointsto(), self.callgraph()
+            )
+        return self._escape
+
+    def key_provider(self, mode="type_based"):
+        """The :class:`LocationKeyProvider` for an alias mode."""
+        provider = self._providers.get(mode)
+        if provider is None:
+            if mode == "type_based":
+                from repro.analysis.nonlocal_ import TypeBasedKeyProvider
+
+                provider = TypeBasedKeyProvider(self)
+            elif mode == "points_to":
+                from repro.analysis.pointsto import PointsToKeyProvider
+
+                provider = PointsToKeyProvider(self)
+            else:
+                raise ValueError(f"unknown alias mode: {mode!r}")
+            self._providers[mode] = provider
+        return provider

@@ -129,14 +129,18 @@ class LocksetResult:
         return self._held_at.get(instr, (frozenset(), True))
 
 
-def compute_locksets(module, callgraph=None, name_heuristic=True):
+def compute_locksets(module, callgraph=None, name_heuristic=True, cache=None):
     """Run the analysis on ``module``; returns a :class:`LocksetResult`."""
-    callgraph = callgraph or CallGraph(module)
+    if cache is not None:
+        callgraph = callgraph or cache.callgraph()
+        infos = cache.nonlocal_infos()
+    else:
+        callgraph = callgraph or CallGraph(module)
+        infos = {
+            name: NonLocalInfo(function)
+            for name, function in module.functions.items()
+        }
     result = LocksetResult(module=module)
-    infos = {
-        name: NonLocalInfo(function)
-        for name, function in module.functions.items()
-    }
 
     _discover_locks(module, infos, result)
     if name_heuristic:

@@ -57,20 +57,38 @@ def gep_signature(pointer):
     return None
 
 
+#: How an alloca's address can leave its function.  ``call`` escapes
+#: (address passed to a callee) are the interesting subset: the
+#: points-to mode can check whether the callee actually publishes the
+#: address, while type-based mode must stay conservative.
+ESCAPE_STORED = "stored"
+ESCAPE_CALL = "call"
+ESCAPE_SPAWN = "spawn"
+ESCAPE_RETURNED = "returned"
+ESCAPE_ATOMIC = "atomic"
+
+
 class NonLocalInfo:
     """Per-function escape analysis for allocas plus root classification."""
 
     def __init__(self, function):
         self.function = function
-        self.escaped = self._compute_escaped()
+        #: alloca -> set of ESCAPE_* reasons (empty set: did not escape).
+        self.escape_reasons = self._compute_escaped()
+        self.escaped = {
+            alloca for alloca, reasons in self.escape_reasons.items()
+            if reasons
+        }
 
     def _compute_escaped(self):
-        """Allocas whose address may leave the function.
+        """Why each alloca's address may leave the function.
 
         A pointer value "derives" another through gep/cast.  An alloca
         escapes when any derived pointer is stored *as a value*, passed
         to a call or thread spawn, returned, or used as the desired
-        value of an atomic exchange.
+        value of an atomic exchange.  Every matching use contributes an
+        ESCAPE_* reason; the per-reason breakdown lets the points-to
+        mode re-examine call-only escapes interprocedurally.
         """
         derived_from = {}
         for instr in self.function.instructions():
@@ -79,23 +97,32 @@ class NonLocalInfo:
             elif isinstance(instr, ins.Cast):
                 derived_from.setdefault(instr.value, []).append(instr)
 
-        escaping_values = set()
+        escaping_values = {}
+
+        def tag(value, reason):
+            escaping_values.setdefault(value, set()).add(reason)
+
         for instr in self.function.instructions():
             if isinstance(instr, ins.Store):
-                escaping_values.add(instr.value)
-            elif isinstance(instr, (ins.Call, ins.ThreadCreate)):
-                escaping_values.update(instr.operands)
+                tag(instr.value, ESCAPE_STORED)
+            elif isinstance(instr, ins.ThreadCreate):
+                for operand in instr.operands:
+                    tag(operand, ESCAPE_SPAWN)
+            elif isinstance(instr, ins.Call):
+                for operand in instr.operands:
+                    tag(operand, ESCAPE_CALL)
             elif isinstance(instr, ins.Ret) and instr.has_value:
-                escaping_values.add(instr.value)
+                tag(instr.value, ESCAPE_RETURNED)
             elif isinstance(instr, ins.Cmpxchg):
-                escaping_values.add(instr.desired)
+                tag(instr.desired, ESCAPE_ATOMIC)
             elif isinstance(instr, ins.AtomicRMW):
-                escaping_values.add(instr.value)
+                tag(instr.value, ESCAPE_ATOMIC)
 
-        escaped = set()
+        reasons = {}
         for instr in self.function.instructions():
             if not isinstance(instr, ins.Alloca):
                 continue
+            found = reasons.setdefault(instr, set())
             worklist = [instr]
             seen = set()
             while worklist:
@@ -103,11 +130,26 @@ class NonLocalInfo:
                 if value in seen:
                     continue
                 seen.add(value)
-                if value in escaping_values:
-                    escaped.add(instr)
-                    break
+                found |= escaping_values.get(value, set())
                 worklist.extend(derived_from.get(value, ()))
-        return escaped
+        return reasons
+
+    def escape_reason(self, alloca):
+        """The set of ESCAPE_* reasons for one alloca (empty: local)."""
+        return frozenset(self.escape_reasons.get(alloca, ()))
+
+    def call_only_escapes(self):
+        """Allocas whose *only* escape route is a call argument.
+
+        These are the accesses the issue's "address-taken locals passed
+        to calls" case covers: type-based mode must treat them as
+        escaping through the callee (conservative), while points-to
+        mode can prove whether the callee actually publishes them.
+        """
+        return {
+            alloca for alloca, reasons in self.escape_reasons.items()
+            if reasons and reasons <= {ESCAPE_CALL}
+        }
 
     def is_nonlocal_pointer(self, pointer):
         """True when the pointed-to memory may be accessed by others."""
@@ -128,3 +170,36 @@ class NonLocalInfo:
         if isinstance(root, GlobalVar):
             return ("global", root.name)
         return None
+
+
+class LocationKeyProvider:
+    """Pluggable source of location keys for alias exploration.
+
+    The pipeline picks a provider from ``AtoMigConfig.alias_mode``; all
+    providers answer the same two questions — what key identifies the
+    memory behind a pointer, and how was that key derived — against a
+    shared :class:`repro.analysis.cache.AnalysisCache` so per-function
+    analyses are computed once per module.
+    """
+
+    mode = None
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def location_key(self, function, pointer):
+        raise NotImplementedError
+
+    def key_with_origin(self, function, pointer):
+        """(key, origin) — origin names the derivation for provenance."""
+        key = self.location_key(function, pointer)
+        return key, ("type" if key is not None else "none")
+
+
+class TypeBasedKeyProvider(LocationKeyProvider):
+    """The paper's scheme: type/field signatures and global names only."""
+
+    mode = "type_based"
+
+    def location_key(self, function, pointer):
+        return self.cache.nonlocal_info(function).location_key(pointer)

@@ -1,0 +1,272 @@
+"""Module-wide Andersen-style points-to analysis.
+
+AtoMig deliberately skips real alias analysis (§3.4-3.5) and matches
+accesses by type and field offset.  That over-approximates in one
+direction (every type-compatible access is a buddy, even of provably
+thread-local objects) and under-approximates in another (a plain
+``int *`` parameter has no location key at all, so buddy propagation
+stops at non-inlined call boundaries).  This module supplies the
+missing precision: a flow-insensitive, field-insensitive, inclusion
+-based ("Andersen") points-to analysis over the whole IR module.
+
+Abstract objects are allocation sites — one per global, per ``alloca``
+and per ``malloc`` — and every pointer-valued IR value becomes a set
+variable.  Constraints:
+
+- address-of: ``pts(alloca) ∋ obj``, ``pts(@g) ∋ obj(g)``,
+  ``pts(malloc) ∋ obj(site)``;
+- copy: ``gep``/``cast`` results include their base's set (field
+  *insensitive*: an object is one blob);
+- load: ``pts(dst) ⊇ contents(o)`` for every ``o ∈ pts(ptr)``;
+- store: ``contents(o) ⊇ pts(src)`` for every ``o ∈ pts(ptr)`` (also
+  the ``desired``/``value`` operands of ``cmpxchg``/``atomicrmw``);
+- call/spawn: actual arguments flow into formal parameters, returned
+  values flow into call results (context-insensitive, so recursion —
+  which the pre-inliner skips — is handled by the fixpoint).
+
+The :class:`PointsToKeyProvider` turns the solution into *location
+keys* for alias exploration: type-based keys where they exist, and
+points-to equivalence classes for pointers that previously had ``None``
+keys (pointer arguments, loaded pointers).  A keyless pointer whose
+points-to set is exactly one global resolves to that global's own key,
+so sticky buddies finally propagate through ``int *`` parameters.
+"""
+
+from repro.analysis.nonlocal_ import LocationKeyProvider
+from repro.ir import instructions as ins
+from repro.ir.values import Constant
+
+
+class AbstractObject:
+    """One allocation site: a global, an ``alloca`` or a ``malloc``."""
+
+    __slots__ = ("kind", "label", "node", "function_name")
+
+    def __init__(self, kind, label, node, function_name=None):
+        #: ``"global"``, ``"stack"`` or ``"heap"``.
+        self.kind = kind
+        #: Stable printable identity (used in keys and reports).
+        self.label = label
+        #: The defining IR node (GlobalVar / Alloca / Malloc).
+        self.node = node
+        self.function_name = function_name
+
+    def __repr__(self):
+        return f"<obj {self.label}>"
+
+
+class PointsToAnalysis:
+    """Inclusion-constraint points-to solution for one module."""
+
+    def __init__(self, module):
+        self.module = module
+        #: value -> set(AbstractObject); also AbstractObject -> set(...)
+        #: for the *contents* of an object (what pointers stored into it
+        #: may reference).
+        self._pts = {}
+        self._copy_edges = {}
+        self._load_edges = {}
+        self._store_edges = {}
+        self.objects = []
+        self._object_of = {}
+        self._generate()
+        self._solve()
+
+    # -- public queries ----------------------------------------------------
+
+    def points_to(self, value):
+        """Abstract objects ``value`` may point to (frozenset)."""
+        return frozenset(self._pts.get(value, ()))
+
+    def contents(self, obj):
+        """Objects that pointers *stored inside* ``obj`` may reference."""
+        return frozenset(self._pts.get(obj, ()))
+
+    def object_for(self, node):
+        """The AbstractObject of a GlobalVar / Alloca / Malloc node."""
+        return self._object_of.get(node)
+
+    def class_key(self, pointer):
+        """Location key derived from the points-to equivalence class.
+
+        ``None`` when the set is empty (a pointer the analysis never
+        saw take an address — e.g. one computed from an integer).  A
+        singleton set holding a global resolves to that global's own
+        ``("global", name)`` key, bridging keyless pointer parameters
+        into the existing buddy groups; anything else is keyed by the
+        sorted object labels.
+        """
+        targets = self.points_to(pointer)
+        if not targets:
+            return None
+        if len(targets) == 1:
+            only = next(iter(targets))
+            if only.kind == "global":
+                return ("global", only.node.name)
+        return ("pts",) + tuple(sorted(obj.label for obj in targets))
+
+    # -- constraint generation --------------------------------------------
+
+    def _new_object(self, kind, label, node, function_name=None):
+        obj = AbstractObject(kind, label, node, function_name)
+        self.objects.append(obj)
+        self._object_of[node] = obj
+        return obj
+
+    def _generate(self):
+        for gvar in self.module.globals.values():
+            obj = self._new_object("global", f"@{gvar.name}", gvar)
+            self._seed(gvar, obj)
+
+        for function in self.module.functions.values():
+            stack_seq = 0
+            heap_seq = 0
+            for instr in function.instructions():
+                if isinstance(instr, ins.Alloca):
+                    name = instr.name or f"#{stack_seq}"
+                    stack_seq += 1
+                    obj = self._new_object(
+                        "stack", f"{function.name}:%{name}", instr,
+                        function.name,
+                    )
+                    self._seed(instr, obj)
+                elif isinstance(instr, ins.Malloc):
+                    obj = self._new_object(
+                        "heap", f"{function.name}:malloc#{heap_seq}", instr,
+                        function.name,
+                    )
+                    heap_seq += 1
+                    self._seed(instr, obj)
+                elif isinstance(instr, ins.Gep):
+                    self._copy(instr.base, instr)
+                elif isinstance(instr, ins.Cast):
+                    self._copy(instr.value, instr)
+                elif isinstance(instr, ins.BinOp):
+                    # Pointer arithmetic folded into a binop (addresses
+                    # cast to int and back): stay sound by letting both
+                    # sides flow through.  Comparisons produce booleans,
+                    # never dereferenced, so the pollution is harmless.
+                    if instr.op in ins.BinOp.ARITH:
+                        self._copy(instr.left, instr)
+                        self._copy(instr.right, instr)
+                elif isinstance(instr, ins.Load):
+                    self._load(instr.pointer, instr)
+                elif isinstance(instr, ins.Store):
+                    self._store(instr.value, instr.pointer)
+                elif isinstance(instr, ins.Cmpxchg):
+                    self._store(instr.desired, instr.pointer)
+                    self._load(instr.pointer, instr)
+                elif isinstance(instr, ins.AtomicRMW):
+                    self._store(instr.value, instr.pointer)
+                    self._load(instr.pointer, instr)
+                elif isinstance(instr, ins.Call):
+                    callee = self.module.functions.get(instr.callee.name)
+                    if callee is not None:
+                        self._bind_call(callee, instr.args, instr)
+                elif isinstance(instr, ins.ThreadCreate):
+                    callee = self.module.functions.get(instr.callee.name)
+                    if callee is not None and instr.arg is not None:
+                        self._bind_call(callee, [instr.arg], None)
+
+    def _bind_call(self, callee, actuals, result):
+        for formal, actual in zip(callee.arguments, actuals):
+            self._copy(actual, formal)
+        if result is not None:
+            for instr in callee.instructions():
+                if isinstance(instr, ins.Ret) and instr.has_value:
+                    self._copy(instr.value, result)
+
+    def _seed(self, value, obj):
+        self._pts.setdefault(value, set()).add(obj)
+
+    def _copy(self, src, dst):
+        if isinstance(src, Constant) or src is None:
+            return
+        self._copy_edges.setdefault(src, set()).add(dst)
+
+    def _load(self, pointer, dst):
+        self._load_edges.setdefault(pointer, set()).add(dst)
+
+    def _store(self, src, pointer):
+        if isinstance(src, Constant) or src is None:
+            return
+        self._store_edges.setdefault(pointer, set()).add(src)
+
+    # -- worklist solver ---------------------------------------------------
+
+    def _solve(self):
+        worklist = list(self._pts)
+        queued = set(map(id, worklist))
+
+        def push(node):
+            if id(node) not in queued:
+                queued.add(id(node))
+                worklist.append(node)
+
+        def add_copy(src, dst):
+            edges = self._copy_edges.setdefault(src, set())
+            if dst not in edges:
+                edges.add(dst)
+                if self._pts.get(src):
+                    push(src)
+
+        while worklist:
+            node = worklist.pop()
+            queued.discard(id(node))
+            pts = self._pts.get(node)
+            if not pts:
+                continue
+            # Complex constraints materialize into copy edges.
+            for dst in self._load_edges.get(node, ()):
+                for obj in pts:
+                    add_copy(obj, dst)
+            for src in self._store_edges.get(node, ()):
+                for obj in pts:
+                    add_copy(src, obj)
+            # Propagate along copy edges.
+            for dst in self._copy_edges.get(node, ()):
+                target = self._pts.setdefault(dst, set())
+                before = len(target)
+                target |= pts
+                if len(target) != before:
+                    push(dst)
+
+
+class PointsToKeyProvider(LocationKeyProvider):
+    """Location keys refined by the points-to equivalence classes.
+
+    Type-based keys win when they exist (they are field-granular, the
+    points-to classes are not); pointers that are keyless under the
+    type-based scheme fall back to their points-to class.
+    """
+
+    mode = "points_to"
+
+    def __init__(self, cache):
+        super().__init__(cache)
+        self.pointsto = cache.pointsto()
+
+    def location_key(self, function, pointer):
+        key, _origin = self.key_with_origin(function, pointer)
+        return key
+
+    def key_with_origin(self, function, pointer):
+        """(key, origin) where origin explains how the key was derived.
+
+        origin is ``"type"`` for the classic type-based key,
+        ``"pts_global"`` when a keyless pointer resolved to a single
+        global, ``"pts_class"`` for a points-to equivalence class and
+        ``"none"`` when even the points-to set is empty.
+        """
+        type_key = self.cache.nonlocal_info(function).location_key(pointer)
+        if type_key is not None:
+            return type_key, "type"
+        key = self.pointsto.class_key(pointer)
+        if key is None:
+            return None, "none"
+        origin = "pts_global" if key[0] == "global" else "pts_class"
+        return key, origin
+
+    def aliased_objects(self, pointer):
+        """Abstract objects a pointer may target (for reports/pruning)."""
+        return self.pointsto.points_to(pointer)

@@ -131,11 +131,12 @@ class RaceReport:
         return chosen
 
 
-def classify_module(module, lockset_result=None, name_heuristic=True):
+def classify_module(module, lockset_result=None, name_heuristic=True,
+                    cache=None):
     """Classify every non-local memory access of ``module``."""
-    callgraph = CallGraph(module)
+    callgraph = cache.callgraph() if cache is not None else CallGraph(module)
     locks = lockset_result or compute_locksets(
-        module, callgraph, name_heuristic=name_heuristic
+        module, callgraph, name_heuristic=name_heuristic, cache=cache
     )
     report = RaceReport(
         module_name=module.name, locks=locks.locks, lockset_result=locks
@@ -150,7 +151,8 @@ def classify_module(module, lockset_result=None, name_heuristic=True):
     accesses = []  # (function, instr, key, concurrent)
     by_key = {}
     for name, function in module.functions.items():
-        info = NonLocalInfo(function)
+        info = (cache.nonlocal_info(function) if cache is not None
+                else NonLocalInfo(function))
         for instr in function.instructions():
             if not instr.is_memory_access():
                 continue

@@ -60,6 +60,14 @@ _register(Benchmark(
 ))
 
 _register(Benchmark(
+    name="message_passing_indirect",
+    description="Message passing through int* parameters (the type-based "
+                "key gap; alias-precision target)",
+    mc_source=message_passing.indirect_mc_source,
+    tags=("alias",),
+))
+
+_register(Benchmark(
     name="ck_ring",
     description="Concurrency Kit SPSC ring buffer",
     mc_source=ck_ring.mc_source,
@@ -105,6 +113,22 @@ _register(Benchmark(
 ))
 
 _register(Benchmark(
+    name="ck_sequence_snapshot",
+    description="Seqlock with a reader-local record snapshot "
+                "(alias-precision target)",
+    mc_source=ck_sequence.snapshot_mc_source,
+    tags=("alias",),
+))
+
+_register(Benchmark(
+    name="ck_spinlock_cas_private",
+    description="TAS lock with per-thread private accumulators merged "
+                "under the lock (alias-precision target)",
+    mc_source=ck_spinlock_cas.private_mc_source,
+    tags=("alias",),
+))
+
+_register(Benchmark(
     name="ck_spinlock_cas_legacy",
     description="CAS spinlock with volatile critical-section data "
                 "(lint-pruning target)",
@@ -122,6 +146,14 @@ _register(Benchmark(
     paper_naive=3.05,
     paper_atomig=1.01,
     tags=("table2", "table5", "figure"),
+))
+
+_register(Benchmark(
+    name="lf_hash_copy",
+    description="Figure 7 client with a reader-local node snapshot "
+                "(alias-precision target)",
+    mc_source=lf_hash.copy_mc_source,
+    tags=("alias",),
 ))
 
 _register(Benchmark(

@@ -104,6 +104,56 @@ def mc_source(width=2):
     return _TSO.format(width=width) + _MC_CLIENT.format()
 
 
+def snapshot_mc_source():
+    """Seqlock over a volatile struct, reader keeps a *local* snapshot.
+
+    Legacy CK code reads seqlock-protected records into a stack copy
+    before validating.  The record struct is volatile (as the shared
+    instance habitually is on TSO), so §3.2 seeds ``("field", rec, *)``
+    keys — and type-based sticky matching then atomizes the accesses to
+    the reader's local ``snap`` too, although it never leaves the
+    reading thread.  The points-to mode proves ``snap`` thread-local
+    and prunes those barriers.
+    """
+    return """
+struct rec { int a; int b; };
+
+volatile int seq = 0;
+volatile struct rec payload;
+
+void write_record(int value) {
+    seq++;
+    payload.a = value;
+    payload.b = value;
+    seq++;
+}
+
+int read_record() {
+    struct rec snap;
+    int s;
+    do {
+        s = seq;
+        snap.a = payload.a;
+        snap.b = payload.b;
+    } while (s % 2 != 0 || s != seq);
+    assert(snap.a == snap.b);
+    return snap.a;
+}
+
+void writer() {
+    write_record(7);
+}
+
+int main() {
+    int t = thread_create(writer);
+    int value = read_record();
+    assert(value == 0 || value == 7);
+    thread_join(t);
+    return value;
+}
+"""
+
+
 def perf_source(rounds=250, width=8):
     return (
         "int done = 0;\n"

@@ -112,6 +112,58 @@ def expert_source(rounds=150, payload=24):
     return _expert_lock() + _BODY.format(rounds=rounds, payload=payload)
 
 
+def private_mc_source():
+    """TAS lock + volatile shared accumulator + per-thread local copy.
+
+    Each worker batches its contribution in a stack-allocated
+    ``struct acc`` and merges it into the volatile shared accumulator
+    under the lock — the classic reduce pattern.  The shared instance's
+    volatile fields seed ``("field", acc, *)`` keys, so type-based
+    sticky matching atomizes the private batch accesses as well; the
+    points-to mode proves ``mine`` thread-local and leaves them plain.
+    """
+    return """
+struct acc { int lo; int hi; };
+
+int lock_word = 0;
+volatile struct acc shared_acc;
+
+void lock() {
+    while (atomic_cmpxchg_explicit(&lock_word, 0, 1, memory_order_relaxed) != 0) {
+        cpu_relax();
+    }
+}
+
+void unlock() {
+    lock_word = 0;
+}
+
+void worker(int base) {
+    struct acc mine;
+    mine.lo = base;
+    mine.hi = base + 1;
+    mine.lo = mine.lo + 1;
+    lock();
+    shared_acc.lo = shared_acc.lo + mine.lo;
+    shared_acc.hi = shared_acc.hi + mine.hi;
+    unlock();
+}
+
+void thread_fn(int base) {
+    worker(base);
+}
+
+int main() {
+    int t = thread_create(thread_fn, 10);
+    worker(20);
+    thread_join(t);
+    assert(shared_acc.lo == 32);
+    assert(shared_acc.hi == 32);
+    return 0;
+}
+"""
+
+
 def legacy_mc_source():
     return _tso_lock_legacy() + _BODY.format(rounds=1, payload=1)
 

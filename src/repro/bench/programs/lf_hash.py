@@ -44,6 +44,45 @@ int main() {
 """
 
 
+def copy_mc_source():
+    """The Figure 7 client, reader snapshotting into a local struct.
+
+    MariaDB's l_find copies the node it inspects into a stack-local
+    ``struct node`` before validating — the same (type, offset) pairs
+    as the shared node, so type-based sticky matching atomizes the
+    snapshot accesses along with the real ones.  The points-to mode
+    proves the snapshot thread-local and prunes them; the validation
+    loop's controls and the delete side keep their barriers, so the
+    port still verifies under WMM.
+    """
+    return """
+struct node { int state; int key; };
+struct node n;
+
+enum { INVALID = 0, VALID = 1 };
+
+void l_delete() {
+    if (atomic_cmpxchg_explicit(&n.state, VALID, INVALID, memory_order_relaxed) == VALID) {
+        n.key = 0;
+    }
+}
+
+int main() {
+    n.state = VALID;
+    n.key = 77;
+    int t = thread_create(l_delete);
+    struct node snap;
+    do {
+        snap.state = n.state;
+        snap.key = n.key;
+    } while (snap.state != n.state);
+    assert(snap.state == INVALID || snap.key != 0);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
 def gate_source():
     """Bucket-parallel insert client for the exploration-perf gate.
 

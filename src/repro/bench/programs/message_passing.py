@@ -29,6 +29,46 @@ int main() {
 """
 
 
+def indirect_mc_source():
+    """Message passing through pointer parameters (alias-precision demo).
+
+    The publish helper writes the payload and raises the flag through
+    plain ``int*`` parameters — a layer of indirection legacy code
+    loves.  It is recursive (a no-op countdown), so the pre-inliner
+    cannot flatten it: under type-based keys the ``*f = 1`` store has no
+    location key, the flag's buddy group never reaches it, and the port
+    stays broken on WMM — the known detection gap.  The points-to
+    provider resolves ``f`` to ``@flag`` and closes it.
+    """
+    return """
+int flag = 0;
+int msg[2];
+
+void publish(int *f, int *m, int depth) {
+    if (depth > 0) {
+        publish(f, m, depth - 1);
+        return;
+    }
+    m[0] = 7;
+    m[1] = 9;
+    *f = 1;
+}
+
+void writer() {
+    publish(&flag, msg, 1);
+}
+
+int main() {
+    int t = thread_create(writer);
+    while (flag != 1) { }
+    assert(msg[0] == 7);
+    assert(msg[1] == 9);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
 def perf_source(rounds=400):
     """Performance client: repeated ping-pong message passing."""
     return f"""

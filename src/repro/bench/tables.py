@@ -151,6 +151,83 @@ def table_lint(benchmarks=LINT_BENCHMARKS, max_steps=4000,
 
 
 # ---------------------------------------------------------------------------
+# Table 8 — alias precision: type_based vs points_to location keys
+# ---------------------------------------------------------------------------
+
+
+#: Corpus programs written for the alias-precision comparison:
+#: message_passing_indirect exhibits the type-based key *gap* (pointer
+#: parameters), the other three exhibit its *over-approximation*
+#: (thread-local objects matched by type).
+ALIAS_BENCHMARKS = (
+    "message_passing_indirect",
+    "ck_sequence_snapshot",
+    "ck_spinlock_cas_private",
+    "lf_hash_copy",
+)
+
+TABLE8_BENCHMARKS = TABLE2_BENCHMARKS + ALIAS_BENCHMARKS
+
+
+def table8(benchmarks=TABLE8_BENCHMARKS, max_steps=2500,
+           max_states=400_000, jobs=None):
+    """Implicit barriers and WMM verdicts per alias mode (Table 8).
+
+    Ports every benchmark twice — ``alias_mode="type_based"`` and
+    ``alias_mode="points_to"`` — and re-verifies both variants under
+    WMM.  On the Table 2 programs the two modes must agree exactly
+    (all synchronization there is reached through globals); on the
+    alias corpus points_to removes thread-local barriers and closes the
+    pointer-parameter detection gap.  ``jobs`` fans the WMM checks
+    across worker processes.
+    """
+    from repro.core.config import AtoMigConfig
+    from repro.mc.parallel import CheckTask, run_tasks
+
+    modes = ("type_based", "points_to")
+    tasks = [
+        CheckTask(
+            name=f"{name}:{mode}", source=BENCHMARKS[name].mc_source(),
+            model="wmm", level="atomig",
+            config=AtoMigConfig(alias_mode=mode),
+            max_steps=max_steps, max_states=max_states,
+        )
+        for name in benchmarks
+        for mode in modes
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs))
+    rows = []
+    for name in benchmarks:
+        module = compile_source(BENCHMARKS[name].mc_source(), name)
+        impl = {}
+        reports = {}
+        for mode in modes:
+            ported, report = port_module(
+                module, PortingLevel.ATOMIG,
+                config=AtoMigConfig(alias_mode=mode),
+            )
+            impl[mode] = count_barriers(ported)[1]
+            reports[mode] = report
+        tb_result = next(results)
+        pt_result = next(results)
+        pt_report = reports["points_to"]
+        rows.append({
+            "benchmark": name,
+            "type_based_impl": impl["type_based"],
+            "points_to_impl": impl["points_to"],
+            "delta": impl["type_based"] - impl["points_to"],
+            "pts_keyed": sum(
+                1 for entry in pt_report.alias_provenance
+                if entry["action"] == "atomized"
+            ),
+            "pruned_local": pt_report.pruned_thread_local,
+            "tb_wmm_ok": tb_result.ok,
+            "pt_wmm_ok": pt_result.ok,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Table 3 — scalability statistics on the large applications
 # ---------------------------------------------------------------------------
 

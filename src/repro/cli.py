@@ -46,7 +46,8 @@ def _add_level_arg(parser):
 
 def _build_config(args):
     if not (args.polling or args.barrier_seeds or args.strict_spinloops
-            or args.no_inline or args.no_alias or args.prune_protected):
+            or args.no_inline or args.no_alias or args.prune_protected
+            or args.alias_mode != "type_based"):
         return None
     return AtoMigConfig(
         detect_polling_loops=args.polling,
@@ -55,6 +56,7 @@ def _build_config(args):
         inline_before_analysis=not args.no_inline,
         alias_exploration=not args.no_alias,
         prune_protected=args.prune_protected,
+        alias_mode=args.alias_mode,
     )
 
 
@@ -72,6 +74,11 @@ def _add_config_args(parser):
     parser.add_argument("--prune-protected", action="store_true",
                         help="exempt lint-proven lock-protected accesses "
                              "from atomization")
+    parser.add_argument("--alias-mode", choices=("type_based", "points_to"),
+                        default="type_based",
+                        help="location-key precision for alias exploration: "
+                             "the paper's type-based scheme, or Andersen "
+                             "points-to classes with thread-escape pruning")
 
 
 def cmd_port(args):
@@ -88,6 +95,8 @@ def cmd_port(args):
         print(f"explicit fences inserted: {report.fences_inserted}")
     if report.pruned_protected:
         print(f"lock-protected accesses pruned: {report.pruned_protected}")
+    if report.pruned_thread_local:
+        print(f"thread-local accesses pruned: {report.pruned_thread_local}")
     for note in report.notes:
         print(f"note: {note}")
     if args.emit_ir:
@@ -191,6 +200,50 @@ def cmd_diff(args):
     return 0
 
 
+def cmd_aliases(args):
+    """Inspect location keys, points-to sets and thread-escape verdicts."""
+    from repro.analysis.cache import AnalysisCache
+
+    module = _load(args.file)
+    if not args.no_inline:
+        from repro.transform.inline import inline_module
+
+        inline_module(module)
+    cache = AnalysisCache(module)
+    provider = cache.key_provider(args.alias_mode)
+    pointsto = cache.pointsto()
+    escape = cache.thread_escape()
+
+    print(f"aliases {args.file} [{args.alias_mode}]")
+    print(f"  abstract objects ({len(pointsto.objects)}):")
+    for obj in sorted(pointsto.objects, key=lambda o: o.label):
+        verdict = "shared" if escape.is_shared(obj) else "thread-local"
+        print(f"    {obj.label:30s} {obj.kind:6s} {verdict}")
+
+    for function in module.functions.values():
+        lines = []
+        for block in function.blocks:
+            for instr in block.instructions:
+                if not instr.is_memory_access():
+                    continue
+                pointer = instr.accessed_pointer()
+                if pointer is None:
+                    continue
+                key, origin = provider.key_with_origin(function, pointer)
+                if key is None and not args.all:
+                    continue
+                local = escape.pointer_is_thread_local(pointer)
+                suffix = "  thread-local" if local else ""
+                lines.append(
+                    f"    {block.label:12s} {instr!r:44s} "
+                    f"key={key} [{origin}]{suffix}"
+                )
+        if lines:
+            print(f"  @{function.name}:")
+            print("\n".join(lines))
+    return 0
+
+
 def cmd_lint(args):
     if args.corpus:
         return _lint_corpus(args)
@@ -261,7 +314,7 @@ def cmd_litmus(args):
 def cmd_tables(args):
     from repro.bench import tables as T
 
-    selected = args.numbers or [1, 2, 3, 4, 5, 6, 7]
+    selected = args.numbers or [1, 2, 3, 4, 5, 6, 7, 8]
     printers = {
         1: lambda: T.format_table(
             T.table1(),
@@ -295,6 +348,11 @@ def cmd_tables(args):
             T.table_lint(jobs=args.jobs),
             ["benchmark", "atomig_impl", "pruned_impl", "pruned", "wmm_ok"],
             title="Table 7: lock-protection pruning (atomig lint)"),
+        8: lambda: T.format_table(
+            T.table8(jobs=args.jobs),
+            ["benchmark", "type_based_impl", "points_to_impl", "delta",
+             "pts_keyed", "pruned_local", "tb_wmm_ok", "pt_wmm_ok"],
+            title="Table 8: alias precision (type_based vs points_to)"),
     }
     for number in selected:
         if number not in printers:
@@ -355,6 +413,21 @@ def build_parser():
     _add_level_arg(diff)
     _add_config_args(diff)
     diff.set_defaults(func=cmd_diff)
+
+    aliases = sub.add_parser(
+        "aliases",
+        help="inspect location keys, points-to sets and thread-escape "
+             "verdicts per access",
+    )
+    aliases.add_argument("file")
+    aliases.add_argument("--alias-mode", choices=("type_based", "points_to"),
+                         default="points_to",
+                         help="key provider to display (default: points_to)")
+    aliases.add_argument("--all", action="store_true",
+                         help="also list accesses without any location key")
+    aliases.add_argument("--no-inline", action="store_true",
+                         help="analyze the module without pre-inlining")
+    aliases.set_defaults(func=cmd_aliases)
 
     lint = sub.add_parser(
         "lint", help="static race & portability linter (lockset analysis)"

@@ -32,12 +32,13 @@ class AnnotationResult:
         self.conversions = 0
 
 
-def analyze_annotations(module, blacklist=()):
+def analyze_annotations(module, blacklist=(), cache=None):
     """Run the explicit-annotation pass on ``module`` in place."""
     result = AnnotationResult()
     blacklist = set(blacklist)
     for function in module.functions.values():
-        info = NonLocalInfo(function)
+        info = (cache.nonlocal_info(function) if cache is not None
+                else NonLocalInfo(function))
         for instr in function.instructions():
             if isinstance(instr, (ins.Load, ins.Store)):
                 if instr.order.is_atomic:

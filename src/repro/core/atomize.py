@@ -48,7 +48,8 @@ def _wrap_with_fences(instr):
     return True
 
 
-def insert_optimistic_fences(module, optimistic_result, sticky_marked):
+def insert_optimistic_fences(module, optimistic_result, sticky_marked,
+                             cache=None):
     """Insert the explicit barriers required by optimistic controls.
 
     ``sticky_marked`` is the set of accesses added by alias exploration;
@@ -61,6 +62,8 @@ def insert_optimistic_fences(module, optimistic_result, sticky_marked):
     info_cache = {}
 
     def info_for(function):
+        if cache is not None:
+            return cache.nonlocal_info(function)
         if function not in info_cache:
             info_cache[function] = NonLocalInfo(function)
         return info_cache[function]

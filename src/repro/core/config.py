@@ -75,6 +75,13 @@ class AtoMigConfig:
     #: SC promotion is pure overhead.  Off by default to match the
     #: paper's evaluated configuration.
     prune_protected: bool = False
+    #: Location-key precision for alias exploration.  ``type_based`` is
+    #: the paper's scheme (global names + struct-field signatures);
+    #: ``points_to`` additionally keys pointers by their Andersen
+    #: points-to equivalence class — buddy propagation works through
+    #: plain pointer arguments — and prunes sticky buddies whose every
+    #: aliased object is provably thread-local.
+    alias_mode: str = "type_based"
 
     @classmethod
     def for_level(cls, level):

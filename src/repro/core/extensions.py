@@ -36,7 +36,7 @@ class ExtensionResult:
     control_keys: set = field(default_factory=set)
 
 
-def detect_polling_loops(module, result=None):
+def detect_polling_loops(module, result=None, cache=None):
     """Mark the non-local exit dependencies of timing-polling loops.
 
     Unlike plain spinloop detection, condition (1) is weakened — only
@@ -49,7 +49,11 @@ def detect_polling_loops(module, result=None):
     """
     result = result or ExtensionResult()
     for function in module.functions.values():
-        influence = InfluenceAnalysis(function)
+        influence = InfluenceAnalysis(
+            function,
+            nonlocal_info=(cache.nonlocal_info(function)
+                           if cache is not None else None),
+        )
         for loop in find_loops(function):
             if not _contains_sleep(loop):
                 continue
@@ -81,7 +85,7 @@ def _contains_sleep(loop):
     return False
 
 
-def detect_compiler_barrier_seeds(module, result=None, window=3):
+def detect_compiler_barrier_seeds(module, result=None, window=3, cache=None):
     """Mark non-local accesses adjacent to compiler barriers.
 
     ``window`` bounds how many instructions on each side of the barrier
@@ -92,7 +96,8 @@ def detect_compiler_barrier_seeds(module, result=None, window=3):
 
     result = result or ExtensionResult()
     for function in module.functions.values():
-        info = NonLocalInfo(function)
+        info = (cache.nonlocal_info(function) if cache is not None
+                else NonLocalInfo(function))
         for block in function.blocks:
             barrier_positions = [
                 index

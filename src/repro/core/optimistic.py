@@ -46,7 +46,7 @@ class OptimisticResult:
     control_keys: set = field(default_factory=set)
 
 
-def detect_optimistic_loops(module, spinloop_result):
+def detect_optimistic_loops(module, spinloop_result, cache=None):
     """Classify each detected spinloop as optimistic or plain."""
     from repro.analysis.nonlocal_ import NonLocalInfo
 
@@ -57,7 +57,10 @@ def detect_optimistic_loops(module, spinloop_result):
         function = module.functions[info.function_name]
         if function not in use_maps:
             use_maps[function] = _build_use_map(function)
-            nonlocal_infos[function] = NonLocalInfo(function)
+            nonlocal_infos[function] = (
+                cache.nonlocal_info(function) if cache is not None
+                else NonLocalInfo(function)
+            )
         uses = use_maps[function]
         nonlocal_info = nonlocal_infos[function]
 

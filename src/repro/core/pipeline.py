@@ -7,12 +7,16 @@ with a :class:`PortingReport` describing what was detected and changed.
 
 import time
 
+from repro.analysis.cache import AnalysisCache
 from repro.core.alias import explore_aliases
 from repro.core.annotations import analyze_annotations
 from repro.core.atomize import atomize_accesses, insert_optimistic_fences
 from repro.core.config import AtoMigConfig, PortingLevel
 from repro.core.optimistic import detect_optimistic_loops
-from repro.core.prune import prune_protected_accesses
+from repro.core.prune import (
+    prune_protected_accesses,
+    prune_thread_local_accesses,
+)
 from repro.core.report import PortingReport, count_barriers
 from repro.core.spinloops import detect_spinloops
 from repro.ir.verifier import verify_module
@@ -56,17 +60,24 @@ def run_porting(module, level=PortingLevel.ATOMIG, config=None):
 
 def _run_atomig(ported, level, config, report):
     config = config or AtoMigConfig.for_level(level)
+    report.alias_mode = config.alias_mode
 
     if config.inline_before_analysis:
         inlined = inline_module(ported, config.inline_size_limit)
         if inlined:
             report.notes.append(f"inlined {inlined} call sites before analysis")
 
+    # One analysis cache for every stage below.  Built after inlining —
+    # the per-function analyses hold references into the final IR.
+    cache = AnalysisCache(ported)
+
     seed_keys = set()
     marked = set()
 
     if config.analyze_annotations:
-        annotations = analyze_annotations(ported, config.volatile_blacklist)
+        annotations = analyze_annotations(
+            ported, config.volatile_blacklist, cache=cache
+        )
         seed_keys |= annotations.location_keys
         marked |= annotations.marked_instructions
         report.annotation_conversions = annotations.conversions
@@ -74,7 +85,7 @@ def _run_atomig(ported, level, config, report):
     spinloops = None
     if config.detect_spinloops:
         spinloops = detect_spinloops(
-            ported, strict=config.strict_spinloop_definition
+            ported, strict=config.strict_spinloop_definition, cache=cache
         )
         seed_keys |= spinloops.control_keys
         marked |= spinloops.control_instructions
@@ -92,20 +103,22 @@ def _run_atomig(ported, level, config, report):
 
         extensions = None
         if config.detect_polling_loops:
-            extensions = detect_polling_loops(ported)
+            extensions = detect_polling_loops(ported, cache=cache)
             if extensions.polling_loops:
                 report.notes.append(
                     f"polling loops detected: {extensions.polling_loops}"
                 )
         if config.compiler_barrier_seeds:
-            extensions = detect_compiler_barrier_seeds(ported, extensions)
+            extensions = detect_compiler_barrier_seeds(
+                ported, extensions, cache=cache
+            )
         if extensions is not None:
             seed_keys |= extensions.control_keys
             marked |= extensions.control_instructions
 
     optimistic = None
     if config.detect_optimistic and spinloops is not None:
-        optimistic = detect_optimistic_loops(ported, spinloops)
+        optimistic = detect_optimistic_loops(ported, spinloops, cache=cache)
         seed_keys |= optimistic.control_keys
         marked |= optimistic.control_instructions
         report.optimistic_loops = [
@@ -115,13 +128,21 @@ def _run_atomig(ported, level, config, report):
         report.optimistic_controls = sorted(map(str, optimistic.control_keys))
 
     sticky = set()
+    index = None
     if config.alias_exploration:
-        sticky, _index = explore_aliases(ported, seed_keys)
+        # points_to mode also re-seeds from the already-marked accesses:
+        # a marked access that is keyless under the type scheme can be
+        # keyed by its points-to class, pulling its true aliases in.
+        seed_instructions = marked if config.alias_mode == "points_to" else ()
+        sticky, index = explore_aliases(
+            ported, seed_keys, cache=cache, mode=config.alias_mode,
+            seed_instructions=seed_instructions,
+        )
         report.sticky_conversions = len(sticky - marked)
 
     to_atomize = marked | sticky
     if config.prune_protected:
-        pruned = prune_protected_accesses(ported, to_atomize)
+        pruned = prune_protected_accesses(ported, to_atomize, cache=cache)
         to_atomize -= pruned
         report.pruned_protected = len(pruned)
         if pruned:
@@ -130,15 +151,63 @@ def _run_atomig(ported, level, config, report):
                 f"left plain"
             )
 
+    if config.alias_mode == "points_to":
+        local_pruned = prune_thread_local_accesses(ported, to_atomize, cache)
+        to_atomize -= local_pruned
+        report.pruned_thread_local = len(local_pruned)
+        if local_pruned:
+            report.notes.append(
+                f"escape pruning: {len(local_pruned)} thread-local "
+                f"accesses left plain"
+            )
+        report.alias_provenance = _alias_provenance(
+            ported, index, to_atomize, local_pruned
+        )
+
     atomize_accesses(
         to_atomize, force_explicit=config.force_explicit_barriers
     )
 
     if optimistic is not None and optimistic.optimistic_loops:
         report.fences_inserted = insert_optimistic_fences(
-            ported, optimistic, sticky
+            ported, optimistic, sticky, cache=cache
         )
 
     warnings = ported.metadata.get("lowering_warnings")
     if warnings:
         report.notes.extend(warnings)
+
+
+def _alias_provenance(ported, index, to_atomize, local_pruned):
+    """String-only per-access provenance for the porting report.
+
+    One entry per interesting access: atomized accesses whose key came
+    from the points-to analysis (the precision *gain*) and accesses
+    pruned as thread-local (the over-atomization *removed*).
+    """
+    if index is None:
+        return []
+    positions = {}
+    for function in ported.functions.values():
+        for block in function.blocks:
+            for instr in block.instructions:
+                positions[instr] = (function.name, block.label)
+    entries = []
+    for instr in sorted(
+        to_atomize | local_pruned,
+        key=lambda i: (positions.get(i, ("?", "?")), repr(i)),
+    ):
+        keyed = index.key_of.get(instr)
+        pruned = "pruned_thread_local" in instr.marks
+        if not pruned and (keyed is None or keyed[1] == "type"):
+            continue
+        function_name, block_label = positions.get(instr, ("?", "?"))
+        entries.append({
+            "function": function_name,
+            "block": block_label,
+            "instr": repr(instr),
+            "key": repr(keyed[0]) if keyed else None,
+            "origin": keyed[1] if keyed else "none",
+            "action": "pruned_thread_local" if pruned else "atomized",
+        })
+    return entries

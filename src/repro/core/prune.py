@@ -28,7 +28,7 @@ _VETO_MARKS = frozenset(
 )
 
 
-def prune_protected_accesses(module, candidates, race_report=None):
+def prune_protected_accesses(module, candidates, race_report=None, cache=None):
     """Demote protected ``candidates`` back to plain accesses.
 
     ``candidates`` is the set of marked instructions about to be
@@ -37,7 +37,7 @@ def prune_protected_accesses(module, candidates, race_report=None):
     The race report used for the decision is stored in
     ``module.metadata["lint_report"]`` for downstream reporting.
     """
-    report = race_report or classify_module(module)
+    report = race_report or classify_module(module, cache=cache)
     module.metadata["lint_report"] = report
     protected = report.protected_instructions(structural_only=True)
 
@@ -51,5 +51,32 @@ def prune_protected_accesses(module, candidates, race_report=None):
             continue
         instr.order = MemoryOrder.NOT_ATOMIC
         instr.marks.add("pruned_protected")
+        pruned.add(instr)
+    return pruned
+
+
+def prune_thread_local_accesses(module, candidates, cache):
+    """Demote ``candidates`` whose memory is provably thread-local.
+
+    The points-to counterpart of :func:`prune_protected_accesses`: a
+    sticky buddy acquired through type-based matching (same struct
+    field, same global array) may target an object no other thread can
+    ever reach — a stack snapshot, a private accumulator.  The
+    thread-escape analysis proves it, so the SC promotion is dropped.
+    The same veto list applies: spin/optimistic controls and
+    source-level atomics are never demoted, and RMWs have nothing to
+    demote.
+    """
+    escape = cache.thread_escape()
+    pruned = set()
+    for instr in candidates:
+        if not isinstance(instr, (ins.Load, ins.Store)):
+            continue
+        if instr.marks & _VETO_MARKS:
+            continue
+        if not escape.pointer_is_thread_local(instr.accessed_pointer()):
+            continue
+        instr.order = MemoryOrder.NOT_ATOMIC
+        instr.marks.add("pruned_thread_local")
         pruned.add(instr)
     return pruned

@@ -30,6 +30,15 @@ class PortingReport:
     sticky_conversions: int = 0
     #: Marked accesses exempted by lock-protection pruning.
     pruned_protected: int = 0
+    #: Location-key scheme used by alias exploration.
+    alias_mode: str = "type_based"
+    #: Sticky buddies exempted because every aliased object is
+    #: provably thread-local (points_to mode only).
+    pruned_thread_local: int = 0
+    #: Per-access alias provenance (points_to mode): one dict per keyed
+    #: access whose key came from the points-to analysis or that was
+    #: pruned, with string-only values so reports stay picklable.
+    alias_provenance: list = field(default_factory=list)
     #: Explicit fences inserted by the optimistic-loop transformation.
     fences_inserted: int = 0
     #: Barrier counts before the transformation.
@@ -62,6 +71,12 @@ class PortingReport:
             f"{self.ported_explicit_barriers} expl / "
             f"{self.ported_implicit_barriers} impl"
         )
+
+
+#: Version of the ``atomig lint --json`` payload.  Bump on any change
+#: to the structure below; the lint-corpus snapshot test asserts it so
+#: consumers notice schema drift loudly instead of silently.
+LINT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -124,6 +139,7 @@ class LintReport:
     def to_dict(self):
         """JSON-ready structure (used by ``atomig lint --json``)."""
         return {
+            "schema_version": LINT_SCHEMA_VERSION,
             "module": self.module_name,
             "counts": self.counts(),
             "locks": [

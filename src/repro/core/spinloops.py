@@ -46,7 +46,7 @@ class SpinloopResult:
     control_keys: set = field(default_factory=set)
 
 
-def detect_spinloops(module, strict=False):
+def detect_spinloops(module, strict=False, cache=None):
     """Detect spinloops in every function of ``module``.
 
     ``strict`` switches to the more restrictive literature definition
@@ -55,7 +55,11 @@ def detect_spinloops(module, strict=False):
     """
     result = SpinloopResult()
     for function in module.functions.values():
-        influence = InfluenceAnalysis(function)
+        influence = InfluenceAnalysis(
+            function,
+            nonlocal_info=(cache.nonlocal_info(function)
+                           if cache is not None else None),
+        )
         for loop in find_loops(function):
             info = _classify_loop(function, loop, influence, strict)
             if info is None:

@@ -1,0 +1,162 @@
+"""Tests for the thread-escape analysis over the points-to graph."""
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.nonlocal_ import (
+    ESCAPE_CALL,
+    ESCAPE_SPAWN,
+    ESCAPE_STORED,
+    NonLocalInfo,
+)
+from repro.api import compile_source
+from repro.ir import instructions as ins
+
+
+def escape_of(module, fn="main"):
+    cache = AnalysisCache(module)
+    return cache, cache.thread_escape()
+
+
+def obj_by_label(escape, label):
+    for obj in escape.pointsto.objects:
+        if obj.label == label:
+            return obj
+    raise AssertionError(f"no object {label}")
+
+
+def test_globals_are_shared():
+    module = compile_source("int g;\nint main() { return g; }")
+    _cache, escape = escape_of(module)
+    assert escape.is_shared(obj_by_label(escape, "@g"))
+
+
+def test_plain_local_is_thread_local():
+    module = compile_source("int main() { int x = 1; return x; }")
+    _cache, escape = escape_of(module)
+    assert escape.is_thread_local(obj_by_label(escape, "main:%x"))
+
+
+def test_spawn_argument_escapes():
+    module = compile_source("""
+void worker(int *p) { *p = 5; }
+int main() {
+    int cell = 0;
+    int t = thread_create(worker, &cell);
+    thread_join(t);
+    return cell;
+}
+""")
+    _cache, escape = escape_of(module)
+    assert escape.is_shared(obj_by_label(escape, "main:%cell"))
+
+
+def test_reachable_from_global_escapes():
+    # A heap node linked into a global list is reachable by any thread.
+    module = compile_source("""
+int *head;
+int main() {
+    int *node = malloc(2);
+    head = node;
+    return 0;
+}
+""")
+    _cache, escape = escape_of(module)
+    heap = next(o for o in escape.pointsto.objects if o.kind == "heap")
+    assert escape.is_shared(heap)
+
+
+def test_private_heap_is_thread_local():
+    module = compile_source("""
+int main() {
+    int *scratch = malloc(4);
+    *scratch = 9;
+    return *scratch;
+}
+""")
+    _cache, escape = escape_of(module)
+    heap = next(o for o in escape.pointsto.objects if o.kind == "heap")
+    assert escape.is_thread_local(heap)
+
+
+def test_pointer_is_thread_local_requires_known_targets():
+    module = compile_source("""
+int take(int *p) { return *p; }
+int main() { int x = 0; return x; }
+""")
+    _cache, escape = escape_of(module)
+    arg = module.functions["take"].arguments[0]
+    # Empty points-to set: must be conservative, not thread-local.
+    assert not escape.pointer_is_thread_local(arg)
+
+
+def test_local_passed_to_nonleaking_callee_stays_thread_local():
+    # Satellite case: an address-taken local passed to a call.  The
+    # callee only reads/writes through it, so the points-to mode can
+    # prove the object never becomes reachable by another thread.
+    module = compile_source("""
+void bump(int *p) { *p = *p + 1; }
+int main() {
+    int x = 0;
+    bump(&x);
+    return x;
+}
+""")
+    _cache, escape = escape_of(module)
+    assert escape.is_thread_local(obj_by_label(escape, "main:%x"))
+
+
+def test_local_published_by_callee_is_shared():
+    # Same shape, but the callee stores the pointer into a global: the
+    # object is now reachable from shared memory.
+    module = compile_source("""
+int *published;
+void leak(int *p) { published = p; }
+int main() {
+    int x = 0;
+    leak(&x);
+    return x;
+}
+""")
+    _cache, escape = escape_of(module)
+    assert escape.is_shared(obj_by_label(escape, "main:%x"))
+
+
+def test_escape_reasons_distinguish_call_from_store():
+    module = compile_source("""
+int *sink_slot;
+void callee(int *p) { *p = 1; }
+int main() {
+    int a = 0;
+    int b = 0;
+    callee(&a);
+    sink_slot = &b;
+    return a + b;
+}
+""")
+    info = NonLocalInfo(module.functions["main"])
+    reasons = {
+        alloca.name: info.escape_reason(alloca)
+        for alloca in info.escape_reasons
+    }
+    assert reasons["a"] == {ESCAPE_CALL}
+    assert ESCAPE_STORED in reasons["b"]
+    call_only = {a.name for a in info.call_only_escapes()}
+    assert call_only == {"a"}
+
+
+def test_spawn_escape_reason_is_not_call_only():
+    module = compile_source("""
+void worker(int *p) { *p = 5; }
+int main() {
+    int cell = 0;
+    int t = thread_create(worker, &cell);
+    thread_join(t);
+    return cell;
+}
+""")
+    info = NonLocalInfo(module.functions["main"])
+    cell = next(
+        a for a in info.escape_reasons
+        if a.name == "cell"
+    )
+    assert ESCAPE_SPAWN in info.escape_reason(cell)
+    assert cell not in info.call_only_escapes()

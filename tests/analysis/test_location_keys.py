@@ -1,0 +1,194 @@
+"""Location-key edge cases: nesting, arrays, casts, pointer arguments.
+
+Covers the key derivations both alias modes rely on: the type-based
+``("field", struct, offset)`` / ``("global", name)`` signatures, and
+the points-to fallback keys that close the pointer-argument gap.
+"""
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.nonlocal_ import gep_signature
+from repro.api import compile_source
+from repro.ir import instructions as ins
+
+
+def accesses_in(module, fn="main"):
+    return [
+        i for i in module.functions[fn].instructions()
+        if isinstance(i, (ins.Load, ins.Store))
+    ]
+
+
+def store_of(module, value, fn="main"):
+    for instr in accesses_in(module, fn):
+        if isinstance(instr, ins.Store):
+            if getattr(instr.value, "value", None) == value:
+                return instr
+    raise AssertionError(f"no store of {value} in {fn}")
+
+
+def provider(module, mode):
+    return AnalysisCache(module).key_provider(mode)
+
+
+def test_nested_struct_field_uses_innermost_struct():
+    module = compile_source("""
+struct inner { int a; int b; };
+struct outer { int x; struct inner in; };
+struct outer o;
+int main() {
+    o.in.b = 7;
+    return o.x;
+}
+""")
+    store = store_of(module, 7)
+    # The innermost field step names the key: inner.b at offset 1, not
+    # outer at the flattened offset.
+    assert gep_signature(store.pointer) == ("field", "inner", 1)
+
+
+def test_array_of_structs_matches_pointer_access():
+    module = compile_source("""
+struct rec { int lo; int hi; };
+struct rec table[4];
+int main() {
+    table[2].hi = 9;
+    struct rec *p = &table[1];
+    p->hi = 3;
+    return 0;
+}
+""")
+    indexed = store_of(module, 9)
+    through_ptr = store_of(module, 3)
+    key = gep_signature(indexed.pointer)
+    assert key == ("field", "rec", 1)
+    # nodes[i].f and p->f are the same location class (§3.4 type match).
+    assert gep_signature(through_ptr.pointer) == key
+
+
+def test_cast_interleaved_gep_chain_keeps_field_key():
+    module = compile_source("""
+struct n { int v; int w; };
+int g;
+int main() {
+    struct n *p = (struct n *)&g;
+    p->w = 4;
+    return 0;
+}
+""")
+    store = store_of(module, 4)
+    assert gep_signature(store.pointer) == ("field", "n", 1)
+
+
+def test_scalar_global_key():
+    module = compile_source("int flag;\nint main() { flag = 1; return 0; }")
+    cache = AnalysisCache(module)
+    tb = cache.key_provider("type_based")
+    store = store_of(module, 1)
+    key, origin = tb.key_with_origin(module.functions["main"], store.pointer)
+    assert key == ("global", "flag")
+    assert origin == "type"
+
+
+POINTER_ARG = """
+int flag = 0;
+void raise_it(int *f) { *f = 1; }
+int main() { raise_it(&flag); return flag; }
+"""
+
+
+def test_pointer_argument_has_no_type_based_key():
+    module = compile_source(POINTER_ARG)
+    tb = provider(module, "type_based")
+    store = store_of(module, 1, fn="raise_it")
+    key, origin = tb.key_with_origin(
+        module.functions["raise_it"], store.pointer
+    )
+    assert key is None
+    assert origin == "none"
+
+
+def test_pointer_argument_gets_points_to_key():
+    module = compile_source(POINTER_ARG)
+    pt = provider(module, "points_to")
+    store = store_of(module, 1, fn="raise_it")
+    key, origin = pt.key_with_origin(
+        module.functions["raise_it"], store.pointer
+    )
+    # A singleton global target bridges into the existing global key so
+    # the access joins the same buddy group as direct `flag` accesses.
+    assert key == ("global", "flag")
+    assert origin == "pts_global"
+
+
+def test_pointer_argument_with_two_targets_gets_class_key():
+    module = compile_source("""
+int a = 0;
+int b = 0;
+void set(int *p) { *p = 1; }
+int main() { set(&a); set(&b); return a + b; }
+""")
+    pt = provider(module, "points_to")
+    store = store_of(module, 1, fn="set")
+    key, origin = pt.key_with_origin(module.functions["set"], store.pointer)
+    assert key == ("pts", "@a", "@b")
+    assert origin == "pts_class"
+
+
+def test_type_key_wins_over_points_to_key():
+    # A field-shaped access keeps its type signature even when the
+    # points-to sets could also name it: pts keys only fill None slots,
+    # so they can never split or grow an existing buddy group.
+    module = compile_source("""
+struct rec { int lo; int hi; };
+struct rec shared;
+void touch(struct rec *r) { r->lo = 2; }
+int main() { touch(&shared); return shared.lo; }
+""")
+    pt = provider(module, "points_to")
+    store = store_of(module, 2, fn="touch")
+    key, origin = pt.key_with_origin(module.functions["touch"], store.pointer)
+    assert key == ("field", "rec", 0)
+    assert origin == "type"
+
+
+def test_unknown_pointer_is_keyless_in_both_modes():
+    module = compile_source("""
+int take(int *p) { *p = 6; return 0; }
+int main() { return 0; }
+""")
+    store = store_of(module, 6, fn="take")
+    fn = module.functions["take"]
+    for mode in ("type_based", "points_to"):
+        key, origin = provider(module, mode).key_with_origin(fn, store.pointer)
+        assert key is None
+        assert origin == "none"
+
+
+def test_modes_agree_on_typed_accesses():
+    # Sanity: on a program with only type-shaped accesses, the two
+    # providers produce identical keys for every load/store.
+    module = compile_source("""
+struct node { int state; int key; };
+struct node n;
+int g;
+int main() {
+    n.state = 1;
+    g = n.key;
+    return g;
+}
+""")
+    cache = AnalysisCache(module)
+    tb = cache.key_provider("type_based")
+    pt = cache.key_provider("points_to")
+    main = module.functions["main"]
+    for instr in accesses_in(module):
+        pointer = instr.accessed_pointer()
+        assert tb.location_key(main, pointer) == pt.location_key(main, pointer)
+
+
+def test_unknown_mode_rejected():
+    module = compile_source("int main() { return 0; }")
+    with pytest.raises(ValueError):
+        AnalysisCache(module).key_provider("flow_sensitive")

@@ -1,0 +1,161 @@
+"""Tests for the Andersen-style points-to analysis."""
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.pointsto import PointsToAnalysis
+from repro.api import compile_source
+from repro.ir import instructions as ins
+
+
+def stores_in(module, fn="main"):
+    return [
+        i for i in module.functions[fn].instructions()
+        if isinstance(i, ins.Store)
+    ]
+
+
+def alloca_named(module, fn, name):
+    for instr in module.functions[fn].instructions():
+        if isinstance(instr, ins.Alloca) and instr.name == name:
+            return instr
+    raise AssertionError(f"no alloca {name!r} in {fn}")
+
+
+def test_objects_per_allocation_site():
+    module = compile_source("""
+int g = 0;
+int main() {
+    int x;
+    int *p = malloc(4);
+    return 0;
+}
+""")
+    pts = PointsToAnalysis(module)
+    kinds = sorted((obj.kind, obj.label) for obj in pts.objects)
+    assert ("global", "@g") in kinds
+    assert any(k == "stack" and "%x" in label for k, label in kinds)
+    assert any(k == "heap" and "malloc#" in label for k, label in kinds)
+
+
+def test_address_of_global_flows_through_argument():
+    module = compile_source("""
+int flag = 0;
+void raise_it(int *f) { *f = 1; }
+int main() { raise_it(&flag); return flag; }
+""")
+    pts = PointsToAnalysis(module)
+    arg = module.functions["raise_it"].arguments[0]
+    labels = {obj.label for obj in pts.points_to(arg)}
+    assert labels == {"@flag"}
+    assert pts.class_key(arg) == ("global", "flag")
+
+
+def test_argument_with_two_callers_merges_sets():
+    module = compile_source("""
+int a = 0;
+int b = 0;
+void set(int *p) { *p = 1; }
+int main() { set(&a); set(&b); return a + b; }
+""")
+    pts = PointsToAnalysis(module)
+    arg = module.functions["set"].arguments[0]
+    labels = {obj.label for obj in pts.points_to(arg)}
+    assert labels == {"@a", "@b"}
+    key = pts.class_key(arg)
+    assert key == ("pts", "@a", "@b")
+
+
+def test_pointer_stored_and_loaded_back():
+    module = compile_source("""
+int g = 0;
+int main() {
+    int *p = &g;
+    int *q = p;
+    *q = 3;
+    return g;
+}
+""")
+    pts = PointsToAnalysis(module)
+    # The store through q targets g: find the store of constant 3.
+    target = next(
+        s for s in stores_in(module)
+        if getattr(s.value, "value", None) == 3
+    )
+    labels = {obj.label for obj in pts.points_to(target.pointer)}
+    assert labels == {"@g"}
+
+
+def test_recursion_reaches_fixpoint():
+    module = compile_source("""
+int flag = 0;
+void walk(int *f, int depth) {
+    if (depth > 0) { walk(f, depth - 1); return; }
+    *f = 1;
+}
+int main() { walk(&flag, 3); return flag; }
+""")
+    pts = PointsToAnalysis(module)
+    arg = module.functions["walk"].arguments[0]
+    assert {o.label for o in pts.points_to(arg)} == {"@flag"}
+
+
+def test_return_value_flows_to_call_result():
+    module = compile_source("""
+int g = 0;
+int *pick() { return &g; }
+int main() { int *p = pick(); *p = 2; return g; }
+""")
+    pts = PointsToAnalysis(module)
+    target = next(
+        s for s in stores_in(module)
+        if getattr(s.value, "value", None) == 2
+    )
+    assert {o.label for o in pts.points_to(target.pointer)} == {"@g"}
+
+
+def test_thread_create_argument_binds_entry_parameter():
+    module = compile_source("""
+int cell = 0;
+void worker(int *p) { *p = 5; }
+int main() {
+    int t = thread_create(worker, &cell);
+    thread_join(t);
+    return cell;
+}
+""")
+    pts = PointsToAnalysis(module)
+    arg = module.functions["worker"].arguments[0]
+    assert {o.label for o in pts.points_to(arg)} == {"@cell"}
+
+
+def test_contents_track_stored_pointers():
+    module = compile_source("""
+int g = 0;
+int *slot;
+int main() {
+    slot = &g;
+    return 0;
+}
+""")
+    pts = PointsToAnalysis(module)
+    slot_obj = pts.object_for(module.globals["slot"])
+    assert {o.label for o in pts.contents(slot_obj)} == {"@g"}
+
+
+def test_unknown_pointer_has_empty_set_and_no_key():
+    module = compile_source("""
+int take(int *p) { return *p; }
+int main() { return 0; }
+""")
+    pts = PointsToAnalysis(module)
+    arg = module.functions["take"].arguments[0]
+    assert pts.points_to(arg) == frozenset()
+    assert pts.class_key(arg) is None
+
+
+def test_cache_memoizes_pointsto():
+    module = compile_source("int g;\nint main() { return g; }")
+    cache = AnalysisCache(module)
+    assert cache.pointsto() is cache.pointsto()
+    assert cache.thread_escape() is cache.thread_escape()
+    main = module.functions["main"]
+    assert cache.nonlocal_info(main) is cache.nonlocal_info(main)

@@ -1,0 +1,183 @@
+"""Tests for the two alias modes: the pointer-argument gap fix and
+thread-local pruning of over-atomized sticky buddies."""
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.api import compile_source, port_module
+from repro.bench.corpus import get_benchmark
+from repro.core.alias import AccessIndex, explore_aliases
+from repro.core.config import AtoMigConfig, PortingLevel
+from repro.core.prune import prune_thread_local_accesses
+from repro.core.report import count_barriers
+from repro.ir.instructions import MemoryOrder
+from repro.ir import instructions as ins
+from repro.ir.verifier import verify_module
+
+
+def port(source_fn, mode):
+    module = compile_source(source_fn(), "m")
+    config = AtoMigConfig(alias_mode=mode)
+    return port_module(module, PortingLevel.ATOMIG, config=config)
+
+
+@pytest.fixture(scope="module")
+def indirect_ports():
+    bench = get_benchmark("message_passing_indirect")
+    return {
+        mode: port(bench.mc_source, mode)
+        for mode in ("type_based", "points_to")
+    }
+
+
+def test_report_records_alias_mode(indirect_ports):
+    assert indirect_ports["type_based"][1].alias_mode == "type_based"
+    assert indirect_ports["points_to"][1].alias_mode == "points_to"
+
+
+def test_points_to_closes_pointer_argument_gap(indirect_ports):
+    # The flag is published through an int* parameter inside a
+    # recursive (uninlinable) helper: type-based keys cannot connect
+    # the store to the spinloop's control, points-to keys can.
+    tb_barriers = indirect_ports["type_based"][1].ported_implicit_barriers
+    pt_barriers = indirect_ports["points_to"][1].ported_implicit_barriers
+    assert pt_barriers > tb_barriers
+
+
+def test_points_to_port_is_valid_ir(indirect_ports):
+    assert verify_module(indirect_ports["points_to"][0])
+
+
+def test_provenance_names_the_bridged_store(indirect_ports):
+    prov = indirect_ports["points_to"][1].alias_provenance
+    atomized = [e for e in prov if e["action"] == "atomized"]
+    assert any(e["origin"] == "pts_global" for e in atomized)
+    for entry in atomized:
+        assert entry["function"]
+        assert "('global', 'flag')" in entry["key"] or "pts" in entry["key"]
+
+
+@pytest.fixture(scope="module")
+def snapshot_ports():
+    bench = get_benchmark("lf_hash_copy")
+    return {
+        mode: port(bench.mc_source, mode)
+        for mode in ("type_based", "points_to")
+    }
+
+
+def test_points_to_prunes_thread_local_buddies(snapshot_ports):
+    # The reader's stack snapshot shares (struct, offset) keys with the
+    # shared node, so type-based mode atomizes it; points-to proves the
+    # snapshot never escapes main's thread and prunes it.
+    tb_report = snapshot_ports["type_based"][1]
+    pt_report = snapshot_ports["points_to"][1]
+    assert pt_report.pruned_thread_local > 0
+    assert (
+        pt_report.ported_implicit_barriers < tb_report.ported_implicit_barriers
+    )
+
+
+def test_pruned_accesses_carry_mark(snapshot_ports):
+    ported, report = snapshot_ports["points_to"]
+    marked = [
+        i for i in ported.functions["main"].instructions()
+        if "pruned_thread_local" in getattr(i, "marks", ())
+    ]
+    assert len(marked) == report.pruned_thread_local
+    for instr in marked:
+        assert instr.order is MemoryOrder.NOT_ATOMIC
+
+
+def test_provenance_lists_pruned_accesses(snapshot_ports):
+    prov = snapshot_ports["points_to"][1].alias_provenance
+    pruned = [e for e in prov if e["action"] == "pruned_thread_local"]
+    assert pruned
+    assert all(e["function"] == "main" for e in pruned)
+
+
+def test_type_based_report_has_no_points_to_fields(snapshot_ports):
+    report = snapshot_ports["type_based"][1]
+    assert report.pruned_thread_local == 0
+    assert report.alias_provenance == []
+
+
+def test_prune_respects_veto_marks():
+    module = compile_source("""
+int main() {
+    int x = 0;
+    x = 1;
+    return x;
+}
+""")
+    cache = AnalysisCache(module)
+    stores = [
+        i for i in module.functions["main"].instructions()
+        if isinstance(i, ins.Store)
+    ]
+    for store in stores:
+        store.order = MemoryOrder.SEQ_CST
+        store.marks.add("spin_control")
+    pruned = prune_thread_local_accesses(module, set(stores), cache)
+    assert pruned == set()
+    assert all(s.order is MemoryOrder.SEQ_CST for s in stores)
+
+
+def test_prune_skips_rmw_instructions():
+    module = compile_source("""
+int main() {
+    int x = 0;
+    atomic_fetch_add(&x, 1);
+    return x;
+}
+""")
+    cache = AnalysisCache(module)
+    rmws = [
+        i for i in module.functions["main"].instructions()
+        if isinstance(i, ins.AtomicRMW)
+    ]
+    assert rmws
+    pruned = prune_thread_local_accesses(module, set(rmws), cache)
+    assert pruned == set()
+
+
+def test_table2_programs_identical_in_both_modes():
+    # The invariance guarantee: pts keys only fill keyless accesses, so
+    # fully type-keyed programs port bit-identically in both modes.
+    bench = get_benchmark("ck_spinlock_cas")
+    tb_ported, tb_report = port(bench.mc_source, "type_based")
+    pt_ported, pt_report = port(bench.mc_source, "points_to")
+    assert (
+        tb_report.ported_implicit_barriers == pt_report.ported_implicit_barriers
+    )
+    assert count_barriers(tb_ported) == count_barriers(pt_ported)
+    assert pt_report.pruned_thread_local == 0
+
+
+def test_access_index_shares_pipeline_cache():
+    module = compile_source("""
+int flag = 0;
+int main() { flag = 1; return flag; }
+""")
+    cache = AnalysisCache(module)
+    index = AccessIndex(module, cache=cache, mode="points_to")
+    assert index.cache is cache
+    # The shared cache memoizes across consumers: the index's provider
+    # is the same object a second consumer would get.
+    assert index.provider is cache.key_provider("points_to")
+
+
+def test_explore_aliases_backward_compatible():
+    module = compile_source("""
+struct node { int state; int key; };
+struct node n;
+int main() {
+    n.state = 1;
+    n.key = 2;
+    return 0;
+}
+""")
+    marked, index = explore_aliases(module, {("field", "node", 0)})
+    assert marked
+    assert index.cache is not None
+    assert all("sticky" in i.marks or i.marks for i in marked)

@@ -123,8 +123,11 @@ def test_lint_classifies_protected(tas_file, capsys):
 
 
 def test_lint_json_output(tas_file, capsys):
+    from repro.core.report import LINT_SCHEMA_VERSION
+
     assert main(["lint", tas_file, "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION
     assert payload["counts"]["protected"] >= 2
     assert any(
         lock["key"] == ["global", "lock_word"] and not lock["heuristic"]
@@ -150,6 +153,64 @@ def test_port_with_prune_protected(tas_file, capsys):
     assert main(["port", tas_file, "--prune-protected"]) == 0
     out = capsys.readouterr().out
     assert "lock-protected accesses pruned:" in out
+
+
+INDIRECT = """
+int flag = 0;
+int msg = 0;
+void publish(int *f, int *m, int depth) {
+    if (depth > 0) { publish(f, m, depth - 1); return; }
+    *m = 42;
+    *f = 1;
+}
+void writer() { publish(&flag, &msg, 1); }
+int main() {
+    int t = thread_create(writer);
+    while (flag != 1) { }
+    assert(msg == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def indirect_file(tmp_path):
+    path = tmp_path / "indirect.c"
+    path.write_text(INDIRECT)
+    return str(path)
+
+
+def test_aliases_command(indirect_file, capsys):
+    assert main(["aliases", indirect_file]) == 0
+    out = capsys.readouterr().out
+    assert "abstract objects" in out
+    assert "@flag" in out
+    assert "shared" in out
+    assert "pts_global" in out
+
+
+def test_aliases_type_based_mode(indirect_file, capsys):
+    assert main(["aliases", indirect_file,
+                 "--alias-mode", "type_based"]) == 0
+    out = capsys.readouterr().out
+    assert "[type_based]" in out
+    assert "pts_global" not in out
+
+
+def test_port_alias_mode_changes_barriers(indirect_file, capsys):
+    assert main(["port", indirect_file]) == 0
+    tb_out = capsys.readouterr().out
+    assert main(["port", indirect_file, "--alias-mode", "points_to"]) == 0
+    pt_out = capsys.readouterr().out
+
+    def barriers(out):
+        for line in out.splitlines():
+            if "barriers" in line:
+                return line
+        raise AssertionError("no barrier line")
+
+    assert barriers(tb_out) != barriers(pt_out)
 
 
 def test_litmus_command(capsys):
