@@ -22,6 +22,23 @@ class AnalysisCache:
         self._pointsto = None
         self._escape = None
         self._providers = {}
+        self._interned = {}
+
+    def intern(self, key):
+        """Canonical instance of a location key.
+
+        Location keys are tuples rebuilt independently by every stage;
+        interning makes equal keys pointer-identical, so the heavy set
+        operations downstream (seed-key unions, buddy-map lookups)
+        compare by identity first instead of re-hashing tuple contents.
+        """
+        if key is None:
+            return None
+        canonical = self._interned.get(key)
+        if canonical is None:
+            self._interned[key] = key
+            canonical = key
+        return canonical
 
     def nonlocal_info(self, function):
         """Per-function :class:`NonLocalInfo`, computed at most once."""

@@ -56,10 +56,32 @@ class AbstractObject:
 
 
 class PointsToAnalysis:
-    """Inclusion-constraint points-to solution for one module."""
+    """Inclusion-constraint points-to solution for one module.
 
-    def __init__(self, module):
+    Two interchangeable solvers compute the same (unique) least
+    solution:
+
+    - ``solver="scc"`` (default): collapses copy cycles into single
+      representatives (Tarjan SCC + union-find) and propagates only
+      the *difference* — objects a successor has not seen yet — along
+      each edge.  Copy cycles are common in real constraint graphs
+      (recursive calls bind actuals and formals in both directions,
+      pointers round-trip through globals and load/store pairs), and
+      the basic solver re-propagates full sets around them until they
+      stabilize.
+    - ``solver="basic"``: the original full-set worklist, kept as the
+      reference implementation for equivalence tests.
+
+    Inclusion constraints have a unique least fixpoint, so the choice
+    of solver never changes ``points_to``/``class_key`` results — only
+    how fast they are reached.
+    """
+
+    def __init__(self, module, solver="scc"):
+        if solver not in ("scc", "basic"):
+            raise ValueError(f"unknown points-to solver: {solver!r}")
         self.module = module
+        self.solver = solver
         #: value -> set(AbstractObject); also AbstractObject -> set(...)
         #: for the *contents* of an object (what pointers stored into it
         #: may reference).
@@ -69,18 +91,26 @@ class PointsToAnalysis:
         self._store_edges = {}
         self.objects = []
         self._object_of = {}
+        #: union-find parent map for collapsed copy cycles (empty for
+        #: the basic solver: every node represents itself).
+        self._parent = {}
+        #: solver work counters (for profiling / tests).
+        self.stats = {"sccs_collapsed": 0, "nodes_merged": 0, "rounds": 0}
         self._generate()
-        self._solve()
+        if solver == "basic":
+            self._solve_basic()
+        else:
+            self._solve_scc()
 
     # -- public queries ----------------------------------------------------
 
     def points_to(self, value):
         """Abstract objects ``value`` may point to (frozenset)."""
-        return frozenset(self._pts.get(value, ()))
+        return frozenset(self._pts.get(self._find(value), ()))
 
     def contents(self, obj):
         """Objects that pointers *stored inside* ``obj`` may reference."""
-        return frozenset(self._pts.get(obj, ()))
+        return frozenset(self._pts.get(self._find(obj), ()))
 
     def object_for(self, node):
         """The AbstractObject of a GlobalVar / Alloca / Malloc node."""
@@ -192,9 +222,9 @@ class PointsToAnalysis:
             return
         self._store_edges.setdefault(pointer, set()).add(src)
 
-    # -- worklist solver ---------------------------------------------------
+    # -- basic worklist solver (reference implementation) ------------------
 
-    def _solve(self):
+    def _solve_basic(self):
         worklist = list(self._pts)
         queued = set(map(id, worklist))
 
@@ -211,6 +241,7 @@ class PointsToAnalysis:
                     push(src)
 
         while worklist:
+            self.stats["rounds"] += 1
             node = worklist.pop()
             queued.discard(id(node))
             pts = self._pts.get(node)
@@ -230,6 +261,191 @@ class PointsToAnalysis:
                 target |= pts
                 if len(target) != before:
                     push(dst)
+
+    # -- SCC-collapsing difference-propagation solver ----------------------
+
+    def _find(self, node):
+        """Union-find lookup with path compression."""
+        root = node
+        parent = self._parent.get(root)
+        while parent is not None:
+            root = parent
+            parent = self._parent.get(root)
+        while node is not root:
+            next_node = self._parent[node]
+            if next_node is not root:
+                self._parent[node] = root
+            node = next_node
+        return root
+
+    def _solve_scc(self):
+        """Worklist solver: Tarjan cycle collapsing + delta propagation.
+
+        Nodes in a copy cycle provably share one points-to set, so each
+        strongly connected component is merged into a representative.
+        Along the remaining (acyclic between collapses) edges only the
+        *delta* — objects the successor has not absorbed yet — flows.
+        Load/store constraints materialize new copy edges during the
+        solve; those can close new cycles, so when the worklist drains
+        after growing the graph, the collapse runs again.
+        """
+        pts = self._pts
+        delta = {node: set(objs) for node, objs in pts.items()}
+        worklist = list(pts)
+        queued = set(map(id, worklist))
+        self._grown = 0
+
+        def push(node):
+            if id(node) not in queued:
+                queued.add(id(node))
+                worklist.append(node)
+
+        def add_copy(src, dst):
+            src = self._find(src)
+            dst = self._find(dst)
+            if src is dst:
+                return
+            edges = self._copy_edges.setdefault(src, set())
+            if dst in edges:
+                return
+            edges.add(dst)
+            self._grown += 1
+            source_set = pts.get(src)
+            if source_set:
+                target = pts.setdefault(dst, set())
+                news = source_set - target
+                if news:
+                    target |= news
+                    delta.setdefault(dst, set()).update(news)
+                    push(dst)
+
+        # Offline collapse first: cycles from recursion and mutual
+        # copies exist before any propagation happens.
+        self._collapse(push, delta)
+
+        while worklist:
+            self.stats["rounds"] += 1
+            node = worklist.pop()
+            queued.discard(id(node))
+            if self._find(node) is not node:
+                continue  # merged away; its delta moved to the rep
+            d = delta.get(node)
+            if d:
+                delta[node] = set()
+                for dst in self._load_edges.get(node, ()):
+                    for obj in d:
+                        add_copy(obj, dst)
+                for src in self._store_edges.get(node, ()):
+                    for obj in d:
+                        add_copy(src, obj)
+                for dst in list(self._copy_edges.get(node, ())):
+                    dst_rep = self._find(dst)
+                    if dst_rep is node:
+                        continue
+                    target = pts.setdefault(dst_rep, set())
+                    news = d - target
+                    if news:
+                        target |= news
+                        delta.setdefault(dst_rep, set()).update(news)
+                        push(dst_rep)
+            if not worklist and self._grown:
+                self._collapse(push, delta)
+
+    def _collapse(self, push, delta):
+        """Collapse every multi-node SCC of the copy graph (Tarjan)."""
+        self._grown = 0
+        index = {}
+        low = {}
+        onstack = set()
+        stack = []
+        counter = 0
+        merged = 0
+
+        def successors(node):
+            out = self._copy_edges.get(node)
+            if not out:
+                return []
+            result = []
+            seen = set()
+            for dst in out:
+                rep = self._find(dst)
+                if rep is node or id(rep) in seen:
+                    continue
+                seen.add(id(rep))
+                result.append(rep)
+            return result
+
+        roots = []
+        seen_roots = set()
+        for node in list(self._copy_edges):
+            rep = self._find(node)
+            if id(rep) not in seen_roots:
+                seen_roots.add(id(rep))
+                roots.append(rep)
+
+        for root in roots:
+            if id(root) in index:
+                continue
+            index[id(root)] = low[id(root)] = counter
+            counter += 1
+            stack.append(root)
+            onstack.add(id(root))
+            frames = [(root, iter(successors(root)))]
+            while frames:
+                node, it = frames[-1]
+                advanced = False
+                for succ in it:
+                    if id(succ) not in index:
+                        index[id(succ)] = low[id(succ)] = counter
+                        counter += 1
+                        stack.append(succ)
+                        onstack.add(id(succ))
+                        frames.append((succ, iter(successors(succ))))
+                        advanced = True
+                        break
+                    if id(succ) in onstack:
+                        low[id(node)] = min(low[id(node)], index[id(succ)])
+                if advanced:
+                    continue
+                frames.pop()
+                if low[id(node)] == index[id(node)]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        onstack.discard(id(member))
+                        component.append(member)
+                        if member is node:
+                            break
+                    if len(component) > 1:
+                        self._merge_component(component, push, delta)
+                        merged += 1
+                if frames:
+                    parent, _ = frames[-1]
+                    low[id(parent)] = min(low[id(parent)], low[id(node)])
+        self.stats["sccs_collapsed"] += merged
+        return merged > 0
+
+    def _merge_component(self, component, push, delta):
+        """Union one SCC into ``component[0]``; re-propagate its set."""
+        rep = component[0]
+        merged_pts = self._pts.setdefault(rep, set())
+        for node in component[1:]:
+            self._parent[node] = rep
+            merged_pts.update(self._pts.pop(node, ()))
+            delta.pop(node, None)
+            for edges in (
+                self._copy_edges, self._load_edges, self._store_edges
+            ):
+                moved = edges.pop(node, None)
+                if moved:
+                    edges.setdefault(rep, set()).update(moved)
+            self.stats["nodes_merged"] += 1
+        if merged_pts:
+            # Conservative restart for the merged node: its whole set
+            # counts as fresh so every successor (old and newly
+            # inherited) absorbs it.
+            delta[rep] = set(merged_pts)
+            push(rep)
 
 
 class PointsToKeyProvider(LocationKeyProvider):

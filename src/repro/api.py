@@ -8,20 +8,38 @@ the result, and run it under the performance VM.
 from repro.core.config import AtoMigConfig, PortingLevel
 
 
-def compile_source(source, name="module"):
+def compile_source(source, name="module", cache=None):
     """Compile Mini-C ``source`` text into an IR :class:`Module`.
 
     Runs the lexer, parser, semantic analysis and the ``-O0``-style
     lowering, then verifies the produced IR.
+
+    ``cache`` controls the frontend module cache
+    (:mod:`repro.modcache`): ``True``/``False`` force it on/off, the
+    default ``None`` defers to the ``ATOMIG_FRONTEND_CACHE``
+    environment variable.  A hit returns a fresh unpickled module —
+    never a shared instance — so callers may mutate the result freely.
     """
+    from repro import modcache
     from repro.ir.verifier import verify_module
     from repro.lang.parser import parse
     from repro.lang.sema import analyze
     from repro.lower.lowering import lower_program
 
+    if cache is None:
+        cache = modcache.cache_enabled()
+    digest = None
+    if cache:
+        digest = modcache.source_digest(source, name)
+        module = modcache.load(digest)
+        if module is not None:
+            return module
+
     program = analyze(parse(source))
     module = lower_program(program, module_name=name)
     verify_module(module)
+    if cache:
+        modcache.store(digest, module)
     return module
 
 

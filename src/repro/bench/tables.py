@@ -232,15 +232,27 @@ def table8(benchmarks=TABLE8_BENCHMARKS, max_steps=2500,
 # ---------------------------------------------------------------------------
 
 
-def table3(scale=100, seed=0):
-    """Static statistics of the density-matched synthetic code bases."""
+def table3(scale=100, seed=0, jobs=None, frontend_cache=None, profile=False):
+    """Static statistics of the density-matched synthetic code bases.
+
+    ``jobs`` fans the per-(application, level) ports across worker
+    processes; each worker times its own build and port, so the
+    build/port ratios stay honest under parallelism.
+    ``frontend_cache`` overrides the on-disk parsed-module cache
+    (None = honor ``ATOMIG_FRONTEND_CACHE``) — leave it off when the
+    ``build_ratio`` column must reflect real frontend cost.
+    ``profile`` attaches the merged per-stage pipeline profile to each
+    row under the non-column ``"_stats"`` key.
+    """
+    if jobs is not None and jobs > 1:
+        return _table3_parallel(scale, seed, jobs, frontend_cache, profile)
     rows = []
-    for app_name, profile in PAPER_TABLE3.items():
+    for app_name, app_profile in PAPER_TABLE3.items():
         source = generate_codebase(app_name, scale=scale, seed=seed)
         sloc = source.count("\n")
 
         started = time.perf_counter()
-        module = compile_source(source, app_name)
+        module = compile_source(source, app_name, cache=frontend_cache)
         build_seconds = time.perf_counter() - started
 
         orig_expl, orig_impl = count_barriers(module)
@@ -250,24 +262,84 @@ def table3(scale=100, seed=0):
         atomig_seconds = build_seconds + (time.perf_counter() - started)
         port_expl, port_impl = count_barriers(ported)
 
-        naive, _ = port_module(module, PortingLevel.NAIVE)
+        naive, naive_report = port_module(module, PortingLevel.NAIVE)
         _n_expl, naive_impl = count_barriers(naive)
 
-        rows.append({
-            "application": app_name,
-            "sloc": sloc,
-            "spinloops": report.num_spinloops,
-            "optiloops": report.num_optimistic_loops,
-            "build_seconds": build_seconds,
-            "atomig_seconds": atomig_seconds,
-            "build_ratio": atomig_seconds / build_seconds,
-            "orig_explicit": orig_expl,
-            "orig_implicit": orig_impl,
-            "atomig_explicit": port_expl,
-            "atomig_implicit": port_impl,
-            "naive_implicit": naive_impl,
-            "paper": profile,
-        })
+        row = _table3_row(
+            app_name, app_profile, sloc, build_seconds, atomig_seconds,
+            report, (orig_expl, orig_impl), (port_expl, port_impl),
+            naive_impl,
+        )
+        if profile:
+            row["_stats"] = _merged_stats(report, naive_report)
+        rows.append(row)
+    return rows
+
+
+def _table3_row(app_name, app_profile, sloc, build_seconds, atomig_seconds,
+                report, orig_barriers, atomig_barriers, naive_impl):
+    return {
+        "application": app_name,
+        "sloc": sloc,
+        "spinloops": report.num_spinloops,
+        "optiloops": report.num_optimistic_loops,
+        "build_seconds": build_seconds,
+        "atomig_seconds": atomig_seconds,
+        "build_ratio": atomig_seconds / build_seconds,
+        "orig_explicit": orig_barriers[0],
+        "orig_implicit": orig_barriers[1],
+        "atomig_explicit": atomig_barriers[0],
+        "atomig_implicit": atomig_barriers[1],
+        "naive_implicit": naive_impl,
+        "paper": app_profile,
+    }
+
+
+def _merged_stats(*reports):
+    """JSON-ready merged pipeline profile of one or more ports."""
+    from repro.core.profile import PipelineStats
+
+    merged = PipelineStats(ports=0)
+    for report in reports:
+        if report is not None:
+            merged.merge(report.stats)
+    return merged.to_dict()
+
+
+def _table3_parallel(scale, seed, jobs, frontend_cache, profile):
+    """Per-(application, level) port jobs on a process pool."""
+    from repro.core.parallel import PortTask, run_port_tasks
+
+    apps = list(PAPER_TABLE3.items())
+    tasks = [
+        PortTask(
+            name=app_name, synth=(app_name, scale, seed), level=level,
+            frontend_cache=frontend_cache,
+        )
+        for app_name, _profile in apps
+        for level in ("atomig", "naive")
+    ]
+    outcomes = iter(run_port_tasks(tasks, jobs=jobs))
+    rows = []
+    for app_name, app_profile in apps:
+        atomig_out = next(outcomes)
+        naive_out = next(outcomes)
+        report = atomig_out.report
+        # Generation is milliseconds; regenerate for the sloc column
+        # instead of shipping megabytes of source through the pool.
+        sloc = generate_codebase(app_name, scale=scale, seed=seed).count("\n")
+        build_seconds = atomig_out.build_seconds
+        atomig_seconds = build_seconds + atomig_out.port_seconds
+        row = _table3_row(
+            app_name, app_profile, sloc, build_seconds, atomig_seconds,
+            report,
+            (report.original_explicit_barriers,
+             report.original_implicit_barriers),
+            atomig_out.barriers, naive_out.barriers[1],
+        )
+        if profile:
+            row["_stats"] = _merged_stats(report, naive_out.report)
+        rows.append(row)
     return rows
 
 
@@ -326,8 +398,16 @@ def _baseline_module(benchmark, name):
     return compile_source(benchmark.perf_source(), f"{name}.orig")
 
 
-def table5(benchmarks=TABLE5_BENCHMARKS, seeds=PERF_SEEDS):
-    """Measured Naive and AtoMig slowdowns vs the original binaries."""
+def table5(benchmarks=TABLE5_BENCHMARKS, seeds=PERF_SEEDS, jobs=None,
+           profile=False):
+    """Measured Naive and AtoMig slowdowns vs the original binaries.
+
+    ``jobs`` fans the per-(benchmark, variant) port+run jobs across
+    worker processes; the VM is deterministic per seed, so the ratios
+    are identical to the serial path's.
+    """
+    if jobs is not None and jobs > 1:
+        return _table5_parallel(benchmarks, seeds, jobs, profile)
     rows = []
     for name in benchmarks:
         benchmark = BENCHMARKS[name]
@@ -335,18 +415,64 @@ def table5(benchmarks=TABLE5_BENCHMARKS, seeds=PERF_SEEDS):
         baseline = _baseline_module(benchmark, name)
         base_cycles = _mean_cycles(baseline, seeds)
 
-        naive, _ = port_module(tso_module, PortingLevel.NAIVE)
-        atomig, _ = port_module(tso_module, PortingLevel.ATOMIG)
+        naive, naive_report = port_module(tso_module, PortingLevel.NAIVE)
+        atomig, atomig_report = port_module(tso_module, PortingLevel.ATOMIG)
         naive_cycles = _mean_cycles(naive, seeds)
         atomig_cycles = _mean_cycles(atomig, seeds)
 
-        rows.append({
+        row = {
             "benchmark": name,
             "naive": naive_cycles / base_cycles,
             "atomig": atomig_cycles / base_cycles,
             "paper_naive": benchmark.paper_naive,
             "paper_atomig": benchmark.paper_atomig,
-        })
+        }
+        if profile:
+            row["_stats"] = _merged_stats(naive_report, atomig_report)
+        rows.append(row)
+    return rows
+
+
+def _table5_parallel(benchmarks, seeds, jobs, profile):
+    """Per-(benchmark, variant) port+run jobs on a process pool."""
+    from repro.core.parallel import PortTask, run_port_tasks
+
+    seeds = tuple(seeds)
+    tasks = []
+    for name in benchmarks:
+        benchmark = BENCHMARKS[name]
+        perf_source = benchmark.perf_source()
+        if benchmark.expert_source is not None:
+            base_source, base_name = benchmark.expert_source(), f"{name}.expert"
+        else:
+            base_source, base_name = perf_source, f"{name}.orig"
+        tasks.append(PortTask(
+            name=base_name, source=base_source, run_seeds=seeds,
+        ))
+        for level in ("naive", "atomig"):
+            tasks.append(PortTask(
+                name=name, source=perf_source, level=level, run_seeds=seeds,
+            ))
+    outcomes = iter(run_port_tasks(tasks, jobs=jobs))
+    rows = []
+    for name in benchmarks:
+        benchmark = BENCHMARKS[name]
+        base_out, naive_out, atomig_out = (
+            next(outcomes), next(outcomes), next(outcomes)
+        )
+        base_cycles = sum(base_out.cycles) / len(base_out.cycles)
+        row = {
+            "benchmark": name,
+            "naive": (sum(naive_out.cycles) / len(seeds)) / base_cycles,
+            "atomig": (sum(atomig_out.cycles) / len(seeds)) / base_cycles,
+            "paper_naive": benchmark.paper_naive,
+            "paper_atomig": benchmark.paper_atomig,
+        }
+        if profile:
+            row["_stats"] = _merged_stats(
+                naive_out.report, atomig_out.report
+            )
+        rows.append(row)
     return rows
 
 
@@ -355,28 +481,75 @@ def table5(benchmarks=TABLE5_BENCHMARKS, seeds=PERF_SEEDS):
 # ---------------------------------------------------------------------------
 
 
-def table6():
-    """Phoenix suite slowdowns for the three automated porters."""
+def table6(jobs=None, profile=False):
+    """Phoenix suite slowdowns for the three automated porters.
+
+    ``jobs`` fans the per-(kernel, variant) port+run jobs across
+    worker processes; the VM is deterministic per seed, so the ratios
+    are identical to the serial path's.
+    """
+    levels = ("naive", "lasagne", "atomig")
     rows = []
-    ratios = {"naive": [], "lasagne": [], "atomig": []}
-    for kernel, paper in PHOENIX_PAPER_NUMBERS.items():
-        benchmark = BENCHMARKS[f"phoenix_{kernel}"]
-        module = compile_source(benchmark.perf_source(), kernel)
-        base_cycles = _mean_cycles(module)
-        row = {"benchmark": kernel,
-               "paper_naive": paper[0],
-               "paper_lasagne": paper[1],
-               "paper_atomig": paper[2]}
-        for level_name, level in (
-            ("naive", PortingLevel.NAIVE),
-            ("lasagne", PortingLevel.LASAGNE),
-            ("atomig", PortingLevel.ATOMIG),
-        ):
-            ported, _ = port_module(module, level)
-            ratio = _mean_cycles(ported) / base_cycles
-            row[level_name] = ratio
-            ratios[level_name].append(ratio)
-        rows.append(row)
+    ratios = {level: [] for level in levels}
+
+    if jobs is not None and jobs > 1:
+        from repro.core.parallel import PortTask, run_port_tasks
+
+        tasks = []
+        for kernel in PHOENIX_PAPER_NUMBERS:
+            source = BENCHMARKS[f"phoenix_{kernel}"].perf_source()
+            tasks.append(PortTask(
+                name=kernel, source=source, run_seeds=PERF_SEEDS,
+            ))
+            tasks += [
+                PortTask(
+                    name=kernel, source=source, level=level,
+                    run_seeds=PERF_SEEDS,
+                )
+                for level in levels
+            ]
+        outcomes = iter(run_port_tasks(tasks, jobs=jobs))
+        for kernel, paper in PHOENIX_PAPER_NUMBERS.items():
+            base_out = next(outcomes)
+            base_cycles = sum(base_out.cycles) / len(base_out.cycles)
+            row = {"benchmark": kernel,
+                   "paper_naive": paper[0],
+                   "paper_lasagne": paper[1],
+                   "paper_atomig": paper[2]}
+            reports = []
+            for level in levels:
+                out = next(outcomes)
+                reports.append(out.report)
+                ratio = (sum(out.cycles) / len(out.cycles)) / base_cycles
+                row[level] = ratio
+                ratios[level].append(ratio)
+            if profile:
+                row["_stats"] = _merged_stats(*reports)
+            rows.append(row)
+    else:
+        for kernel, paper in PHOENIX_PAPER_NUMBERS.items():
+            benchmark = BENCHMARKS[f"phoenix_{kernel}"]
+            module = compile_source(benchmark.perf_source(), kernel)
+            base_cycles = _mean_cycles(module)
+            row = {"benchmark": kernel,
+                   "paper_naive": paper[0],
+                   "paper_lasagne": paper[1],
+                   "paper_atomig": paper[2]}
+            reports = []
+            for level_name, level in (
+                ("naive", PortingLevel.NAIVE),
+                ("lasagne", PortingLevel.LASAGNE),
+                ("atomig", PortingLevel.ATOMIG),
+            ):
+                ported, report = port_module(module, level)
+                reports.append(report)
+                ratio = _mean_cycles(ported) / base_cycles
+                row[level_name] = ratio
+                ratios[level_name].append(ratio)
+            if profile:
+                row["_stats"] = _merged_stats(*reports)
+            rows.append(row)
+
     geomean_row = {"benchmark": "geometric mean",
                    "paper_naive": 1.39, "paper_lasagne": 1.73,
                    "paper_atomig": 1.01}
@@ -398,7 +571,8 @@ def format_table(rows, columns=None, floatfmt="{:.2f}", title=None):
     if not rows:
         return "(empty)"
     columns = columns or [
-        key for key in rows[0] if not key.startswith("paper")
+        key for key in rows[0]
+        if not key.startswith("paper") and not key.startswith("_")
     ]
 
     def render(value):

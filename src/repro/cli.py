@@ -83,9 +83,11 @@ def _add_config_args(parser):
 
 def cmd_port(args):
     module = _load(args.file)
-    ported, report = port_module(
-        module, _LEVELS[args.level], config=_build_config(args)
-    )
+    config = _build_config(args)
+    if args.jobs and args.jobs > 1:
+        config = config or AtoMigConfig()
+        config.function_jobs = args.jobs
+    ported, report = port_module(module, _LEVELS[args.level], config=config)
     print(report.summary())
     if report.spinloops:
         print(f"spinloops: {report.spinloops}")
@@ -99,6 +101,11 @@ def cmd_port(args):
         print(f"thread-local accesses pruned: {report.pruned_thread_local}")
     for note in report.notes:
         print(f"note: {note}")
+    if args.profile:
+        from repro.core.profile import format_pipeline_stats
+
+        print("pipeline profile:")
+        print(format_pipeline_stats(report.stats))
     if args.emit_ir:
         from repro.ir.printer import print_module
 
@@ -311,54 +318,67 @@ def cmd_litmus(args):
     return 1 if mismatches else 0
 
 
+def _print_table_profile(rows):
+    """Merge and render the ``_stats`` payloads attached to table rows."""
+    from repro.core.profile import PipelineStats, format_pipeline_stats
+
+    merged = PipelineStats(ports=0)
+    found = False
+    for row in rows:
+        payload = row.get("_stats")
+        if payload:
+            merged.merge(PipelineStats.from_dict(payload))
+            found = True
+    if found:
+        print("pipeline profile (all ports merged):")
+        print(format_pipeline_stats(merged))
+
+
 def cmd_tables(args):
     from repro.bench import tables as T
 
     selected = args.numbers or [1, 2, 3, 4, 5, 6, 7, 8]
-    printers = {
-        1: lambda: T.format_table(
-            T.table1(),
+    profile = args.profile
+    specs = {
+        1: (lambda: T.table1(),
             ["approach", "safe", "efficient", "scalable", "practical"],
-            title="Table 1: Comparison of Porting Approaches"),
-        2: lambda: T.format_table(
-            T.table2(jobs=args.jobs),
+            "Table 1: Comparison of Porting Approaches"),
+        2: (lambda: T.table2(jobs=args.jobs),
             ["benchmark", "original", "expl", "spin", "atomig",
              "matches_paper"],
-            title="Table 2: Verification results (WMM)"),
-        3: lambda: T.format_table(
-            T.table3(),
+            "Table 2: Verification results (WMM)"),
+        3: (lambda: T.table3(jobs=args.jobs, profile=profile),
             ["application", "sloc", "spinloops", "optiloops",
              "build_seconds", "atomig_seconds", "build_ratio",
              "atomig_explicit", "atomig_implicit", "naive_implicit"],
-            title="Table 3: AtoMig statistics (synthetic, 1/100 scale)"),
-        4: lambda: T.format_table(
-            T.table4(),
+            "Table 3: AtoMig statistics (synthetic, 1/100 scale)"),
+        4: (lambda: T.table4(),
             ["counter", "original", "atomig"],
-            title="Table 4: dynamic barriers (Memcached)"),
-        5: lambda: T.format_table(
-            T.table5(),
+            "Table 4: dynamic barriers (Memcached)"),
+        5: (lambda: T.table5(jobs=args.jobs, profile=profile),
             ["benchmark", "naive", "atomig", "paper_naive", "paper_atomig"],
-            title="Table 5: Naive / AtoMig slowdowns"),
-        6: lambda: T.format_table(
-            T.table6(),
+            "Table 5: Naive / AtoMig slowdowns"),
+        6: (lambda: T.table6(jobs=args.jobs, profile=profile),
             ["benchmark", "naive", "lasagne", "atomig",
              "paper_naive", "paper_lasagne", "paper_atomig"],
-            title="Table 6: Phoenix"),
-        7: lambda: T.format_table(
-            T.table_lint(jobs=args.jobs),
+            "Table 6: Phoenix"),
+        7: (lambda: T.table_lint(jobs=args.jobs),
             ["benchmark", "atomig_impl", "pruned_impl", "pruned", "wmm_ok"],
-            title="Table 7: lock-protection pruning (atomig lint)"),
-        8: lambda: T.format_table(
-            T.table8(jobs=args.jobs),
+            "Table 7: lock-protection pruning (atomig lint)"),
+        8: (lambda: T.table8(jobs=args.jobs),
             ["benchmark", "type_based_impl", "points_to_impl", "delta",
              "pts_keyed", "pruned_local", "tb_wmm_ok", "pt_wmm_ok"],
-            title="Table 8: alias precision (type_based vs points_to)"),
+            "Table 8: alias precision (type_based vs points_to)"),
     }
     for number in selected:
-        if number not in printers:
+        if number not in specs:
             print(f"no table {number}")
             return 2
-        print(printers[number]())
+        rows_fn, columns, title = specs[number]
+        rows = rows_fn()
+        print(T.format_table(rows, columns, title=title))
+        if profile:
+            _print_table_profile(rows)
         print()
     return 0
 
@@ -377,6 +397,12 @@ def build_parser():
     port.add_argument("--emit-ir", action="store_true",
                       help="print the ported IR")
     port.add_argument("-o", "--output", help="write the ported IR here")
+    port.add_argument("--profile", action="store_true",
+                      help="print per-stage wall-clock of the pipeline")
+    port.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="analyze functions on N worker threads in the "
+                           "per-function stages (annotations, spinloops, "
+                           "optimistic)")
     port.set_defaults(func=cmd_port)
 
     check = sub.add_parser("check", help="model-check a Mini-C file")
@@ -455,8 +481,12 @@ def build_parser():
     tables = sub.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("numbers", nargs="*", type=int)
     tables.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="fan model-checking rows (tables 2 and 7) "
-                             "across N worker processes")
+                        help="fan table rows across N worker processes "
+                             "(model checks for tables 2/7/8, port jobs "
+                             "for tables 3/5/6)")
+    tables.add_argument("--profile", action="store_true",
+                        help="print the merged per-stage pipeline profile "
+                             "under each porting table (3, 5, 6)")
     tables.set_defaults(func=cmd_tables)
 
     return parser

@@ -32,19 +32,29 @@ class AccessIndex:
         self.by_key = {}
         #: instr -> (key, origin) for every keyed access (provenance).
         self.key_of = {}
+        #: instr -> (function, block-label, ordinal) for every memory
+        #: access — a stable identity for deterministic provenance
+        #: ordering (``repr(instr)`` is id()-based for unnamed values).
+        self.position_of = {}
         self._build()
 
     def _build(self):
+        intern = self.cache.intern
         for function in self.module.functions.values():
-            for instr in function.instructions():
-                if not instr.is_memory_access():
-                    continue
-                key, origin = self.provider.key_with_origin(
-                    function, instr.accessed_pointer()
-                )
-                if key is not None:
-                    self.by_key.setdefault(key, []).append(instr)
-                    self.key_of[instr] = (key, origin)
+            for block in function.blocks:
+                for ordinal, instr in enumerate(block.instructions):
+                    if not instr.is_memory_access():
+                        continue
+                    self.position_of[instr] = (
+                        function.name, block.label, ordinal
+                    )
+                    key, origin = self.provider.key_with_origin(
+                        function, instr.accessed_pointer()
+                    )
+                    if key is not None:
+                        key = intern(key)
+                        self.by_key.setdefault(key, []).append(instr)
+                        self.key_of[instr] = (key, origin)
 
     def accesses_for(self, key):
         return self.by_key.get(key, ())

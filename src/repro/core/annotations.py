@@ -12,9 +12,15 @@ Three annotation kinds hint at shared-memory synchronization:
 
 The pass returns the set of location keys it touched so alias
 exploration can propagate "once atomic, always atomic" to their buddies.
+
+The pass is per-function by construction (it only reads and mutates one
+function's instructions at a time), so with ``jobs > 1`` functions are
+analyzed by a thread pool and the per-function partial results merged
+in deterministic module order.
 """
 
 from repro.analysis.nonlocal_ import NonLocalInfo
+from repro.core.funcjobs import map_functions
 from repro.ir import instructions as ins
 from repro.ir.instructions import MemoryOrder
 from repro.ir.values import GlobalVar
@@ -32,23 +38,38 @@ class AnnotationResult:
         self.conversions = 0
 
 
-def analyze_annotations(module, blacklist=(), cache=None):
+def analyze_annotations(module, blacklist=(), cache=None, jobs=1):
     """Run the explicit-annotation pass on ``module`` in place."""
-    result = AnnotationResult()
     blacklist = set(blacklist)
-    for function in module.functions.values():
+
+    def worker(function):
         info = (cache.nonlocal_info(function) if cache is not None
                 else NonLocalInfo(function))
-        for instr in function.instructions():
-            if isinstance(instr, (ins.Load, ins.Store)):
-                if instr.order.is_atomic:
-                    _mark(instr, info, result, "annotation_atomic")
-                elif instr.volatile and not _blacklisted(instr, blacklist):
-                    _mark(instr, info, result, "annotation_volatile")
-            elif isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
-                # RMW operations are atomic by construction; raise to SC.
-                _mark(instr, info, result, "annotation_atomic")
+        partial = AnnotationResult()
+        _analyze_function(function, info, blacklist, partial)
+        return partial
+
+    result = AnnotationResult()
+    intern = cache.intern if cache is not None else (lambda key: key)
+    for partial in map_functions(module, worker, jobs=jobs):
+        result.marked_instructions |= partial.marked_instructions
+        result.location_keys.update(
+            intern(key) for key in partial.location_keys
+        )
+        result.conversions += partial.conversions
     return result
+
+
+def _analyze_function(function, info, blacklist, result):
+    for instr in function.instructions():
+        if isinstance(instr, (ins.Load, ins.Store)):
+            if instr.order.is_atomic:
+                _mark(instr, info, result, "annotation_atomic")
+            elif instr.volatile and not _blacklisted(instr, blacklist):
+                _mark(instr, info, result, "annotation_volatile")
+        elif isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
+            # RMW operations are atomic by construction; raise to SC.
+            _mark(instr, info, result, "annotation_atomic")
 
 
 def _blacklisted(instr, blacklist):

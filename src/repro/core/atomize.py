@@ -49,13 +49,16 @@ def _wrap_with_fences(instr):
 
 
 def insert_optimistic_fences(module, optimistic_result, sticky_marked,
-                             cache=None):
+                             cache=None, touched=None):
     """Insert the explicit barriers required by optimistic controls.
 
     ``sticky_marked`` is the set of accesses added by alias exploration;
     stores among them that hit optimistic-control locations also get the
     writer-side fence (the paper: "sticky buddies of optimistic controls
     additionally get explicit barriers depending on where they are").
+
+    When ``touched`` is a set, the names of functions that received a
+    fence are added to it (for incremental re-verification).
     """
     fences = 0
     opt_keys = set(optimistic_result.control_keys)
@@ -87,6 +90,8 @@ def insert_optimistic_fences(module, optimistic_result, sticky_marked,
         if isinstance(instr, ins.Load):
             _insert_before(instr)
             fences += 1
+            if touched is not None:
+                touched.add(instr.block.function.name)
 
     # Writer side: fence after every store/RMW to an optimistic-control
     # location, module-wide.
@@ -101,6 +106,8 @@ def insert_optimistic_fences(module, optimistic_result, sticky_marked,
                     continue
                 _insert_after(instr)
                 fences += 1
+                if touched is not None:
+                    touched.add(function.name)
     return fences
 
 

@@ -46,49 +46,59 @@ class OptimisticResult:
     control_keys: set = field(default_factory=set)
 
 
-def detect_optimistic_loops(module, spinloop_result, cache=None):
-    """Classify each detected spinloop as optimistic or plain."""
+def detect_optimistic_loops(module, spinloop_result, cache=None, jobs=1):
+    """Classify each detected spinloop as optimistic or plain.
+
+    Classification is intra-procedural (one use-map and nonlocal-info
+    per function), so with ``jobs > 1`` the per-function groups of
+    spinloops are classified in parallel; results merge in spinloop
+    order, and the (idempotent) ``optimistic_control`` marking happens
+    serially during the merge.
+    """
     from repro.analysis.nonlocal_ import NonLocalInfo
+    from repro.core.funcjobs import map_items
+
+    # Group the spinloops by function, preserving detection order.
+    groups = {}
+    for info in spinloop_result.spinloops:
+        groups.setdefault(info.function_name, []).append(info)
+
+    def classify_group(item):
+        function_name, infos = item
+        function = module.functions[function_name]
+        uses = _build_use_map(function)
+        nonlocal_info = (cache.nonlocal_info(function) if cache is not None
+                         else NonLocalInfo(function))
+        classified = []
+        for info in infos:
+            optimistic_reads = set()
+            control_keys = info.control_keys
+            for instr in info.loop.instructions():
+                if not isinstance(instr, ins.Load):
+                    continue
+                if instr in info.spin_controls:
+                    continue
+                # Only non-local reads can be "optimistic" accesses to
+                # shared data; local slots are invisible to peers.
+                if not nonlocal_info.is_nonlocal_pointer(instr.pointer):
+                    continue
+                key = nonlocal_info.location_key(instr.pointer)
+                if key is not None and key in control_keys:
+                    continue  # reads of the controls themselves
+                if _value_used_outside(instr, info.loop, uses):
+                    optimistic_reads.add(instr)
+            if optimistic_reads:
+                classified.append(OptimisticLoopInfo(info, optimistic_reads))
+        return classified
 
     result = OptimisticResult()
-    use_maps = {}
-    nonlocal_infos = {}
-    for info in spinloop_result.spinloops:
-        function = module.functions[info.function_name]
-        if function not in use_maps:
-            use_maps[function] = _build_use_map(function)
-            nonlocal_infos[function] = (
-                cache.nonlocal_info(function) if cache is not None
-                else NonLocalInfo(function)
-            )
-        uses = use_maps[function]
-        nonlocal_info = nonlocal_infos[function]
-
-        optimistic_reads = set()
-        control_keys = info.control_keys
-        for instr in info.loop.instructions():
-            if not isinstance(instr, ins.Load):
-                continue
-            if instr in info.spin_controls:
-                continue
-            # Only non-local reads can be "optimistic" accesses to
-            # shared data; function-local slots are invisible to peers.
-            if not nonlocal_info.is_nonlocal_pointer(instr.pointer):
-                continue
-            key = nonlocal_info.location_key(instr.pointer)
-            if key is not None and key in control_keys:
-                continue  # reads of the controls themselves
-            if _value_used_outside(instr, info.loop, uses):
-                optimistic_reads.add(instr)
-
-        if not optimistic_reads:
-            continue
-        opt = OptimisticLoopInfo(info, optimistic_reads)
-        for control in info.spin_controls:
-            control.marks.add("optimistic_control")
-        result.optimistic_loops.append(opt)
-        result.control_instructions |= info.spin_controls
-        result.control_keys |= info.control_keys
+    for classified in map_items(groups.items(), classify_group, jobs=jobs):
+        for opt in classified:
+            for control in opt.spinloop.spin_controls:
+                control.marks.add("optimistic_control")
+            result.optimistic_loops.append(opt)
+            result.control_instructions |= opt.spinloop.spin_controls
+            result.control_keys |= opt.spinloop.control_keys
     return result
 
 

@@ -3,6 +3,14 @@
 ``run_porting`` clones the input module, applies the strategy selected
 by :class:`PortingLevel`, verifies the result and returns it together
 with a :class:`PortingReport` describing what was detected and changed.
+
+Every stage is timed into ``report.stats`` (:class:`PipelineStats`);
+``report.porting_seconds`` covers the transformation proper, while
+post-port verification and barrier recounting live in their own stats
+buckets.  With ``AtoMigConfig.incremental_verify`` (the default) only
+the functions a port actually touched are re-verified: a clone of a
+verified module is verified by construction, so an untouched function
+cannot have become malformed.
 """
 
 import time
@@ -28,42 +36,72 @@ from repro.transform.naive import naive_port
 def run_porting(module, level=PortingLevel.ATOMIG, config=None):
     """Port ``module`` according to ``level``; returns (ported, report)."""
     started = time.perf_counter()
+    config = config or AtoMigConfig.for_level(level)
     report = PortingReport(module_name=module.name, level=level.value)
-    report.original_explicit_barriers, report.original_implicit_barriers = (
-        count_barriers(module)
-    )
+    stats = report.stats
+    with stats.stage("count_barriers"):
+        report.original_explicit_barriers, report.original_implicit_barriers = (
+            count_barriers(module)
+        )
 
-    ported = module.clone()
+    with stats.stage("clone"):
+        ported = module.clone()
     ported.name = f"{module.name}.{level.value}"
 
+    #: Names of functions this port modified; ``None`` means "assume
+    #: everything" (module-wide rewrites without touch tracking).
+    touched = None
     if level is PortingLevel.ORIGINAL:
-        pass
+        touched = set()
     elif level is PortingLevel.NAIVE:
-        report.sticky_conversions = naive_port(ported)
+        with stats.stage("naive"):
+            report.naive_conversions = naive_port(ported)
     elif level is PortingLevel.LASAGNE:
-        inserted, removed = lasagne_port(ported)
+        with stats.stage("lasagne"):
+            inserted, removed = lasagne_port(ported)
         report.fences_inserted = inserted - removed
         report.notes.append(
             f"lasagne: inserted {inserted} fences, eliminated {removed}"
         )
     else:
-        _run_atomig(ported, level, config, report)
+        touched = _run_atomig(ported, level, config, report)
 
-    verify_module(ported)
-    report.ported_explicit_barriers, report.ported_implicit_barriers = (
-        count_barriers(ported)
-    )
-    report.porting_seconds = time.perf_counter() - started
+    with stats.stage("verify"):
+        if touched is None or not config.incremental_verify:
+            verify_module(ported)
+            stats.count("verified_functions", len(ported.functions))
+        else:
+            verify_module(ported, functions=touched)
+            stats.count("verified_functions", len(touched))
+            stats.count(
+                "verify_skipped_functions",
+                len(ported.functions) - len(touched),
+            )
+    with stats.stage("count_barriers"):
+        report.ported_explicit_barriers, report.ported_implicit_barriers = (
+            count_barriers(ported)
+        )
+    stats.total_seconds = time.perf_counter() - started
+    report.porting_seconds = stats.transform_seconds
     ported.metadata["porting_report"] = report
     return ported, report
 
 
 def _run_atomig(ported, level, config, report):
-    config = config or AtoMigConfig.for_level(level)
+    """Run the AtoMig stages on ``ported`` in place.
+
+    Returns the set of names of functions the port modified (for the
+    incremental verifier).
+    """
     report.alias_mode = config.alias_mode
+    stats = report.stats
+    touched = set()
 
     if config.inline_before_analysis:
-        inlined = inline_module(ported, config.inline_size_limit)
+        with stats.stage("inline"):
+            inlined = inline_module(
+                ported, config.inline_size_limit, touched=touched
+            )
         if inlined:
             report.notes.append(f"inlined {inlined} call sites before analysis")
 
@@ -75,18 +113,22 @@ def _run_atomig(ported, level, config, report):
     marked = set()
 
     if config.analyze_annotations:
-        annotations = analyze_annotations(
-            ported, config.volatile_blacklist, cache=cache
-        )
+        with stats.stage("annotations"):
+            annotations = analyze_annotations(
+                ported, config.volatile_blacklist, cache=cache,
+                jobs=config.function_jobs,
+            )
         seed_keys |= annotations.location_keys
         marked |= annotations.marked_instructions
         report.annotation_conversions = annotations.conversions
 
     spinloops = None
     if config.detect_spinloops:
-        spinloops = detect_spinloops(
-            ported, strict=config.strict_spinloop_definition, cache=cache
-        )
+        with stats.stage("spinloops"):
+            spinloops = detect_spinloops(
+                ported, strict=config.strict_spinloop_definition, cache=cache,
+                jobs=config.function_jobs,
+            )
         seed_keys |= spinloops.control_keys
         marked |= spinloops.control_instructions
         report.spinloops = [
@@ -102,23 +144,27 @@ def _run_atomig(ported, level, config, report):
         )
 
         extensions = None
-        if config.detect_polling_loops:
-            extensions = detect_polling_loops(ported, cache=cache)
-            if extensions.polling_loops:
-                report.notes.append(
-                    f"polling loops detected: {extensions.polling_loops}"
+        with stats.stage("extensions"):
+            if config.detect_polling_loops:
+                extensions = detect_polling_loops(ported, cache=cache)
+                if extensions.polling_loops:
+                    report.notes.append(
+                        f"polling loops detected: {extensions.polling_loops}"
+                    )
+            if config.compiler_barrier_seeds:
+                extensions = detect_compiler_barrier_seeds(
+                    ported, extensions, cache=cache
                 )
-        if config.compiler_barrier_seeds:
-            extensions = detect_compiler_barrier_seeds(
-                ported, extensions, cache=cache
-            )
         if extensions is not None:
             seed_keys |= extensions.control_keys
             marked |= extensions.control_instructions
 
     optimistic = None
     if config.detect_optimistic and spinloops is not None:
-        optimistic = detect_optimistic_loops(ported, spinloops, cache=cache)
+        with stats.stage("optimistic"):
+            optimistic = detect_optimistic_loops(
+                ported, spinloops, cache=cache, jobs=config.function_jobs
+            )
         seed_keys |= optimistic.control_keys
         marked |= optimistic.control_instructions
         report.optimistic_loops = [
@@ -134,15 +180,22 @@ def _run_atomig(ported, level, config, report):
         # a marked access that is keyless under the type scheme can be
         # keyed by its points-to class, pulling its true aliases in.
         seed_instructions = marked if config.alias_mode == "points_to" else ()
-        sticky, index = explore_aliases(
-            ported, seed_keys, cache=cache, mode=config.alias_mode,
-            seed_instructions=seed_instructions,
-        )
+        with stats.stage("alias"):
+            sticky, index = explore_aliases(
+                ported, seed_keys, cache=cache, mode=config.alias_mode,
+                seed_instructions=seed_instructions,
+            )
         report.sticky_conversions = len(sticky - marked)
+
+    # Every access whose order or marks may change lives in one of
+    # these sets — record their functions before pruning shrinks them.
+    for instr in marked | sticky:
+        touched.add(instr.block.function.name)
 
     to_atomize = marked | sticky
     if config.prune_protected:
-        pruned = prune_protected_accesses(ported, to_atomize, cache=cache)
+        with stats.stage("prune_protected"):
+            pruned = prune_protected_accesses(ported, to_atomize, cache=cache)
         to_atomize -= pruned
         report.pruned_protected = len(pruned)
         if pruned:
@@ -152,7 +205,10 @@ def _run_atomig(ported, level, config, report):
             )
 
     if config.alias_mode == "points_to":
-        local_pruned = prune_thread_local_accesses(ported, to_atomize, cache)
+        with stats.stage("prune_thread_local"):
+            local_pruned = prune_thread_local_accesses(
+                ported, to_atomize, cache
+            )
         to_atomize -= local_pruned
         report.pruned_thread_local = len(local_pruned)
         if local_pruned:
@@ -160,48 +216,55 @@ def _run_atomig(ported, level, config, report):
                 f"escape pruning: {len(local_pruned)} thread-local "
                 f"accesses left plain"
             )
-        report.alias_provenance = _alias_provenance(
-            ported, index, to_atomize, local_pruned
-        )
+        with stats.stage("provenance"):
+            report.alias_provenance = _alias_provenance(
+                index, to_atomize, local_pruned
+            )
 
-    atomize_accesses(
-        to_atomize, force_explicit=config.force_explicit_barriers
-    )
+    with stats.stage("atomize"):
+        atomize_accesses(
+            to_atomize, force_explicit=config.force_explicit_barriers
+        )
 
     if optimistic is not None and optimistic.optimistic_loops:
-        report.fences_inserted = insert_optimistic_fences(
-            ported, optimistic, sticky, cache=cache
-        )
+        with stats.stage("fences"):
+            report.fences_inserted = insert_optimistic_fences(
+                ported, optimistic, sticky, cache=cache, touched=touched
+            )
 
     warnings = ported.metadata.get("lowering_warnings")
     if warnings:
         report.notes.extend(warnings)
+    return touched
 
 
-def _alias_provenance(ported, index, to_atomize, local_pruned):
+def _alias_provenance(index, to_atomize, local_pruned):
     """String-only per-access provenance for the porting report.
 
     One entry per interesting access: atomized accesses whose key came
     from the points-to analysis (the precision *gain*) and accesses
     pruned as thread-local (the over-atomization *removed*).
+
+    O(interesting accesses): positions come from the
+    :class:`AccessIndex` built during alias exploration (it already
+    walks every memory access once), and ordering uses the stable
+    (function, block, ordinal) identity recorded there — ``repr`` of an
+    unnamed instruction is ``id()``-based and unstable across runs.
     """
     if index is None:
         return []
-    positions = {}
-    for function in ported.functions.values():
-        for block in function.blocks:
-            for instr in block.instructions:
-                positions[instr] = (function.name, block.label)
+    positions = index.position_of
+    unknown = ("?", "?", -1)
     entries = []
     for instr in sorted(
         to_atomize | local_pruned,
-        key=lambda i: (positions.get(i, ("?", "?")), repr(i)),
+        key=lambda i: positions.get(i, unknown),
     ):
         keyed = index.key_of.get(instr)
         pruned = "pruned_thread_local" in instr.marks
         if not pruned and (keyed is None or keyed[1] == "type"):
             continue
-        function_name, block_label = positions.get(instr, ("?", "?"))
+        function_name, block_label, _ = positions.get(instr, unknown)
         entries.append({
             "function": function_name,
             "block": block_label,

@@ -7,6 +7,7 @@ explicit barriers (fences) before and after porting.
 
 from dataclasses import dataclass, field
 
+from repro.core.profile import PipelineStats
 from repro.ir.instructions import AtomicRMW, Cmpxchg, Fence, Load, Store
 
 
@@ -28,6 +29,10 @@ class PortingReport:
     annotation_conversions: int = 0
     #: Accesses converted via sticky-buddy alias exploration.
     sticky_conversions: int = 0
+    #: Accesses converted by the Naïve porter (level ``naive`` only).
+    #: Historically this count was stored in ``sticky_conversions``;
+    #: the JSON output keeps that key as a deprecated alias.
+    naive_conversions: int = 0
     #: Marked accesses exempted by lock-protection pruning.
     pruned_protected: int = 0
     #: Location-key scheme used by alias exploration.
@@ -47,8 +52,13 @@ class PortingReport:
     #: Barrier counts after the transformation.
     ported_explicit_barriers: int = 0
     ported_implicit_barriers: int = 0
-    #: Wall-clock seconds spent inside the porting pipeline.
+    #: Wall-clock seconds spent inside the porting *transformation*.
+    #: Post-port verification and barrier recounting used to be folded
+    #: in silently; they now live in their own ``stats`` buckets
+    #: (``verify``, ``count_barriers``) and are excluded here.
     porting_seconds: float = 0.0
+    #: Per-stage wall-clock profile of this port.
+    stats: PipelineStats = field(default_factory=PipelineStats)
     #: Diagnostic notes (e.g. unknown inline asm).
     notes: list = field(default_factory=list)
 
@@ -59,6 +69,45 @@ class PortingReport:
     @property
     def num_optimistic_loops(self):
         return len(self.optimistic_loops)
+
+    @property
+    def total_seconds(self):
+        """Full wall-clock of the port, verification included."""
+        return self.stats.total_seconds or self.porting_seconds
+
+    def to_dict(self):
+        """JSON-ready structure (``atomig port``/``tables`` payloads).
+
+        ``sticky_conversions`` historically also carried the Naïve
+        porter's conversion count; that spelling is kept as a
+        deprecated alias of ``naive_conversions`` for ``naive``-level
+        reports so existing consumers keep working.
+        """
+        sticky = self.sticky_conversions
+        if self.level == "naive":
+            sticky = self.naive_conversions  # deprecated alias
+        return {
+            "module": self.module_name,
+            "level": self.level,
+            "spinloops": list(self.spinloops),
+            "optimistic_loops": list(self.optimistic_loops),
+            "spin_controls": list(self.spin_controls),
+            "optimistic_controls": list(self.optimistic_controls),
+            "annotation_conversions": self.annotation_conversions,
+            "sticky_conversions": sticky,
+            "naive_conversions": self.naive_conversions,
+            "pruned_protected": self.pruned_protected,
+            "alias_mode": self.alias_mode,
+            "pruned_thread_local": self.pruned_thread_local,
+            "fences_inserted": self.fences_inserted,
+            "original_explicit_barriers": self.original_explicit_barriers,
+            "original_implicit_barriers": self.original_implicit_barriers,
+            "ported_explicit_barriers": self.ported_explicit_barriers,
+            "ported_implicit_barriers": self.ported_implicit_barriers,
+            "porting_seconds": self.porting_seconds,
+            "stats": self.stats.to_dict(),
+            "notes": list(self.notes),
+        }
 
     def summary(self):
         """Human-readable one-paragraph summary."""

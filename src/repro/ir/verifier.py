@@ -38,9 +38,23 @@ _BAD_STORE_ORDERS = frozenset((
 ))
 
 
-def verify_module(module):
-    """Raise :class:`IRError` on the first malformed construct found."""
-    for function in module.functions.values():
+def verify_module(module, functions=None):
+    """Raise :class:`IRError` on the first malformed construct found.
+
+    ``functions`` optionally restricts verification to the named
+    subset — the porting pipeline's incremental fast path: a clone of a
+    verified module only needs its *touched* functions re-checked.
+    Unknown names are ignored (a touched-set may mention functions a
+    later stage removed).
+    """
+    if functions is None:
+        targets = module.functions.values()
+    else:
+        targets = [
+            module.functions[name] for name in functions
+            if name in module.functions
+        ]
+    for function in targets:
         _verify_function(function, module)
     return True
 

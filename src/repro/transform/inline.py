@@ -15,14 +15,22 @@ from repro.ir.module import BasicBlock, _clone_instruction
 from repro.ir.values import Constant
 
 
-def inline_module(module, size_limit=80):
-    """Inline eligible call sites module-wide; returns #sites inlined."""
+def inline_module(module, size_limit=80, touched=None):
+    """Inline eligible call sites module-wide; returns #sites inlined.
+
+    When ``touched`` is a set, the names of functions whose bodies were
+    rewritten (the callers) are added to it — the porting pipeline's
+    incremental verifier uses this to know what to re-check.
+    """
     graph = CallGraph(module)
     recursive = graph.recursive_functions()
     inlined = 0
     for name in graph.bottom_up_order():
         function = module.functions[name]
-        inlined += _inline_into(module, function, recursive, size_limit)
+        sites = _inline_into(module, function, recursive, size_limit)
+        if sites and touched is not None:
+            touched.add(name)
+        inlined += sites
     return inlined
 
 

@@ -1,0 +1,106 @@
+"""PipelineStats: timing, counters, merging, (de)serialization."""
+
+from repro.core.profile import (
+    STAGE_ORDER,
+    PipelineStats,
+    format_pipeline_stats,
+)
+
+
+def test_stage_contextmanager_accumulates():
+    stats = PipelineStats()
+    with stats.stage("alias"):
+        pass
+    first = stats.stage_seconds["alias"]
+    assert first >= 0.0
+    with stats.stage("alias"):
+        pass
+    assert stats.stage_seconds["alias"] >= first  # additive, not replaced
+    assert set(stats.stage_seconds) == {"alias"}
+
+
+def test_stage_records_even_when_body_raises():
+    stats = PipelineStats()
+    try:
+        with stats.stage("atomize"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert "atomize" in stats.stage_seconds
+
+
+def test_counters_accumulate():
+    stats = PipelineStats()
+    stats.count("verified_functions", 3)
+    stats.count("verified_functions", 2)
+    stats.count("inlined_sites")
+    assert stats.counters == {"verified_functions": 5, "inlined_sites": 1}
+
+
+def test_transform_seconds_excludes_verify_and_recount():
+    stats = PipelineStats(total_seconds=10.0)
+    stats.add("alias", 6.0)
+    stats.add("verify", 3.0)
+    stats.add("count_barriers", 1.0)
+    assert stats.transform_seconds == 6.0
+    # Never negative even with inconsistent inputs.
+    stats.total_seconds = 2.0
+    assert stats.transform_seconds == 0.0
+
+
+def test_merge_folds_everything():
+    left = PipelineStats(total_seconds=1.0)
+    left.add("clone", 0.25)
+    left.count("verified_functions", 4)
+    right = PipelineStats(total_seconds=2.0)
+    right.add("clone", 0.5)
+    right.add("naive", 0.75)
+    right.count("verified_functions", 6)
+    merged = left.merge(right)
+    assert merged is left
+    assert left.stage_seconds == {"clone": 0.75, "naive": 0.75}
+    assert left.counters == {"verified_functions": 10}
+    assert left.total_seconds == 3.0
+    assert left.ports == 2
+
+
+def test_ordered_stages_follow_canonical_order():
+    stats = PipelineStats()
+    stats.add("verify", 1.0)
+    stats.add("clone", 1.0)
+    stats.add("alias", 1.0)
+    stats.add("custom_extra", 1.0)
+    names = [name for name, _ in stats.ordered_stages()]
+    assert names == ["clone", "alias", "verify", "custom_extra"]
+    assert all(
+        name in STAGE_ORDER for name in names if name != "custom_extra"
+    )
+
+
+def test_round_trip_through_dict():
+    stats = PipelineStats(total_seconds=4.0, ports=3)
+    stats.add("alias", 1.5)
+    stats.add("verify", 1.0)
+    stats.count("verify_skipped_functions", 9)
+    payload = stats.to_dict()
+    assert payload["transform_seconds"] == 3.0
+    clone = PipelineStats.from_dict(payload)
+    assert clone.stage_seconds == stats.stage_seconds
+    assert clone.counters == stats.counters
+    assert clone.total_seconds == stats.total_seconds
+    assert clone.ports == stats.ports
+    assert clone.to_dict() == payload
+
+
+def test_format_lists_stages_counters_and_total():
+    stats = PipelineStats(total_seconds=2.0, ports=2)
+    stats.add("clone", 0.5)
+    stats.add("atomize", 1.5)
+    stats.count("verified_functions", 8)
+    text = format_pipeline_stats(stats)
+    assert "clone" in text
+    assert "atomize" in text
+    assert "total" in text
+    assert "ports merged" in text
+    assert "verified_functions" in text
+    assert "75.0%" in text

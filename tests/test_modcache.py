@@ -1,0 +1,120 @@
+"""Frontend module cache: digests, layering, corruption, env gating."""
+
+import os
+import pickle
+
+import pytest
+
+from repro import modcache
+from repro.api import compile_source
+from repro.ir.printer import print_module
+
+SOURCE = """
+int flag = 0;
+int main() {
+    flag = 1;
+    return flag;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("ATOMIG_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("ATOMIG_FRONTEND_CACHE", raising=False)
+    modcache.clear_memory_cache()
+    yield tmp_path
+    modcache.clear_memory_cache()
+
+
+def test_digest_stable_and_distinguishing():
+    digest = modcache.source_digest(SOURCE, "m")
+    assert digest == modcache.source_digest(SOURCE, "m")
+    assert digest != modcache.source_digest(SOURCE + " ", "m")
+    assert digest != modcache.source_digest(SOURCE, "other-name")
+
+
+def test_disabled_by_default(isolated_cache):
+    assert not modcache.cache_enabled()
+    compile_source(SOURCE, "m")
+    assert os.listdir(isolated_cache) == []
+
+
+def test_env_enables_cache(isolated_cache, monkeypatch):
+    monkeypatch.setenv("ATOMIG_FRONTEND_CACHE", "1")
+    assert modcache.cache_enabled()
+    compile_source(SOURCE, "m")
+    assert len(os.listdir(isolated_cache)) == 1
+    for off in ("", "0", "false"):
+        monkeypatch.setenv("ATOMIG_FRONTEND_CACHE", off)
+        assert not modcache.cache_enabled()
+
+
+def test_hit_returns_equivalent_but_fresh_module():
+    cold = compile_source(SOURCE, "m", cache=True)
+    warm_one = compile_source(SOURCE, "m", cache=True)
+    warm_two = compile_source(SOURCE, "m", cache=True)
+    assert warm_one is not cold
+    assert warm_one is not warm_two  # callers may mutate their copy
+    assert print_module(warm_one) == print_module(cold)
+    assert print_module(warm_two) == print_module(cold)
+
+
+def test_disk_hit_without_memory_layer(isolated_cache):
+    cold = compile_source(SOURCE, "m", cache=True)
+    modcache.clear_memory_cache()  # simulate a new process
+    warm = compile_source(SOURCE, "m", cache=True)
+    assert print_module(warm) == print_module(cold)
+
+
+def test_corrupt_entry_is_a_miss(isolated_cache):
+    compile_source(SOURCE, "m", cache=True)
+    digest = modcache.source_digest(SOURCE, "m")
+    path = os.path.join(str(isolated_cache), f"{digest}.pkl")
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    modcache.clear_memory_cache()
+    module = compile_source(SOURCE, "m", cache=True)  # recompiles
+    assert print_module(module) == print_module(compile_source(SOURCE, "m"))
+    assert not os.path.exists(path) or os.path.getsize(path) > 12
+
+
+def test_truncated_pickle_is_a_miss(isolated_cache):
+    cold = compile_source(SOURCE, "m", cache=True)
+    digest = modcache.source_digest(SOURCE, "m")
+    path = os.path.join(str(isolated_cache), f"{digest}.pkl")
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])
+    modcache.clear_memory_cache()
+    warm = compile_source(SOURCE, "m", cache=True)
+    assert print_module(warm) == print_module(cold)
+
+
+def test_load_miss_returns_none():
+    assert modcache.load("no-such-digest") is None
+
+
+def test_store_unpicklable_is_best_effort():
+    assert modcache.store("deadbeef", lambda: None) is False
+    assert modcache.load("deadbeef") is None
+
+
+def test_store_survives_unwritable_directory(monkeypatch, tmp_path):
+    target = tmp_path / "blocked"
+    target.write_text("a file, not a directory")
+    monkeypatch.setenv("ATOMIG_CACHE_DIR", str(target))
+    module = compile_source(SOURCE, "m", cache=True)
+    assert module is not None
+    # Memory layer still serves hits even though the disk write failed.
+    digest = modcache.source_digest(SOURCE, "m")
+    assert modcache.load(digest) is not None
+
+
+def test_entries_are_plain_pickles(isolated_cache):
+    compile_source(SOURCE, "m", cache=True)
+    digest = modcache.source_digest(SOURCE, "m")
+    path = os.path.join(str(isolated_cache), f"{digest}.pkl")
+    with open(path, "rb") as handle:
+        module = pickle.load(handle)
+    assert "main" in module.functions
