@@ -43,7 +43,8 @@ def compile_source(source, name="module", cache=None):
     return module
 
 
-def port_module(module, level=PortingLevel.ATOMIG, config=None):
+def port_module(module, level=PortingLevel.ATOMIG, config=None,
+                optimize=False, optimize_kwargs=None):
     """Port ``module`` for a weak memory model.
 
     Returns ``(ported_module, report)``.  The input module is cloned,
@@ -51,11 +52,14 @@ def port_module(module, level=PortingLevel.ATOMIG, config=None):
 
     ``level`` selects the strategy (AtoMig, its Expl/Spin ablations, the
     Naive porter, or the Lasagne-like baseline); ``config`` overrides
-    individual AtoMig knobs.
+    individual AtoMig knobs.  ``optimize=True`` runs the oracle-guided
+    barrier weakener on the ported result (see :func:`optimize_module`);
+    the weakening report lands in ``report.optimization``.
     """
     from repro.core.pipeline import run_porting
 
-    return run_porting(module, level=level, config=config)
+    return run_porting(module, level=level, config=config,
+                       optimize=optimize, optimize_kwargs=optimize_kwargs)
 
 
 def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000,
@@ -89,18 +93,38 @@ def lint_module(module, name_heuristic=True):
     ))
 
 
-def run_module(module, entry="main", schedule_seed=0, cost_model=None):
+def run_module(module, entry="main", schedule_seed=0, cost_model=None,
+               record_counts=False):
     """Execute ``module`` on the performance VM.
 
     Returns a :class:`repro.vm.interp.RunResult` with the program exit
     value, per-class dynamic operation counts (the paper's Table 4) and
-    modeled cycle cost (Tables 5-6).
+    modeled cycle cost (Tables 5-6).  ``record_counts=True`` also
+    records per-instruction execution counts into
+    ``result.stats.instr_counts`` — the dynamic weighting input of
+    :func:`repro.vm.costs.estimate_cost` and :func:`optimize_module`.
     """
     from repro.vm.interp import run_module as _run
 
     return _run(
-        module, entry=entry, schedule_seed=schedule_seed, cost_model=cost_model
+        module, entry=entry, schedule_seed=schedule_seed,
+        cost_model=cost_model, record_counts=record_counts,
     )
+
+
+def optimize_module(module, **kwargs):
+    """Weaken ``module``'s barriers under a model-checking oracle.
+
+    Greedily steps memory orders down per-access ladders (SEQ_CST ->
+    ACQ_REL/ACQUIRE/RELEASE -> RELAXED) and deletes porter-inserted
+    fences, re-checking after each batch that the module's verdict is
+    unchanged; rejected weakenings are reverted.  Returns
+    ``(optimized_module, OptimizationReport)``.  See
+    :func:`repro.opt.optimize_module` for the knobs.
+    """
+    from repro.opt import optimize_module as _optimize
+
+    return _optimize(module, **kwargs)
 
 
 __all__ = [
@@ -109,6 +133,7 @@ __all__ = [
     "check_module",
     "compile_source",
     "lint_module",
+    "optimize_module",
     "port_module",
     "run_module",
 ]

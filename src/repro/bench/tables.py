@@ -562,6 +562,58 @@ def table6(jobs=None, profile=False):
 
 
 # ---------------------------------------------------------------------------
+# Table 9 — oracle-guided barrier weakening on the Table 2 corpus
+# ---------------------------------------------------------------------------
+
+
+TABLE9_BENCHMARKS = TABLE2_BENCHMARKS
+
+
+def table9(benchmarks=TABLE9_BENCHMARKS, max_steps=2500,
+           max_states=400_000, jobs=None):
+    """Blanket-SC vs weakened barrier cost per benchmark (Table 9).
+
+    Ports every benchmark with AtoMig (all atomized accesses SEQ_CST),
+    then runs the oracle-guided optimizer (:mod:`repro.opt`) on the
+    result.  Columns report the estimated barrier cost before and
+    after weakening (shared :func:`repro.vm.costs.estimate_cost`
+    model), how many accesses relaxed / fences disappeared / sites had
+    to stay strong, how many model-checker calls certified it, and
+    that the WMM verdict is preserved.  ``jobs`` fans the per-benchmark
+    optimizer runs across worker processes.
+    """
+    from repro.opt.parallel import OptimizeTask, run_optimize_tasks
+
+    tasks = [
+        OptimizeTask(
+            name=name, source=BENCHMARKS[name].mc_source(),
+            level="atomig", max_steps=max_steps, max_states=max_states,
+        )
+        for name in benchmarks
+    ]
+    reports = run_optimize_tasks(tasks, jobs=jobs)
+    rows = []
+    for name, report in zip(benchmarks, reports):
+        before = report["barrier_cost_before"]
+        saved_pct = (
+            100.0 * report["cycles_saved"] / before if before else 0.0
+        )
+        rows.append({
+            "benchmark": name,
+            "cost_sc": before,
+            "cost_opt": report["barrier_cost_after"],
+            "saved_pct": saved_pct,
+            "weakened": report["accesses_weakened"],
+            "fences_gone": report["fences_deleted"],
+            "frozen": len(report["frozen"]),
+            "checks": report["checks_run"],
+            "verdict_kept": report["verdict_preserved"],
+            "_report": report,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Formatting
 # ---------------------------------------------------------------------------
 

@@ -2,12 +2,14 @@
 
 Subcommands mirror the library workflow:
 
-- ``atomig port file.c``    — port a Mini-C file, print the report / IR;
-- ``atomig check file.c``   — model-check under sc/tso/wmm;
-- ``atomig run file.c``     — execute on the performance VM;
-- ``atomig lint file.c``    — static race & portability linter;
-- ``atomig litmus [NAME]``  — run the calibration litmus tests;
-- ``atomig tables [N ...]`` — regenerate the paper's evaluation tables.
+- ``atomig port file.c``     — port a Mini-C file, print the report / IR;
+- ``atomig optimize file.c`` — port, then weaken barriers under the
+  model-checking oracle (verdict-preserving);
+- ``atomig check file.c``    — model-check under sc/tso/wmm;
+- ``atomig run file.c``      — execute on the performance VM;
+- ``atomig lint file.c``     — static race & portability linter;
+- ``atomig litmus [NAME]``   — run the calibration litmus tests;
+- ``atomig tables [N ...]``  — regenerate the paper's evaluation tables.
 """
 
 import argparse
@@ -87,8 +89,13 @@ def cmd_port(args):
     if args.jobs and args.jobs > 1:
         config = config or AtoMigConfig()
         config.function_jobs = args.jobs
-    ported, report = port_module(module, _LEVELS[args.level], config=config)
+    ported, report = port_module(
+        module, _LEVELS[args.level], config=config,
+        optimize=args.optimize,
+    )
     print(report.summary())
+    if report.optimization:
+        print(_opt_summary(report.optimization))
     if report.spinloops:
         print(f"spinloops: {report.spinloops}")
     if report.optimistic_loops:
@@ -117,6 +124,59 @@ def cmd_port(args):
         else:
             print(text)
     return 0
+
+
+def _opt_summary(payload):
+    """One-line rendering of an OptimizationReport dict."""
+    before = payload["barrier_cost_before"]
+    saved_pct = 100.0 * payload["cycles_saved"] / before if before else 0.0
+    verdict = payload["baseline_outcome"] or "n/a"
+    if not payload["verdict_preserved"] and payload["baseline_outcome"]:
+        verdict += f" -> {payload['final_outcome']} [NOT PRESERVED]"
+    return (
+        f"optimize: {payload['accesses_weakened']}/{payload['candidates']} "
+        f"accesses weakened, {payload['fences_deleted']} fences deleted, "
+        f"barrier cost {before} -> {payload['barrier_cost_after']} "
+        f"(-{saved_pct:.0f}%), {payload['checks_run']} oracle checks, "
+        f"verdict {verdict}"
+    )
+
+
+def cmd_optimize(args):
+    """Port, then weaken barriers as far as the oracle certifies."""
+    module = _load(args.file)
+    if args.level != "original":
+        module, _report = port_module(
+            module, _LEVELS[args.level], config=_build_config(args)
+        )
+    counts = None
+    if args.dynamic:
+        result = run_module(module, record_counts=True)
+        counts = result.stats.instr_counts
+    from repro.api import optimize_module
+
+    optimized, report = optimize_module(
+        module, model=args.model, max_steps=args.max_steps,
+        jobs=args.jobs, counts=counts,
+        require_marks=not args.all_accesses,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.emit_ir:
+        from repro.ir.printer import print_module
+
+        text = print_module(optimized)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"optimized IR written to {args.output}")
+        else:
+            print(text)
+    return 0 if report.verdict_preserved or not report.baseline_outcome else 1
 
 
 def _check_results(args):
@@ -337,7 +397,10 @@ def _print_table_profile(rows):
 def cmd_tables(args):
     from repro.bench import tables as T
 
-    selected = args.numbers or [1, 2, 3, 4, 5, 6, 7, 8]
+    default = [1, 2, 3, 4, 5, 6, 7, 8]
+    if args.optimize:
+        default.append(9)
+    selected = args.numbers or default
     profile = args.profile
     specs = {
         1: (lambda: T.table1(),
@@ -369,6 +432,10 @@ def cmd_tables(args):
             ["benchmark", "type_based_impl", "points_to_impl", "delta",
              "pts_keyed", "pruned_local", "tb_wmm_ok", "pt_wmm_ok"],
             "Table 8: alias precision (type_based vs points_to)"),
+        9: (lambda: T.table9(jobs=args.jobs),
+            ["benchmark", "cost_sc", "cost_opt", "saved_pct", "weakened",
+             "fences_gone", "frozen", "checks", "verdict_kept"],
+            "Table 9: oracle-guided barrier weakening (SC vs optimized)"),
     }
     for number in selected:
         if number not in specs:
@@ -403,7 +470,40 @@ def build_parser():
                       help="analyze functions on N worker threads in the "
                            "per-function stages (annotations, spinloops, "
                            "optimistic)")
+    port.add_argument("--optimize", action="store_true",
+                      help="after porting, weaken barriers under the "
+                           "model-checking oracle (verdict-preserving)")
     port.set_defaults(func=cmd_port)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="port, then relax memory orders as far as the model-checking "
+             "oracle certifies the verdict unchanged",
+    )
+    optimize.add_argument("file")
+    _add_level_arg(optimize)
+    _add_config_args(optimize)
+    optimize.add_argument("--model", choices=["sc", "tso", "wmm"],
+                          default="wmm",
+                          help="memory model the oracle checks under "
+                               "(default: wmm)")
+    optimize.add_argument("--max-steps", type=int, default=2500)
+    optimize.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="probe bisection halves on N worker "
+                               "processes")
+    optimize.add_argument("--dynamic", action="store_true",
+                          help="run the performance VM first and weight "
+                               "candidates by dynamic execution counts")
+    optimize.add_argument("--all-accesses", action="store_true",
+                          help="also weaken SC accesses without porter "
+                               "provenance marks (hand-written modules)")
+    optimize.add_argument("--json", action="store_true",
+                          help="emit the OptimizationReport as JSON")
+    optimize.add_argument("--emit-ir", action="store_true",
+                          help="print the optimized IR")
+    optimize.add_argument("-o", "--output",
+                          help="write the optimized IR here")
+    optimize.set_defaults(func=cmd_optimize)
 
     check = sub.add_parser("check", help="model-check a Mini-C file")
     check.add_argument("file")
@@ -487,6 +587,9 @@ def build_parser():
     tables.add_argument("--profile", action="store_true",
                         help="print the merged per-stage pipeline profile "
                              "under each porting table (3, 5, 6)")
+    tables.add_argument("--optimize", action="store_true",
+                        help="include Table 9 (oracle-guided barrier "
+                             "weakening) in the default selection")
     tables.set_defaults(func=cmd_tables)
 
     return parser

@@ -33,8 +33,18 @@ from repro.transform.lasagne import lasagne_port
 from repro.transform.naive import naive_port
 
 
-def run_porting(module, level=PortingLevel.ATOMIG, config=None):
-    """Port ``module`` according to ``level``; returns (ported, report)."""
+def run_porting(module, level=PortingLevel.ATOMIG, config=None,
+                optimize=False, optimize_kwargs=None):
+    """Port ``module`` according to ``level``; returns (ported, report).
+
+    ``optimize=True`` appends the oracle-guided barrier-weakening stage
+    (:func:`repro.opt.optimize_module`): after porting, memory orders
+    are relaxed as far as the model checker certifies the verdict
+    unchanged.  The weakened module is returned and the
+    ``OptimizationReport`` dict lands in ``report.optimization``.
+    ``optimize_kwargs`` forwards knobs (``model``, ``jobs``,
+    ``counts``...) to the optimizer.
+    """
     started = time.perf_counter()
     config = config or AtoMigConfig.for_level(level)
     report = PortingReport(module_name=module.name, level=level.value)
@@ -81,6 +91,22 @@ def run_porting(module, level=PortingLevel.ATOMIG, config=None):
         report.ported_explicit_barriers, report.ported_implicit_barriers = (
             count_barriers(ported)
         )
+
+    if optimize:
+        from repro.opt import optimize_module  # lazy: opt pulls in mc
+
+        with stats.stage("optimize"):
+            ported, opt_report = optimize_module(
+                ported, clone=False, **(optimize_kwargs or {})
+            )
+        report.optimization = opt_report.to_dict()
+        if opt_report.baseline_outcome and not opt_report.verdict_preserved:
+            report.notes.append(
+                f"optimize: verdict NOT preserved "
+                f"({opt_report.baseline_outcome} -> "
+                f"{opt_report.final_outcome})"
+            )
+
     stats.total_seconds = time.perf_counter() - started
     report.porting_seconds = stats.transform_seconds
     ported.metadata["porting_report"] = report

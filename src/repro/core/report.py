@@ -59,6 +59,9 @@ class PortingReport:
     porting_seconds: float = 0.0
     #: Per-stage wall-clock profile of this port.
     stats: PipelineStats = field(default_factory=PipelineStats)
+    #: Barrier-weakening results when the port ran with ``optimize``
+    #: (a :class:`repro.opt.report.OptimizationReport` dict), else {}.
+    optimization: dict = field(default_factory=dict)
     #: Diagnostic notes (e.g. unknown inline asm).
     notes: list = field(default_factory=list)
 
@@ -106,6 +109,7 @@ class PortingReport:
             "ported_implicit_barriers": self.ported_implicit_barriers,
             "porting_seconds": self.porting_seconds,
             "stats": self.stats.to_dict(),
+            "optimization": dict(self.optimization),
             "notes": list(self.notes),
         }
 

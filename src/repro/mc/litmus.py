@@ -208,3 +208,165 @@ def run_litmus(name, model, **kwargs):
 
 def expected_verdict(name, model):
     return LITMUS_TESTS[name][1][model]
+
+
+# ---------------------------------------------------------------------------
+# Weakened-order litmus gallery
+# ---------------------------------------------------------------------------
+
+#: Litmus templates parameterized by per-access memory orders — the
+#: gallery the barrier optimizer's ladders are calibrated against.
+#: Each entry is ``(template, minimal, too_weak)``:
+#:
+#: - ``template`` has ``{slot}`` fields taking ``memory_order_*``
+#:   spellings;
+#: - ``minimal`` is the weakest order assignment that still passes
+#:   under the WMM (what a perfect optimizer would converge to);
+#: - ``too_weak`` maps a label to a one-step-weaker override that the
+#:   checker must flag as a bug — dropping any single order below the
+#:   minimum is detectable, which is exactly the property the
+#:   oracle-guided weakener relies on.
+#:
+#: The minima reflect this repo's operational WMM: it is multi-copy
+#: atomic (one shared memory), so IRIW needs only acquire loads (real
+#: POWER would need stronger), SB needs full SC on all four accesses,
+#: MP is the classic release/acquire pair, and LB is prevented by
+#: acquire loads alone.
+WEAKENED_LITMUS = {
+    "MP": (
+        """
+int data = 0;
+_Atomic int flag = 0;
+
+void producer() {{
+    data = 1;
+    atomic_store_explicit(&flag, 1, {w_flag});
+}}
+
+int main() {{
+    int t = thread_create(producer);
+    int f = atomic_load_explicit(&flag, {r_flag});
+    int d = data;
+    assert(f == 0 || d == 1);
+    thread_join(t);
+    return 0;
+}}
+""",
+        {"w_flag": "memory_order_release",
+         "r_flag": "memory_order_acquire"},
+        {"store-relaxed": {"w_flag": "memory_order_relaxed"},
+         "load-relaxed": {"r_flag": "memory_order_relaxed"}},
+    ),
+    "SB": (
+        """
+_Atomic int x = 0;
+_Atomic int y = 0;
+int r1 = 0;
+
+void t1() {{
+    atomic_store_explicit(&y, 1, {w_y});
+    r1 = atomic_load_explicit(&x, {r_x});
+}}
+
+int main() {{
+    int t = thread_create(t1);
+    atomic_store_explicit(&x, 1, {w_x});
+    int r0 = atomic_load_explicit(&y, {r_y});
+    thread_join(t);
+    assert(r0 == 1 || r1 == 1);
+    return 0;
+}}
+""",
+        {"w_x": "memory_order_seq_cst", "w_y": "memory_order_seq_cst",
+         "r_x": "memory_order_seq_cst", "r_y": "memory_order_seq_cst"},
+        {"store-release": {"w_y": "memory_order_release"},
+         "load-acquire": {"r_x": "memory_order_acquire"}},
+    ),
+    "LB": (
+        """
+_Atomic int x = 0;
+_Atomic int y = 0;
+int r0 = 0;
+int r1 = 0;
+
+void t1() {{
+    r1 = atomic_load_explicit(&y, {r_y});
+    atomic_store_explicit(&x, 1, {w_x});
+}}
+
+int main() {{
+    int t = thread_create(t1);
+    r0 = atomic_load_explicit(&x, {r_x});
+    atomic_store_explicit(&y, 1, {w_y});
+    thread_join(t);
+    assert(r0 == 0 || r1 == 0);
+    return 0;
+}}
+""",
+        {"r_x": "memory_order_acquire", "r_y": "memory_order_acquire",
+         "w_x": "memory_order_relaxed", "w_y": "memory_order_relaxed"},
+        {"load-relaxed": {"r_y": "memory_order_relaxed"}},
+    ),
+    "IRIW": (
+        """
+_Atomic int x = 0;
+_Atomic int y = 0;
+int a = 0;
+int b = 0;
+int c = 0;
+int d = 0;
+
+void w1() {{
+    atomic_store_explicit(&x, 1, {w_x});
+}}
+
+void w2() {{
+    atomic_store_explicit(&y, 1, {w_y});
+}}
+
+void reader() {{
+    c = atomic_load_explicit(&y, {r1_y});
+    d = atomic_load_explicit(&x, {r1_x});
+}}
+
+int main() {{
+    int t1 = thread_create(w1);
+    int t2 = thread_create(w2);
+    int t3 = thread_create(reader);
+    a = atomic_load_explicit(&x, {r0_x});
+    b = atomic_load_explicit(&y, {r0_y});
+    thread_join(t1);
+    thread_join(t2);
+    thread_join(t3);
+    assert(!(a == 1 && b == 0 && c == 1 && d == 0));
+    return 0;
+}}
+""",
+        {"w_x": "memory_order_relaxed", "w_y": "memory_order_relaxed",
+         "r0_x": "memory_order_acquire", "r0_y": "memory_order_acquire",
+         "r1_y": "memory_order_acquire", "r1_x": "memory_order_acquire"},
+        # Weakening a reader's *first* load lets its second overtake it
+        # (acquire constrains later entries, not earlier ones), which
+        # exposes the forbidden outcome.
+        {"reader-relaxed": {"r1_y": "memory_order_relaxed"}},
+    ),
+}
+
+
+def weakened_source(name, overrides=None):
+    """Mini-C source for one gallery entry, minimal orders + overrides."""
+    template, minimal, _too_weak = WEAKENED_LITMUS[name]
+    orders = dict(minimal)
+    if overrides:
+        orders.update(overrides)
+    return template.format(**orders)
+
+
+def run_weakened_litmus(name, overrides=None, model="wmm", **kwargs):
+    """Check one weakened-gallery litmus variant; returns CheckResult."""
+    from repro.api import compile_source
+
+    source = weakened_source(name, overrides)
+    module = compile_source(source, name=f"weakened_{name}")
+    kwargs.setdefault("max_steps", 600)
+    return check_module(module, model=model, **kwargs)

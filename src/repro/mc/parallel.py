@@ -66,16 +66,21 @@ def run_task(task):
     )
 
 
-def run_tasks(tasks, jobs=None):
+def run_tasks(tasks, jobs=None, worker=run_task):
     """Run a batch of tasks; results align with the input order.
 
     ``jobs=None`` or ``jobs<=1`` runs sequentially in-process.  Larger
     values use a ``fork`` pool when the platform has it (cheap, shares
     the warmed-up interpreter) and fall back to ``spawn`` otherwise.
+
+    ``worker`` is the per-task function (default :func:`run_task`); it
+    must be a picklable top-level callable.  Other batch harnesses
+    (e.g. the barrier optimizer's per-benchmark jobs) reuse this pool
+    plumbing with their own task/worker pair.
     """
     tasks = list(tasks)
     if jobs is None or jobs <= 1 or len(tasks) <= 1:
-        return [run_task(task) for task in tasks]
+        return [worker(task) for task in tasks]
 
     import multiprocessing
 
@@ -86,7 +91,7 @@ def run_tasks(tasks, jobs=None):
     # chunksize=1: tasks are few and lumpy (one slow corpus row must
     # not strand a prefetched batch behind it).
     with context.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(run_task, tasks, chunksize=1)
+        return pool.map(worker, tasks, chunksize=1)
 
 
 def compare_models_parallel(source, name="module", models=("sc", "tso", "wmm"),

@@ -1,0 +1,153 @@
+"""The correctness oracle: model-checker calls the optimizer trusts.
+
+Every weakening is certified by re-running the WMM model checker and
+comparing the *outcome class* (ok / violation / deadlock / truncated)
+against the baseline verdict of the unoptimized module — Manerkar et
+al.'s trailing-sync counterexamples are the cautionary tale for why a
+mapping table is not enough; each relaxation is re-verified.
+
+Three mechanisms keep the oracle cheap enough to sit in a greedy loop:
+
+- **Verdict caching**: module states are keyed by a BLAKE2 digest of
+  their printed IR; bisection frequently revisits a configuration (a
+  batch minus its rejected half), and a cache hit costs one print
+  instead of one exploration.
+- **Adaptive state budgets**: candidate checks run under a budget
+  derived from the baseline exploration size (``baseline_states x
+  margin``) instead of the caller's full ``max_states`` — a weakening
+  that blows up the state space reads as *truncated*, mismatches the
+  baseline outcome, and is reverted without exploring millions of
+  states.  The PR-2 reduction machinery (sleep sets, macro-stepping)
+  stays on, so each check only pays for the delta the new orders open.
+- **Parallel probes**: bisection halves are independent variants of
+  the same base module; with ``jobs > 1`` they are printed to IR text
+  and fanned across the :mod:`repro.mc.parallel` pool as ``is_ir``
+  check tasks.
+"""
+
+import hashlib
+
+from repro.ir.printer import print_module
+from repro.mc.explorer import check_module
+from repro.mc.parallel import CheckTask, run_tasks
+
+
+class Oracle:
+    """Verdict service for one optimization run."""
+
+    #: Candidate checks may explore this many times the baseline's
+    #: scheduling decisions before counting as truncated.
+    STATE_MARGIN = 64
+    #: ... but never less than this floor (tiny baselines would
+    #: otherwise starve legitimate weakenings of budget).
+    STATE_FLOOR = 20_000
+
+    def __init__(self, model="wmm", entry="main", max_steps=2500,
+                 max_states=400_000, reduce=True, jobs=1):
+        self.model = model
+        self.entry = entry
+        self.max_steps = max_steps
+        self.max_states = max_states
+        self.reduce = reduce
+        self.jobs = jobs or 1
+        self.baseline_outcome = None
+        self.baseline_states = 0
+        self.budget = max_states
+        self.checks_run = 0
+        self.cache_hits = 0
+        self.states_total = 0
+        self.parallel_probes = 0
+        self._verdicts = {}
+
+    # -- baseline ----------------------------------------------------------
+
+    def establish(self, module):
+        """Check the unoptimized module; fix the verdict to preserve."""
+        result = self._check(module, self.max_states)
+        self.baseline_outcome = result.outcome
+        self.baseline_states = result.states_explored
+        self.budget = min(
+            self.max_states,
+            max(self.baseline_states * self.STATE_MARGIN,
+                self.STATE_FLOOR),
+        )
+        self._remember(self._digest(print_module(module)),
+                       result.outcome)
+        return result
+
+    # -- candidate checks --------------------------------------------------
+
+    def matches(self, module):
+        """True when ``module``'s outcome equals the baseline's."""
+        return self.verdict(module) == self.baseline_outcome
+
+    def verdict(self, module):
+        """Outcome class for ``module``, via the cache when possible."""
+        text = print_module(module)
+        key = self._digest(text)
+        if key in self._verdicts:
+            self.cache_hits += 1
+            return self._verdicts[key]
+        result = self._check(module, self.budget)
+        self._remember(key, result.outcome)
+        return result.outcome
+
+    def probe(self, texts):
+        """Outcomes for printed-IR variants, fanned across the pool.
+
+        Used by parallel bisection: the variants are independent, so
+        with ``jobs > 1`` they check concurrently.  Results come from
+        the cache where possible and are cached afterwards.
+        """
+        keys = [self._digest(text) for text in texts]
+        pending = []
+        for key, text in zip(keys, texts):
+            if key in self._verdicts:
+                self.cache_hits += 1
+            else:
+                pending.append((key, text))
+        if pending:
+            tasks = [
+                CheckTask(
+                    name="opt-probe", source=text, model=self.model,
+                    level=None, entry=self.entry,
+                    max_steps=self.max_steps, max_states=self.budget,
+                    reduce=self.reduce, is_ir=True,
+                )
+                for _key, text in pending
+            ]
+            self.parallel_probes += len(tasks)
+            results = run_tasks(tasks, jobs=min(self.jobs, len(tasks)))
+            for (key, _text), result in zip(pending, results):
+                self.checks_run += 1
+                self.states_total += result.states_explored
+                self._remember(key, result.outcome)
+        return [self._verdicts[key] for key in keys]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _check(self, module, max_states):
+        self.checks_run += 1
+        result = check_module(
+            module, model=self.model, entry=self.entry,
+            max_steps=self.max_steps, max_states=max_states,
+            reduce=self.reduce,
+        )
+        self.states_total += result.states_explored
+        return result
+
+    def _remember(self, key, outcome):
+        self._verdicts[key] = outcome
+
+    @staticmethod
+    def _digest(text):
+        return hashlib.blake2b(text.encode(), digest_size=16).digest()
+
+    def counters(self):
+        return {
+            "checks_run": self.checks_run,
+            "cache_hits": self.cache_hits,
+            "states_total": self.states_total,
+            "parallel_probes": self.parallel_probes,
+            "budget": self.budget,
+        }

@@ -105,3 +105,97 @@ class CostModel:
         if isinstance(instr, ins.CompilerBarrier):
             return 0  # compiles to nothing
         return self.alu
+
+    def access_cost(self, instr, order=None):
+        """Cost of a memory access / fence *as if* it carried ``order``.
+
+        ``order=None`` uses the instruction's own order.  This is the
+        costing path the barrier optimizer uses to rank weakening
+        candidates: the savings of a candidate is
+        ``access_cost(instr) - access_cost(instr, weaker_order)``.
+        """
+        if order is None:
+            order = instr.order
+        if isinstance(instr, ins.Load):
+            return self.load_cost(order)
+        if isinstance(instr, ins.Store):
+            return self.store_cost(order)
+        if isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
+            return self.rmw_cost(order)
+        if isinstance(instr, ins.Fence):
+            return self.fence
+        raise TypeError(f"not a memory access or fence: {instr!r}")
+
+
+def is_barrier(instr):
+    """True for instructions counted as barriers (explicit or implicit).
+
+    Matches :func:`repro.core.report.count_barriers`: stand-alone
+    fences are explicit barriers; atomic loads, stores and RMWs are
+    implicit barriers (LDAR/STLR/CASAL-class on Arm).
+    """
+    if isinstance(instr, ins.Fence):
+        return True
+    if isinstance(instr, (ins.Load, ins.Store)):
+        return instr.order.is_atomic
+    return isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW))
+
+
+@dataclass
+class CostEstimate:
+    """Module-level abstract cycle estimate (one costing path for the
+    optimizer, Table 9 and the benchmark harness)."""
+
+    #: Weighted cost of every instruction in the module.
+    total: int = 0
+    #: Weighted cost of barrier instructions only (fences + atomics).
+    barriers: int = 0
+    #: Number of barrier instructions (static count, unweighted).
+    barrier_sites: int = 0
+    #: Total weight applied to barrier sites (== barrier_sites when
+    #: static, sum of dynamic execution counts otherwise).
+    barrier_weight: int = 0
+    #: True when dynamic execution counts weighted the estimate.
+    dynamic: bool = False
+
+    def to_dict(self):
+        return {
+            "total": self.total,
+            "barriers": self.barriers,
+            "barrier_sites": self.barrier_sites,
+            "barrier_weight": self.barrier_weight,
+            "dynamic": self.dynamic,
+        }
+
+
+def estimate_cost(module, cost_model=None, counts=None):
+    """Estimate the abstract cycle cost of ``module``.
+
+    Sums per-instruction costs from ``cost_model`` (default
+    :class:`CostModel`), weighted by dynamic execution counts when
+    ``counts`` is given — a mapping of ``(function, block_label,
+    index_in_block)`` to executed count, as recorded in
+    :attr:`repro.vm.stats.RunStats.instr_counts` by
+    ``run_module(..., record_counts=True)``.  Without ``counts`` every
+    instruction weighs 1 (static estimate).  Returns a
+    :class:`CostEstimate` whose ``barriers`` field is the number
+    Table 9 reports: the modeled cost of explicit + implicit barriers.
+    """
+    model = cost_model or CostModel()
+    estimate = CostEstimate(dynamic=counts is not None)
+    for function_name, function in module.functions.items():
+        for block in function.blocks:
+            for index, instr in enumerate(block.instructions):
+                if counts is None:
+                    weight = 1
+                else:
+                    weight = counts.get(
+                        (function_name, block.label, index), 0
+                    )
+                cost = model.instruction_cost(instr) * weight
+                estimate.total += cost
+                if is_barrier(instr):
+                    estimate.barriers += cost
+                    estimate.barrier_sites += 1
+                    estimate.barrier_weight += weight
+    return estimate

@@ -67,11 +67,14 @@ class Interpreter:
     """Executes one module; see :func:`run_module` for the simple API."""
 
     def __init__(self, module, cost_model=None, quantum=64,
-                 max_instructions=200_000_000, schedule_seed=0):
+                 max_instructions=200_000_000, schedule_seed=0,
+                 record_counts=False):
         self.module = module
         self.costs = cost_model or CostModel()
         self.quantum = max(1, quantum + (schedule_seed % 7))
         self.max_instructions = max_instructions
+        self.record_counts = record_counts
+        self._counts = {}
         self.stats = RunStats()
         self.memory = {}
         self.global_addr = {}
@@ -142,6 +145,17 @@ class Interpreter:
             tid: thread.cycles for tid, thread in self.threads.items()
         }
         self.stats.cycles = sum(self.stats.per_thread_cycles.values())
+        if self.record_counts:
+            positions = {}
+            for name, function in self.module.functions.items():
+                for block in function.blocks:
+                    for index, instr in enumerate(block.instructions):
+                        positions[id(instr)] = (name, block.label, index)
+            self.stats.instr_counts = {
+                positions[key]: count
+                for key, count in self._counts.items()
+                if key in positions
+            }
         return RunResult(exit_value, self.stats, self.output)
 
     # -- scheduling ---------------------------------------------------------
@@ -171,6 +185,9 @@ class Interpreter:
         frame = thread.frames[-1]
         instr = frame.block.instructions[frame.index]
         self.stats.instructions += 1
+        if self.record_counts:
+            key = id(instr)
+            self._counts[key] = self._counts.get(key, 0) + 1
         cost = self.costs.instruction_cost(instr)
 
         kind = type(instr)
@@ -402,14 +419,22 @@ class Interpreter:
 
 
 def run_module(module, entry="main", schedule_seed=0, cost_model=None,
-               quantum=64, max_instructions=200_000_000):
-    """Execute ``module`` and return a :class:`RunResult`."""
+               quantum=64, max_instructions=200_000_000,
+               record_counts=False):
+    """Execute ``module`` and return a :class:`RunResult`.
+
+    ``record_counts=True`` additionally records per-instruction dynamic
+    execution counts into ``result.stats.instr_counts`` (keyed by
+    position), the weighting input of
+    :func:`repro.vm.costs.estimate_cost`.
+    """
     interp = Interpreter(
         module,
         cost_model=cost_model,
         quantum=quantum,
         max_instructions=max_instructions,
         schedule_seed=schedule_seed,
+        record_counts=record_counts,
     )
     return interp.run(entry=entry)
 

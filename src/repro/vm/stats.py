@@ -20,6 +20,12 @@ class RunStats:
     contended_accesses: int = 0
     cycles: int = 0
     per_thread_cycles: dict = field(default_factory=dict)
+    #: Per-instruction dynamic execution counts, keyed by the stable
+    #: position ``(function, block_label, index_in_block)``.  Only
+    #: populated when the run was started with ``record_counts=True``;
+    #: :func:`repro.vm.costs.estimate_cost` accepts it as the
+    #: ``counts`` weighting for dynamic cost estimates.
+    instr_counts: dict = field(default_factory=dict)
 
     def barrier_table(self):
         """The four rows of the paper's Table 4."""

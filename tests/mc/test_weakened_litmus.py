@@ -1,0 +1,62 @@
+"""The weakened-order litmus gallery: minimal orders pass, weaker bug.
+
+These calibrate the barrier optimizer's ladders against the WMM: for
+each classic shape (MP, SB, LB, IRIW) the weakest verifier-legal order
+assignment still passes, and dropping any single order one step too far
+is detectably wrong — which is the property that makes oracle-guided
+weakening converge to a sound fixpoint instead of sliding past it.
+"""
+
+import pytest
+
+from repro.mc.litmus import (
+    WEAKENED_LITMUS,
+    run_weakened_litmus,
+    weakened_source,
+)
+
+ALL_SC = "memory_order_seq_cst"
+
+
+@pytest.mark.parametrize("name", sorted(WEAKENED_LITMUS))
+def test_minimal_orders_pass_under_wmm(name):
+    result = run_weakened_litmus(name)
+    assert result.ok, (
+        f"{name} with minimal orders should verify: {result.violation}"
+    )
+    assert not result.truncated
+
+
+@pytest.mark.parametrize("name", sorted(WEAKENED_LITMUS))
+def test_seq_cst_everywhere_passes(name):
+    _template, minimal, _too_weak = WEAKENED_LITMUS[name]
+    overrides = {slot: ALL_SC for slot in minimal}
+    assert run_weakened_litmus(name, overrides).ok
+
+
+@pytest.mark.parametrize(
+    "name,label",
+    [
+        (name, label)
+        for name in sorted(WEAKENED_LITMUS)
+        for label in sorted(WEAKENED_LITMUS[name][2])
+    ],
+)
+def test_one_order_too_weak_is_caught(name, label):
+    overrides = WEAKENED_LITMUS[name][2][label]
+    result = run_weakened_litmus(name, overrides)
+    assert not result.ok, (
+        f"{name}/{label}: the checker should find the weak-outcome bug"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(WEAKENED_LITMUS))
+def test_minimal_passes_under_sc_too(name):
+    """Sanity: weakening never makes a program fail under SC."""
+    assert run_weakened_litmus(name, model="sc").ok
+
+
+def test_sources_spell_requested_orders():
+    source = weakened_source("MP", {"r_flag": "memory_order_relaxed"})
+    assert "memory_order_release" in source   # minimal store order kept
+    assert "memory_order_relaxed" in source   # override applied

@@ -1,0 +1,180 @@
+"""Unit tests for weakening-candidate enumeration and mutation."""
+
+from repro.api import compile_source, port_module
+from repro.core.config import PortingLevel
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.verifier import verify_module
+from repro.opt.candidates import (
+    DELETE,
+    Candidate,
+    RMW_LADDER,
+    STORE_LADDER,
+    apply_proposal,
+    enumerate_candidates,
+)
+from repro.vm.costs import CostModel
+
+SPINLOCK = """
+int lock = 0;
+int shared_data = 0;
+
+void lock_acquire() {
+    while (atomic_cmpxchg(&lock, 0, 1) != 0) { }
+}
+
+void lock_release() {
+    lock = 0;
+}
+
+int main() {
+    lock_acquire();
+    shared_data = shared_data + 1;
+    lock_release();
+    return shared_data;
+}
+"""
+
+
+def _ported(source=SPINLOCK, name="m"):
+    module = compile_source(source, name)
+    ported, _report = port_module(module, PortingLevel.ATOMIG)
+    return ported
+
+
+def test_only_marked_sc_accesses_are_candidates():
+    ported = _ported()
+    candidates = enumerate_candidates(ported, CostModel())
+    assert candidates
+    for candidate in candidates:
+        if candidate.kind != "fence":
+            assert candidate.original_order is MemoryOrder.SEQ_CST
+
+
+def test_unmarked_sc_access_skipped_unless_requested():
+    module = compile_source("""
+_Atomic int x = 0;
+int main() {
+    atomic_store(&x, 1);
+    return atomic_load(&x);
+}
+""", "hand")
+    # "annotation" marks come from the _Atomic lowering, so strip them
+    # to model a hand-written SC access with no porter provenance.
+    for instr in module.functions["main"].instructions():
+        instr.marks.clear()
+    assert enumerate_candidates(module, CostModel()) == []
+    relaxed = enumerate_candidates(
+        module, CostModel(), require_marks=False
+    )
+    assert len(relaxed) == 2
+
+
+def test_candidates_sorted_by_savings_desc():
+    ported = _ported()
+    costs = CostModel()
+    candidates = enumerate_candidates(ported, costs)
+    savings = [candidate.savings(costs) for candidate in candidates]
+    assert savings == sorted(savings, reverse=True)
+    # Store SC -> RELEASE saves 0 first-rung cycles, RMW SC -> ACQ_REL
+    # saves 1, so RMWs come first under the static model.
+    assert candidates[0].kind == "rmw"
+
+
+def test_dynamic_counts_weight_the_order():
+    ported = _ported()
+    costs = CostModel()
+    static = enumerate_candidates(ported, costs)
+    # Weight the RMW that ranked *last* among RMWs; a store's first
+    # rung (SC -> RELEASE) saves 0 cycles at any weight, so use an RMW.
+    hot = [c for c in static if c.kind == "rmw"][-1].position
+    counts = {hot: 1000}
+    dynamic = enumerate_candidates(ported, costs, counts=counts)
+    by_position = {c.position: c for c in dynamic}
+    assert by_position[hot].weight == 1000
+    # Every never-executed site weighs 0, so the hot one leads.
+    assert dynamic[0].position == hot
+
+
+def test_ladder_walk_accept_reject_freeze():
+    candidate = Candidate(
+        instr=None, position=("f", "b", 0), kind="rmw",
+        ladder=RMW_LADDER,
+    )
+    assert candidate.proposal() is MemoryOrder.ACQ_REL
+    candidate.accept()
+    assert candidate.committed is MemoryOrder.ACQ_REL
+    assert candidate.proposal() is MemoryOrder.ACQUIRE
+    candidate.reject()
+    assert candidate.proposal() is MemoryOrder.RELEASE  # alternative
+    candidate.reject()
+    assert candidate.frozen
+    assert candidate.proposal() is None
+    assert candidate.last_rejected is MemoryOrder.RELEASE
+    assert candidate.history == [MemoryOrder.ACQ_REL]
+
+
+def test_store_ladder_never_proposes_acquire():
+    flat = [order for level in STORE_LADDER for order in level]
+    assert MemoryOrder.ACQUIRE not in flat
+    assert MemoryOrder.ACQ_REL not in flat
+    assert MemoryOrder.CONSUME not in flat
+
+
+def test_apply_proposal_and_undo_restore_exactly():
+    ported = _ported()
+    costs = CostModel()
+    candidates = enumerate_candidates(ported, costs)
+    before = [candidate.instr.order for candidate in candidates]
+    undos = [apply_proposal(candidate) for candidate in candidates]
+    after = [candidate.instr.order for candidate in candidates]
+    assert after != before
+    verify_module(ported)  # ladders only emit verifier-legal orders
+    for undo in reversed(undos):
+        undo()
+    assert [c.instr.order for c in candidates] == before
+
+
+def test_fence_deletion_undo_restores_position():
+    module = compile_source("""
+int x = 0;
+int main() {
+    x = 1;
+    atomic_thread_fence(memory_order_seq_cst);
+    return x;
+}
+""", "f")
+    fence = next(
+        instr for instr in module.functions["main"].instructions()
+        if isinstance(instr, ins.Fence)
+    )
+    # Source-level fences carry the "annotation" mark and are never
+    # candidates; re-mark as a porter-inserted one.
+    fence.marks.clear()
+    fence.marks.add("optimistic")
+    candidates = enumerate_candidates(module, CostModel())
+    assert [c.kind for c in candidates] == ["fence"]
+    candidate = candidates[0]
+    assert candidate.proposal() is DELETE
+
+    block = fence.block
+    index = block.instructions.index(fence)
+    undo = apply_proposal(candidate)
+    assert fence not in block.instructions
+    undo()
+    assert block.instructions[index] is fence
+
+
+def test_programmer_fences_are_not_deletion_candidates():
+    module = compile_source("""
+int x = 0;
+int main() {
+    x = 1;
+    atomic_thread_fence(memory_order_seq_cst);
+    return x;
+}
+""", "f")
+    assert all(
+        candidate.kind != "fence"
+        for candidate in enumerate_candidates(module, CostModel())
+    )

@@ -1,0 +1,114 @@
+"""Property test: every MemoryOrder round-trips printer -> parser.
+
+The barrier optimizer emits orders the blanket-SC pipeline never
+printed before (ACQUIRE / RELEASE / CONSUME / ACQ_REL on accesses,
+non-SC fences), and its parallel bisection ships modules between
+processes as printed IR — so the printer/parser pair must preserve
+every verifier-legal order exactly, and the verifier must reject the
+illegal combinations loudly (they would silently change semantics).
+"""
+
+import pytest
+
+from repro.api import compile_source
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.instructions import MemoryOrder
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+
+SOURCE = """
+_Atomic int a;
+int main() {
+    atomic_store_explicit(&a, 2, memory_order_release);
+    int x = atomic_load_explicit(&a, memory_order_acquire);
+    int y = atomic_fetch_add_explicit(&a, 1, memory_order_relaxed);
+    int z = atomic_cmpxchg_explicit(&a, 3, 4, memory_order_seq_cst);
+    atomic_thread_fence(memory_order_seq_cst);
+    return x + y + z;
+}
+"""
+
+KINDS = {
+    "load": ins.Load,
+    "store": ins.Store,
+    "rmw": ins.AtomicRMW,
+    "cmpxchg": ins.Cmpxchg,
+    "fence": ins.Fence,
+}
+
+#: Verifier-legal orders per access kind (the complement must raise).
+VALID_ORDERS = {
+    "load": frozenset(MemoryOrder) - {
+        MemoryOrder.RELEASE, MemoryOrder.ACQ_REL,
+    },
+    "store": frozenset(MemoryOrder) - {
+        MemoryOrder.CONSUME, MemoryOrder.ACQUIRE, MemoryOrder.ACQ_REL,
+    },
+    "rmw": frozenset(MemoryOrder),
+    "cmpxchg": frozenset(MemoryOrder),
+    "fence": frozenset({
+        MemoryOrder.ACQUIRE, MemoryOrder.RELEASE,
+        MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST,
+    }),
+}
+
+
+def _module_with(kind, order):
+    """A fresh module whose first ``kind`` access carries ``order``."""
+    module = compile_source(SOURCE, "orders")
+    target = next(
+        instr for instr in module.functions["main"].instructions()
+        if isinstance(instr, KINDS[kind])
+    )
+    target.order = order
+    return module
+
+
+def _order_of(module, kind):
+    return next(
+        instr.order
+        for instr in module.functions["main"].instructions()
+        if isinstance(instr, KINDS[kind])
+    )
+
+
+@pytest.mark.parametrize("kind", sorted(KINDS))
+@pytest.mark.parametrize("order", list(MemoryOrder))
+def test_every_order_roundtrips_or_is_rejected(kind, order):
+    module = _module_with(kind, order)
+    if order in VALID_ORDERS[kind]:
+        verify_module(module)
+        text = print_module(module)
+        reparsed = parse_module(text)  # parse_module also verifies
+        assert _order_of(reparsed, kind) is order
+        assert print_module(reparsed) == text
+    else:
+        with pytest.raises(IRError):
+            verify_module(module)
+
+
+@pytest.mark.parametrize(
+    "kind,bad",
+    [
+        ("load", MemoryOrder.RELEASE),
+        ("load", MemoryOrder.ACQ_REL),
+        ("store", MemoryOrder.ACQUIRE),
+        ("store", MemoryOrder.CONSUME),
+        ("fence", MemoryOrder.RELAXED),
+    ],
+)
+def test_invalid_orders_rejected_in_ir_text(kind, bad):
+    """The parser's verify pass rejects illegal printed orders too."""
+    module = _module_with(kind, MemoryOrder.SEQ_CST)
+    text = print_module(module)
+    if kind == "fence":
+        spelled, spliced = "fence seq_cst", f"fence {bad.name.lower()}"
+    else:
+        opcode = "load" if kind == "load" else "store"
+        spelled = f"{opcode} atomic(seq_cst)"
+        spliced = f"{opcode} atomic({bad.name.lower()})"
+    assert spelled in text
+    with pytest.raises(IRError):
+        parse_module(text.replace(spelled, spliced))

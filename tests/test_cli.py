@@ -232,3 +232,49 @@ def test_tables_command_table1(capsys):
 
 def test_tables_unknown_number(capsys):
     assert main(["tables", "42"]) == 2
+
+
+def test_optimize_command(tas_file, capsys):
+    assert main(["optimize", tas_file]) == 0
+    out = capsys.readouterr().out
+    assert "accesses weakened" in out
+    assert "verdict ok" in out
+    assert "NOT PRESERVED" not in out
+
+
+def test_optimize_json_output(tas_file, capsys):
+    assert main(["optimize", tas_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verdict_preserved"]
+    assert payload["barrier_cost_after"] <= payload["barrier_cost_before"]
+    assert payload["checks_run"] >= 1
+
+
+def test_optimize_emit_ir(tas_file, tmp_path, capsys):
+    out_path = tmp_path / "optimized.ir"
+    assert main(["optimize", tas_file, "--emit-ir", "-o",
+                 str(out_path)]) == 0
+    from repro.ir.parser import parse_module
+
+    module = parse_module(out_path.read_text())
+    orders = {
+        instr.order.name.lower()
+        for instr in module.instructions()
+        if getattr(instr, "order", None) is not None
+    }
+    assert "relaxed" in orders or "release" in orders
+
+
+def test_port_optimize_flag(tas_file, capsys):
+    assert main(["port", tas_file, "--optimize"]) == 0
+    out = capsys.readouterr().out
+    assert "optimize:" in out
+    assert "barrier cost" in out
+
+
+def test_tables_9_runs(capsys):
+    from repro.bench import tables as T
+
+    rows = T.table9(benchmarks=("ck_spinlock_cas",))
+    assert rows[0]["verdict_kept"]
+    assert rows[0]["cost_opt"] < rows[0]["cost_sc"]

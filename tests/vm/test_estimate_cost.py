@@ -1,0 +1,112 @@
+"""Tests for module-level cost estimation and dynamic count recording."""
+
+from repro.api import compile_source, port_module, run_module
+from repro.core.config import PortingLevel
+from repro.core.report import count_barriers
+from repro.ir.instructions import MemoryOrder
+from repro.vm.costs import CostModel, estimate_cost, is_barrier
+
+COUNTER = """
+_Atomic int x = 0;
+
+int main() {
+    int i = 0;
+    while (i < 5) {
+        atomic_fetch_add(&x, 1);
+        i = i + 1;
+    }
+    return atomic_load(&x);
+}
+"""
+
+
+def test_static_estimate_counts_every_site_once():
+    module = compile_source(COUNTER, "counter")
+    estimate = estimate_cost(module)
+    assert not estimate.dynamic
+    _explicit, implicit = count_barriers(module)
+    assert estimate.barrier_sites == implicit
+    assert estimate.barrier_weight == estimate.barrier_sites
+    assert 0 < estimate.barriers <= estimate.total
+
+
+def test_barrier_sites_match_count_barriers_definition():
+    module = compile_source(COUNTER, "counter")
+    barriers = sum(
+        1 for instr in module.instructions() if is_barrier(instr)
+    )
+    explicit, implicit = count_barriers(module)
+    assert barriers == explicit + implicit
+
+
+def test_weakening_reduces_the_estimate():
+    module = compile_source("""
+_Atomic int x = 0;
+int main() {
+    atomic_store(&x, 1);
+    return 0;
+}
+""", "m")
+    costs = CostModel()
+    before = estimate_cost(module, costs).barriers
+    store = next(
+        instr for instr in module.functions["main"].instructions()
+        if getattr(instr, "order", None) is MemoryOrder.SEQ_CST
+    )
+    store.order = MemoryOrder.RELAXED
+    after = estimate_cost(module, costs).barriers
+    assert after == before - (costs.release_store - costs.relaxed_store)
+
+
+def test_dynamic_counts_weight_loop_bodies():
+    module = compile_source(COUNTER, "counter")
+    result = run_module(module, record_counts=True)
+    counts = result.stats.instr_counts
+    assert counts  # recorded at all
+    dynamic = estimate_cost(module, counts=counts)
+    assert dynamic.dynamic
+    # The RMW executed 5 times, so its weight dominates the static one.
+    assert dynamic.barrier_weight >= 5
+    static = estimate_cost(module)
+    assert dynamic.barrier_weight > static.barrier_weight - 1
+
+
+def test_counts_keyed_by_stable_position():
+    module = compile_source(COUNTER, "counter")
+    counts = run_module(module, record_counts=True).stats.instr_counts
+    for (function, block, index), executed in counts.items():
+        assert function in module.functions
+        blocks = {b.label: b for b in module.functions[function].blocks}
+        assert block in blocks
+        assert 0 <= index < len(blocks[block].instructions)
+        assert executed >= 1
+
+
+def test_counts_not_recorded_by_default():
+    module = compile_source(COUNTER, "counter")
+    result = run_module(module)
+    assert result.stats.instr_counts == {}
+
+
+def test_estimate_shared_by_optimizer_and_tables():
+    """Table 9's columns equal estimate_cost on the ported module."""
+    from repro.opt import optimize_module
+
+    source = """
+int lock = 0;
+int data = 0;
+void worker() {
+    while (atomic_cmpxchg(&lock, 0, 1) != 0) { }
+    data = data + 1;
+    lock = 0;
+}
+int main() {
+    worker();
+    return data;
+}
+"""
+    module = compile_source(source, "m")
+    ported, _ = port_module(module, PortingLevel.ATOMIG)
+    optimized, report = optimize_module(ported)
+    assert report.cost_before == estimate_cost(ported).to_dict()
+    assert report.cost_after == estimate_cost(optimized).to_dict()
