@@ -84,6 +84,25 @@ def test_bisection_keeps_oracle_checks_bounded(table9_run):
         )
 
 
+def test_fast_path_answers_some_queries_statically(table9_run):
+    """The robustness fast path must carry real weight on Table 9.
+
+    Several corpus modules are statically robust once ported (their
+    oracle can certify weakenings without exploring a single state);
+    across the whole corpus the hit count must be nonzero and every
+    hit must have saved its baseline's exploration.
+    """
+    rows, _seconds = table9_run
+    hits = sum(row["_report"]["robustness_hits"] for row in rows)
+    saved = sum(row["_report"]["robustness_states_saved"] for row in rows)
+    assert hits > 0, "no oracle query was answered by the fast path"
+    assert saved > 0, "fast-path hits saved no exploration"
+    for row in rows:
+        report = row["_report"]
+        if report["robustness_hits"]:
+            assert report["baseline_robust"], row["benchmark"]
+
+
 def test_table9_recorded(table9_run, record_table):
     rows, _seconds = table9_run
     text = T.format_table(
@@ -113,6 +132,12 @@ def test_bench_opt_json_regenerated(table9_run, results_dir):
                 "candidates": row["_report"]["candidates"],
                 "oracle_checks": row["checks"],
                 "oracle_cache_hits": row["_report"]["cache_hits"],
+                "oracle_robustness_checks":
+                    row["_report"]["robustness_checks"],
+                "oracle_robustness_hits": row["_report"]["robustness_hits"],
+                "robustness_states_saved":
+                    row["_report"]["robustness_states_saved"],
+                "baseline_robust": row["_report"]["baseline_robust"],
                 "oracle_states": row["_report"]["oracle_states"],
                 "rounds": row["_report"]["rounds"],
                 "verdict": row["_report"]["baseline_outcome"],

@@ -1,0 +1,126 @@
+"""Robustness gate: static verdicts must agree with exploration.
+
+Two jobs:
+
+- **Soundness across the corpus**: for every Table 2 corpus module and
+  every litmus-gallery entry, checking with the robustness pre-pass
+  enabled must produce the same verdict as full exploration — and at
+  least one corpus module must verify with *zero* explored states
+  (``verdict_source == "robustness"``).
+- **Snapshot regeneration**: rewrites
+  ``benchmarks/results/robustness_corpus.txt`` (the per-benchmark
+  original/atomig classification CI diffs against ``atomig robustness
+  --corpus``), so a silent change in any module's robustness class
+  fails the gate loudly.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.robustness import analyze_robustness
+from repro.api import check_module, compile_source, port_module
+from repro.bench.corpus import BENCHMARKS
+from repro.bench.tables import TABLE2_BENCHMARKS
+from repro.core.config import PortingLevel
+from repro.mc.litmus import LITMUS_TESTS
+
+#: Checker bounds matching the Table 2 harness.
+MAX_STEPS = 600
+
+
+@pytest.fixture(scope="module")
+def ported_corpus():
+    """name -> atomig-ported module for the Table 2 corpus."""
+    ported = {}
+    for name in TABLE2_BENCHMARKS:
+        module = compile_source(BENCHMARKS[name].mc_source(), name)
+        ported[name], _report = port_module(module, PortingLevel.ATOMIG)
+    return ported
+
+
+def test_fast_path_agrees_with_exploration_on_table2(ported_corpus):
+    sources = {}
+    for name, module in sorted(ported_corpus.items()):
+        fast = check_module(module, model="wmm", max_steps=MAX_STEPS,
+                            robustness=True)
+        slow = check_module(module, model="wmm", max_steps=MAX_STEPS,
+                            robustness=False)
+        assert fast.outcome == slow.outcome, name
+        assert fast.ok == slow.ok, name
+        sources[name] = fast.verdict_source
+    # At least one module proves robust and never explores a state.
+    assert "robustness" in sources.values(), sources
+
+
+def test_some_corpus_module_verifies_with_zero_states(ported_corpus):
+    zero_state = []
+    for name, module in sorted(ported_corpus.items()):
+        result = check_module(module, model="wmm", max_steps=MAX_STEPS,
+                              robustness=True)
+        if result.verdict_source == "robustness":
+            assert result.ok, name
+            assert result.states_explored == 0, name
+            zero_state.append(name)
+    assert zero_state, "no corpus module verified statically"
+
+
+def test_fast_path_agrees_with_exploration_on_litmus_gallery():
+    for name in sorted(LITMUS_TESTS):
+        source, _expected = LITMUS_TESTS[name]
+        module = compile_source(source, name)
+        for model in ("tso", "wmm"):
+            fast = check_module(module, model=model, max_steps=400,
+                                robustness=True)
+            slow = check_module(module, model=model, max_steps=400,
+                                robustness=False)
+            assert fast.outcome == slow.outcome, (name, model)
+
+
+def test_static_verdicts_never_contradict_exploration(ported_corpus):
+    """Robust claim => exploration finds no violation (soundness)."""
+    for name, module in sorted(ported_corpus.items()):
+        result = analyze_robustness(module, model="wmm")
+        if result.robust:
+            explored = check_module(module, model="wmm",
+                                    max_steps=MAX_STEPS, robustness=False)
+            assert explored.ok, (
+                f"{name}: statically robust but exploration disagrees"
+            )
+
+
+def _corpus_snapshot_lines(model="wmm"):
+    """Mirror of ``atomig robustness --corpus`` (must match exactly)."""
+    lines = []
+    for name in sorted(BENCHMARKS):
+        benchmark = BENCHMARKS[name]
+        source = benchmark.mc_source or benchmark.perf_source
+        if source is None:
+            continue
+        module = compile_source(source(), name)
+        fields = []
+        for level in ("original", "atomig"):
+            work = module
+            if level != "original":
+                work, _report = port_module(
+                    module.clone(), PortingLevel.ATOMIG
+                )
+            result = analyze_robustness(work, model=model)
+            verdict = "robust" if result.robust else "non-robust"
+            fields.append(f"{level}={verdict}")
+        lines.append(f"{name:20s} [{model}] {'  '.join(fields)}")
+    return lines
+
+
+def test_robustness_corpus_snapshot_regenerated(results_dir):
+    lines = _corpus_snapshot_lines()
+    assert lines, "corpus produced no classifications"
+    # Porting must prove additional modules robust, never fewer.
+    original_robust = sum("original=robust" in line for line in lines)
+    atomig_robust = sum("atomig=robust" in line for line in lines)
+    assert atomig_robust > 0, "no ported corpus module is robust"
+    assert atomig_robust >= original_robust
+    path = os.path.join(results_dir, "robustness_corpus.txt")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    assert os.path.getsize(path) > 0

@@ -63,7 +63,7 @@ def port_module(module, level=PortingLevel.ATOMIG, config=None,
 
 
 def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000,
-                 reduce=True):
+                 reduce=True, robustness=False):
     """Exhaustively model-check ``module`` starting from ``main``.
 
     ``model`` is ``"sc"``, ``"tso"`` or ``"wmm"``.  Returns a
@@ -71,11 +71,14 @@ def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000,
     holds a counterexample trace when an assertion can fail.
     ``reduce=False`` turns off the partial-order reduction and explores
     every interleaving (slow; used as the oracle in perf tests).
+    ``robustness=True`` tries the static critical-cycle pre-pass first
+    and skips exploration for provably robust modules.
     """
     from repro.mc.explorer import check_module as _check
 
     return _check(module, model=model, max_steps=max_steps,
-                  max_states=max_states, reduce=reduce)
+                  max_states=max_states, reduce=reduce,
+                  robustness=robustness)
 
 
 def lint_module(module, name_heuristic=True):
@@ -83,14 +86,17 @@ def lint_module(module, name_heuristic=True):
 
     Classifies every non-local memory access as lock / protected /
     unshared / read-only / racy / unknown using the interprocedural
-    lockset analysis.  Returns a :class:`repro.core.report.LintReport`.
+    lockset analysis, and flags dead fences (not adjacent to any shared
+    access on any path).  Returns a :class:`repro.core.report.LintReport`.
     """
     from repro.analysis.races import classify_module
+    from repro.analysis.robustness import find_dead_fences
     from repro.core.report import LintReport
 
-    return LintReport(races=classify_module(
-        module, name_heuristic=name_heuristic
-    ))
+    return LintReport(
+        races=classify_module(module, name_heuristic=name_heuristic),
+        dead_fences=find_dead_fences(module, name_heuristic=name_heuristic),
+    )
 
 
 def run_module(module, entry="main", schedule_seed=0, cost_model=None,

@@ -66,19 +66,25 @@ _TABLE2_LEVELS = (
 )
 
 
-def table2(max_steps=600, max_states=400_000, jobs=None):
+def table2(max_steps=600, max_states=400_000, jobs=None,
+           robustness=None):
     """Model-check each benchmark variant under WMM (paper Table 2).
 
     ``jobs`` fans the 20 benchmark × level checks across worker
     processes (``atomig tables 2 --jobs N``); the default runs them
-    sequentially in-process.
+    sequentially in-process.  ``robustness=True`` lets the static
+    pre-pass short-circuit robust variants (their ``*_states`` columns
+    then read 0); the default keeps it off so the table reports true
+    exploration sizes.
     """
     from repro.mc.parallel import CheckTask, run_tasks
 
+    robustness = False if robustness is None else robustness
     tasks = [
         CheckTask(
             name=name, source=BENCHMARKS[name].mc_source(), model="wmm",
             level=level.value, max_steps=max_steps, max_states=max_states,
+            robustness=robustness,
         )
         for name in TABLE2_BENCHMARKS
         for _level_name, level in _TABLE2_LEVELS
@@ -570,7 +576,7 @@ TABLE9_BENCHMARKS = TABLE2_BENCHMARKS
 
 
 def table9(benchmarks=TABLE9_BENCHMARKS, max_steps=2500,
-           max_states=400_000, jobs=None):
+           max_states=400_000, jobs=None, robustness=None):
     """Blanket-SC vs weakened barrier cost per benchmark (Table 9).
 
     Ports every benchmark with AtoMig (all atomized accesses SEQ_CST),
@@ -580,14 +586,19 @@ def table9(benchmarks=TABLE9_BENCHMARKS, max_steps=2500,
     model), how many accesses relaxed / fences disappeared / sites had
     to stay strong, how many model-checker calls certified it, and
     that the WMM verdict is preserved.  ``jobs`` fans the per-benchmark
-    optimizer runs across worker processes.
+    optimizer runs across worker processes.  The oracle's robustness
+    fast path is on by default (``robustness=False`` forces every
+    query to explore); either way the cost columns are identical —
+    the fast path only answers queries it can prove.
     """
     from repro.opt.parallel import OptimizeTask, run_optimize_tasks
 
+    robustness = True if robustness is None else robustness
     tasks = [
         OptimizeTask(
             name=name, source=BENCHMARKS[name].mc_source(),
             level="atomig", max_steps=max_steps, max_states=max_states,
+            robustness=robustness,
         )
         for name in benchmarks
     ]

@@ -8,6 +8,7 @@ Subcommands mirror the library workflow:
 - ``atomig check file.c``    — model-check under sc/tso/wmm;
 - ``atomig run file.c``      — execute on the performance VM;
 - ``atomig lint file.c``     — static race & portability linter;
+- ``atomig robustness f.c``  — static critical-cycle robustness report;
 - ``atomig litmus [NAME]``   — run the calibration litmus tests;
 - ``atomig tables [N ...]``  — regenerate the paper's evaluation tables.
 """
@@ -47,9 +48,10 @@ def _add_level_arg(parser):
 
 
 def _build_config(args):
+    check_robustness = getattr(args, "check_robustness", False)
     if not (args.polling or args.barrier_seeds or args.strict_spinloops
             or args.no_inline or args.no_alias or args.prune_protected
-            or args.alias_mode != "type_based"):
+            or check_robustness or args.alias_mode != "type_based"):
         return None
     return AtoMigConfig(
         detect_polling_loops=args.polling,
@@ -58,6 +60,7 @@ def _build_config(args):
         inline_before_analysis=not args.no_inline,
         alias_exploration=not args.no_alias,
         prune_protected=args.prune_protected,
+        check_robustness=check_robustness,
         alias_mode=args.alias_mode,
     )
 
@@ -76,6 +79,10 @@ def _add_config_args(parser):
     parser.add_argument("--prune-protected", action="store_true",
                         help="exempt lint-proven lock-protected accesses "
                              "from atomization")
+    parser.add_argument("--check-robustness", action="store_true",
+                        help="after porting, attach the static "
+                             "Shasha-Snir robustness classification to "
+                             "the report")
     parser.add_argument("--alias-mode", choices=("type_based", "points_to"),
                         default="type_based",
                         help="location-key precision for alias exploration: "
@@ -159,6 +166,7 @@ def cmd_optimize(args):
         module, model=args.model, max_steps=args.max_steps,
         jobs=args.jobs, counts=counts,
         require_marks=not args.all_accesses,
+        robustness=args.robustness,
     )
     if args.json:
         import json
@@ -193,6 +201,7 @@ def _check_results(args):
                 level=None if args.level == "original" else args.level,
                 max_steps=args.max_steps, reduce=reduce,
                 config=_build_config(args), is_ir=args.file.endswith(".ir"),
+                robustness=args.robustness,
             )
             for model in args.models
         ]
@@ -205,6 +214,7 @@ def _check_results(args):
     return (
         (model, check_module(
             module, model=model, max_steps=args.max_steps, reduce=reduce,
+            robustness=args.robustness,
         ))
         for model in args.models
     )
@@ -220,6 +230,8 @@ def cmd_check(args):
         else:
             status = "ok"
         extra = " (truncated)" if result.truncated else ""
+        if getattr(result, "verdict_source", "exploration") == "robustness":
+            extra += ", statically robust"
         print(f"{model:>3}: {status}  "
               f"[{result.states_explored} states{extra}]")
         if args.stats and result.stats is not None:
@@ -351,7 +363,65 @@ def _lint_corpus(args):
         histogram = " ".join(
             f"{key}={counts[key]}" for key in sorted(counts)
         )
-        print(f"{name:20s} locks={len(report.races.locks)} {histogram}")
+        dead = len(report.dead_fences or ())
+        print(f"{name:20s} locks={len(report.races.locks)} {histogram} "
+              f"dead_fences={dead}")
+    return 0
+
+
+def cmd_robustness(args):
+    """Static critical-cycle robustness report (no exploration)."""
+    from repro.analysis.robustness import analyze_robustness
+
+    if args.corpus:
+        return _robustness_corpus(args)
+    if not args.file:
+        print("robustness: a FILE is required unless --corpus is given")
+        return 2
+    module = _load(args.file)
+    if args.level != "original":
+        module, _report = port_module(
+            module, _LEVELS[args.level], config=_build_config(args)
+        )
+    result = analyze_robustness(
+        module, model=args.model, max_witnesses=args.max_witnesses
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.robust else 1
+
+
+def _robustness_corpus(args):
+    """Classify every corpus benchmark (the CI regression snapshot).
+
+    One line per benchmark with the original-level and atomig-level
+    classification under ``--model`` — the snapshot CI diffs, so a
+    change in any module's robustness class is a loud event.
+    """
+    from repro.analysis.robustness import analyze_robustness
+    from repro.bench.corpus import BENCHMARKS
+
+    for name in sorted(BENCHMARKS):
+        benchmark = BENCHMARKS[name]
+        source = benchmark.mc_source or benchmark.perf_source
+        if source is None:
+            continue
+        module = compile_source(source(), name)
+        fields = []
+        for level in ("original", "atomig"):
+            work = module
+            if level != "original":
+                work, _report = port_module(
+                    module.clone(), _LEVELS[level]
+                )
+            result = analyze_robustness(work, model=args.model)
+            verdict = "robust" if result.robust else "non-robust"
+            fields.append(f"{level}={verdict}")
+        print(f"{name:20s} [{args.model}] {'  '.join(fields)}")
     return 0
 
 
@@ -406,7 +476,8 @@ def cmd_tables(args):
         1: (lambda: T.table1(),
             ["approach", "safe", "efficient", "scalable", "practical"],
             "Table 1: Comparison of Porting Approaches"),
-        2: (lambda: T.table2(jobs=args.jobs),
+        2: (lambda: T.table2(jobs=args.jobs,
+                             robustness=args.robustness),
             ["benchmark", "original", "expl", "spin", "atomig",
              "matches_paper"],
             "Table 2: Verification results (WMM)"),
@@ -432,7 +503,8 @@ def cmd_tables(args):
             ["benchmark", "type_based_impl", "points_to_impl", "delta",
              "pts_keyed", "pruned_local", "tb_wmm_ok", "pt_wmm_ok"],
             "Table 8: alias precision (type_based vs points_to)"),
-        9: (lambda: T.table9(jobs=args.jobs),
+        9: (lambda: T.table9(jobs=args.jobs,
+                             robustness=args.robustness),
             ["benchmark", "cost_sc", "cost_opt", "saved_pct", "weakened",
              "fences_gone", "frozen", "checks", "verdict_kept"],
             "Table 9: oracle-guided barrier weakening (SC vs optimized)"),
@@ -503,6 +575,11 @@ def build_parser():
                           help="print the optimized IR")
     optimize.add_argument("-o", "--output",
                           help="write the optimized IR here")
+    optimize.add_argument("--robustness", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="answer oracle queries statically when the "
+                               "weakened module stays robust "
+                               "(--no-robustness explores every query)")
     optimize.set_defaults(func=cmd_optimize)
 
     check = sub.add_parser("check", help="model-check a Mini-C file")
@@ -521,6 +598,10 @@ def build_parser():
     check.add_argument("--no-reduce", action="store_true",
                        help="disable partial-order reduction and "
                             "macro-stepping (the slow oracle)")
+    check.add_argument("--robustness", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="skip exploration for statically robust "
+                            "modules (--no-robustness always explores)")
     _add_level_arg(check)
     _add_config_args(check)
     check.set_defaults(func=cmd_check)
@@ -574,6 +655,30 @@ def build_parser():
                       help="lint every corpus benchmark (CI snapshot mode)")
     lint.set_defaults(func=cmd_lint)
 
+    robustness = sub.add_parser(
+        "robustness",
+        help="static Shasha-Snir robustness report: critical cycles "
+             "whose delays the model may leave unfenced",
+    )
+    robustness.add_argument("file", nargs="?",
+                            help="Mini-C or .ir file to analyze")
+    robustness.add_argument("--model", choices=["tso", "wmm"],
+                            default="wmm",
+                            help="memory model to analyze against "
+                                 "(default: wmm)")
+    robustness.add_argument("--json", action="store_true",
+                            help="emit the RobustnessResult as JSON")
+    robustness.add_argument("--max-witnesses", type=int, default=5,
+                            metavar="N",
+                            help="report at most N critical cycles")
+    robustness.add_argument("--corpus", action="store_true",
+                            help="classify every corpus benchmark at "
+                                 "original and atomig levels (CI "
+                                 "snapshot mode)")
+    _add_level_arg(robustness)
+    _add_config_args(robustness)
+    robustness.set_defaults(func=cmd_robustness)
+
     litmus = sub.add_parser("litmus", help="run calibration litmus tests")
     litmus.add_argument("names", nargs="*")
     litmus.set_defaults(func=cmd_litmus)
@@ -590,6 +695,11 @@ def build_parser():
     tables.add_argument("--optimize", action="store_true",
                         help="include Table 9 (oracle-guided barrier "
                              "weakening) in the default selection")
+    tables.add_argument("--robustness", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="force the robustness fast path on/off for "
+                             "tables 2 and 9 (default: per-table "
+                             "defaults — off for 2, on for 9)")
     tables.set_defaults(func=cmd_tables)
 
     return parser

@@ -75,6 +75,12 @@ class AtoMigConfig:
     #: SC promotion is pure overhead.  Off by default to match the
     #: paper's evaluated configuration.
     prune_protected: bool = False
+    #: After porting, run the static Shasha-Snir robustness analysis
+    #: on the result and attach the classification to the report
+    #: (``report.robustness``).  A robust port provably needs no
+    #: model checking: its WMM verdict equals its SC verdict.  Off by
+    #: default — ``atomig check`` runs the same pre-pass on demand.
+    check_robustness: bool = False
     #: Location-key precision for alias exploration.  ``type_based`` is
     #: the paper's scheme (global names + struct-field signatures);
     #: ``points_to`` additionally keys pointers by their Andersen

@@ -62,6 +62,10 @@ class PortingReport:
     #: Barrier-weakening results when the port ran with ``optimize``
     #: (a :class:`repro.opt.report.OptimizationReport` dict), else {}.
     optimization: dict = field(default_factory=dict)
+    #: Static robustness classification of the ported module when the
+    #: config enables ``check_robustness`` (a
+    #: :class:`repro.analysis.robustness.RobustnessResult` dict), else {}.
+    robustness: dict = field(default_factory=dict)
     #: Diagnostic notes (e.g. unknown inline asm).
     notes: list = field(default_factory=list)
 
@@ -110,6 +114,7 @@ class PortingReport:
             "porting_seconds": self.porting_seconds,
             "stats": self.stats.to_dict(),
             "optimization": dict(self.optimization),
+            "robustness": dict(self.robustness),
             "notes": list(self.notes),
         }
 
@@ -129,7 +134,7 @@ class PortingReport:
 #: Version of the ``atomig lint --json`` payload.  Bump on any change
 #: to the structure below; the lint-corpus snapshot test asserts it so
 #: consumers notice schema drift loudly instead of silently.
-LINT_SCHEMA_VERSION = 2
+LINT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -142,6 +147,9 @@ class LintReport:
     """
 
     races: object = None
+    #: Dead-fence lint findings (fences not adjacent to any shared
+    #: access on any path), from repro.analysis.robustness.
+    dead_fences: list = None
 
     @property
     def module_name(self):
@@ -159,9 +167,12 @@ class LintReport:
         parts = ", ".join(
             f"{counts[k]} {k}" for k in sorted(counts)
         ) or "no non-local accesses"
+        dead = ""
+        if self.dead_fences:
+            dead = f", {len(self.dead_fences)} dead fences"
         return (
             f"lint {self.module_name}: {len(self.races.locks)} locks, "
-            f"{parts}"
+            f"{parts}{dead}"
         )
 
     def render(self, show=("racy", "unknown", "protected", "lock")):
@@ -187,6 +198,12 @@ class LintReport:
                 f"{finding.instr!r}{held}"
             )
             lines.append(f"      -> {finding.remediation}")
+        for fence in self.dead_fences or ():
+            lines.append(
+                f"  [dead-fence] {fence['function']}:{fence['block']}"
+                f"[{fence['index']}] fence({fence['order']})"
+            )
+            lines.append(f"      -> {fence['reason']}; safe to delete")
         return "\n".join(lines)
 
     def to_dict(self):
@@ -219,6 +236,7 @@ class LintReport:
                 }
                 for finding in self.findings
             ],
+            "dead_fences": list(self.dead_fences or ()),
         }
 
 

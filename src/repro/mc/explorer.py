@@ -117,6 +117,9 @@ class CheckResult:
     notes: list = field(default_factory=list)
     #: Exploration observability (states/sec, prunes, compression...).
     stats: ExplorationStats = None
+    #: "exploration" normally; "robustness" when the static critical-
+    #: cycle pre-pass proved the verdict without exploring a state.
+    verdict_source: str = "exploration"
 
     @property
     def ok(self):
@@ -215,7 +218,7 @@ def _independent(key_a, key_b):
 
 
 def check_module(module, model="wmm", entry="main", max_steps=2500,
-                 max_states=2_000_000, reduce=True):
+                 max_states=2_000_000, reduce=True, robustness=False):
     """Exhaustively check all executions of ``module`` from ``entry``.
 
     Returns the first assertion violation found (depth-first order) or
@@ -223,7 +226,31 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
     exhausted.  ``reduce=False`` disables the partial-order reduction
     and macro-stepping (the unreduced explorer is the oracle the
     reduction is validated against).
+
+    ``robustness=True`` runs the static critical-cycle pre-pass first
+    (:mod:`repro.analysis.robustness`): a robust module provably shows
+    no behavior the SC semantics does not, so — given the porting
+    pipeline's premise that the program is correct under SC — the
+    check returns ``ok`` immediately with zero explored states and
+    ``verdict_source="robustness"``.  Non-robust modules fall back to
+    full exploration.
     """
+    if robustness and model in ("tso", "wmm"):
+        from repro.analysis.robustness import analyze_robustness
+
+        robust = analyze_robustness(module, model=model, max_witnesses=1)
+        if robust.robust:
+            result = CheckResult(model=model, verdict_source="robustness")
+            result.stats = ExplorationStats(
+                wall_seconds=robust.wall_seconds
+            )
+            result.notes.append(
+                f"statically robust: no critical cycle with an "
+                f"unenforced delay ({robust.nodes} shared accesses, "
+                f"{robust.conflict_edges} conflict edges); verdict "
+                f"equals the SC verdict without exploration"
+            )
+            return result
     model_obj = get_model(model)
     context = Context(module, model_obj, entry=entry)
     machine = Machine(context, max_steps=max_steps)

@@ -37,6 +37,8 @@ class CheckTask:
     config: object = None
     #: Parse ``source`` as IR text instead of Mini-C.
     is_ir: bool = False
+    #: Run the static robustness pre-pass before exploring.
+    robustness: bool = False
 
 
 def run_task(task):
@@ -62,7 +64,7 @@ def run_task(task):
     return check_module(
         module, model=task.model, entry=task.entry,
         max_steps=task.max_steps, max_states=task.max_states,
-        reduce=task.reduce,
+        reduce=task.reduce, robustness=task.robustness,
     )
 
 

@@ -6,12 +6,21 @@ against the baseline verdict of the unoptimized module — Manerkar et
 al.'s trailing-sync counterexamples are the cautionary tale for why a
 mapping table is not enough; each relaxation is re-verified.
 
-Three mechanisms keep the oracle cheap enough to sit in a greedy loop:
+Four mechanisms keep the oracle cheap enough to sit in a greedy loop:
 
 - **Verdict caching**: module states are keyed by a BLAKE2 digest of
-  their printed IR; bisection frequently revisits a configuration (a
-  batch minus its rejected half), and a cache hit costs one print
-  instead of one exploration.
+  their printed IR prefixed with the oracle's configuration (model,
+  entry, bounds), so verdicts can never alias across configurations;
+  bisection frequently revisits a configuration (a batch minus its
+  rejected half), and a cache hit costs one print instead of one
+  exploration.
+- **Robustness fast path**: when the baseline module is statically
+  robust (no critical cycle with an unenforced delay — see
+  :mod:`repro.analysis.robustness`), any candidate that is *still*
+  robust provably has the baseline's verdict: both equal their SC
+  verdict, and memory orders are inert under SC, so the two SC
+  verdicts coincide.  Such queries are answered without exploring a
+  single state; non-robust candidates fall back to exploration.
 - **Adaptive state budgets**: candidate checks run under a budget
   derived from the baseline exploration size (``baseline_states x
   margin``) instead of the caller's full ``max_states`` — a weakening
@@ -43,21 +52,27 @@ class Oracle:
     STATE_FLOOR = 20_000
 
     def __init__(self, model="wmm", entry="main", max_steps=2500,
-                 max_states=400_000, reduce=True, jobs=1):
+                 max_states=400_000, reduce=True, jobs=1,
+                 robustness=True):
         self.model = model
         self.entry = entry
         self.max_steps = max_steps
         self.max_states = max_states
         self.reduce = reduce
         self.jobs = jobs or 1
+        self.robustness = robustness
         self.baseline_outcome = None
         self.baseline_states = 0
+        self.baseline_robust = False
         self.budget = max_states
         self.checks_run = 0
         self.cache_hits = 0
         self.states_total = 0
         self.parallel_probes = 0
+        self.robustness_checks = 0
+        self.robustness_hits = 0
         self._verdicts = {}
+        self._analyzer = None
 
     # -- baseline ----------------------------------------------------------
 
@@ -73,6 +88,8 @@ class Oracle:
         )
         self._remember(self._digest(print_module(module)),
                        result.outcome)
+        if self.robustness and result.outcome != "truncated":
+            self.baseline_robust = self._is_robust(module)
         return result
 
     # -- candidate checks --------------------------------------------------
@@ -88,6 +105,13 @@ class Oracle:
         if key in self._verdicts:
             self.cache_hits += 1
             return self._verdicts[key]
+        if self._fastpath_ready() and self._is_robust(module):
+            # Robust candidate + robust baseline: both verdicts equal
+            # their SC verdict, and orders are inert under SC, so the
+            # candidate's outcome *is* the baseline outcome.
+            self.robustness_hits += 1
+            self._remember(key, self.baseline_outcome)
+            return self.baseline_outcome
         result = self._check(module, self.budget)
         self._remember(key, result.outcome)
         return result.outcome
@@ -97,13 +121,17 @@ class Oracle:
 
         Used by parallel bisection: the variants are independent, so
         with ``jobs > 1`` they check concurrently.  Results come from
-        the cache where possible and are cached afterwards.
+        the cache (or the robustness fast path) where possible and are
+        cached afterwards.
         """
         keys = [self._digest(text) for text in texts]
         pending = []
         for key, text in zip(keys, texts):
             if key in self._verdicts:
                 self.cache_hits += 1
+            elif self._fastpath_ready() and self._is_robust_text(text):
+                self.robustness_hits += 1
+                self._remember(key, self.baseline_outcome)
             else:
                 pending.append((key, text))
         if pending:
@@ -124,6 +152,41 @@ class Oracle:
                 self._remember(key, result.outcome)
         return [self._verdicts[key] for key in keys]
 
+    # -- robustness fast path ----------------------------------------------
+
+    def _fastpath_ready(self):
+        """Fast-path soundness needs a robust, explored baseline."""
+        return (self.robustness and self.baseline_robust
+                and self.baseline_outcome is not None)
+
+    def _is_robust(self, module):
+        """Static robustness of ``module``, reusing the conflict graph.
+
+        The optimizer mutates one module in place (orders change,
+        fences are deleted, but no access appears or disappears), so
+        the analyzer's order-independent conflict graph stays valid
+        across queries; only the cheap program-order dataflow reruns.
+        """
+        from repro.analysis.robustness import RobustnessAnalyzer
+
+        self.robustness_checks += 1
+        if self.model == "sc":
+            return True
+        if self._analyzer is None or self._analyzer.module is not module:
+            self._analyzer = RobustnessAnalyzer(module, model=self.model)
+        return self._analyzer.analyze(max_witnesses=1).robust
+
+    def _is_robust_text(self, text):
+        from repro.analysis.robustness import analyze_robustness
+        from repro.ir.parser import parse_module
+
+        self.robustness_checks += 1
+        if self.model == "sc":
+            return True
+        return analyze_robustness(
+            parse_module(text), model=self.model, max_witnesses=1
+        ).robust
+
     # -- plumbing ----------------------------------------------------------
 
     def _check(self, module, max_states):
@@ -139,9 +202,24 @@ class Oracle:
     def _remember(self, key, outcome):
         self._verdicts[key] = outcome
 
-    @staticmethod
-    def _digest(text):
-        return hashlib.blake2b(text.encode(), digest_size=16).digest()
+    def _digest(self, text):
+        """Cache key: configuration prefix + printed IR.
+
+        The prefix keys the verdict on everything that can change it —
+        model, entry point, and exploration bounds — so a shared or
+        on-disk cache can never alias verdicts across configurations.
+        The budget component is the *configured* ``max_states`` ceiling,
+        not the per-call adaptive budget: the adaptive budget is itself
+        a function of (module, config), so including it would only
+        split the cache without adding discrimination.
+        """
+        prefix = (
+            f"{self.model}|{self.entry}|{self.max_steps}|"
+            f"{self.max_states}|{int(self.reduce)}|"
+        )
+        return hashlib.blake2b(
+            prefix.encode() + text.encode(), digest_size=16
+        ).digest()
 
     def counters(self):
         return {
@@ -150,4 +228,9 @@ class Oracle:
             "states_total": self.states_total,
             "parallel_probes": self.parallel_probes,
             "budget": self.budget,
+            "robustness_checks": self.robustness_checks,
+            "robustness_hits": self.robustness_hits,
+            "robustness_states_saved":
+                self.robustness_hits * self.baseline_states,
+            "baseline_robust": self.baseline_robust,
         }

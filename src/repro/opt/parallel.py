@@ -36,6 +36,8 @@ class OptimizeTask:
     is_ir: bool = False
     #: Consider unmarked SC accesses too (hand-written modules).
     require_marks: bool = True
+    #: Enable the oracle's static robustness fast path.
+    robustness: bool = True
 
 
 def run_optimize_task(task):
@@ -62,6 +64,7 @@ def run_optimize_task(task):
         module, model=task.model, entry=task.entry,
         max_steps=task.max_steps, max_states=task.max_states,
         require_marks=task.require_marks, clone=False,
+        robustness=task.robustness,
     )
     return report.to_dict()
 

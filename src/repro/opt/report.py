@@ -40,6 +40,13 @@ class OptimizationReport:
     cache_hits: int = 0
     oracle_states: int = 0
     parallel_probes: int = 0
+    #: Robustness fast path: queries answered statically vs. attempted,
+    #: exploration states those hits avoided, and whether the baseline
+    #: itself was provably robust (the fast path's precondition).
+    robustness_checks: int = 0
+    robustness_hits: int = 0
+    robustness_states_saved: int = 0
+    baseline_robust: bool = False
     #: Module-level cost estimates (repro.vm.costs.CostEstimate dicts).
     cost_before: dict = field(default_factory=dict)
     cost_after: dict = field(default_factory=dict)
@@ -83,6 +90,10 @@ class OptimizationReport:
             "cache_hits": self.cache_hits,
             "oracle_states": self.oracle_states,
             "parallel_probes": self.parallel_probes,
+            "robustness_checks": self.robustness_checks,
+            "robustness_hits": self.robustness_hits,
+            "robustness_states_saved": self.robustness_states_saved,
+            "baseline_robust": self.baseline_robust,
             "cost_before": dict(self.cost_before),
             "cost_after": dict(self.cost_after),
             "barrier_cost_before": self.barrier_cost_before,
@@ -105,7 +116,8 @@ class OptimizationReport:
             f"barrier cost {self.barrier_cost_before} -> "
             f"{self.barrier_cost_after} (-{saved_pct:.0f}%), "
             f"{self.checks_run} oracle checks "
-            f"({self.cache_hits} cached), verdict "
+            f"({self.cache_hits} cached, {self.robustness_hits} "
+            f"robust fast path), verdict "
             f"{self.baseline_outcome}"
             + ("" if self.verdict_preserved else
                f" -> {self.final_outcome} [NOT PRESERVED]")

@@ -44,7 +44,8 @@ from repro.vm.costs import CostModel, estimate_cost
 
 def optimize_module(module, model="wmm", entry="main", max_steps=2500,
                     max_states=400_000, jobs=1, cost_model=None,
-                    counts=None, require_marks=True, clone=True):
+                    counts=None, require_marks=True, clone=True,
+                    robustness=True):
     """Weaken ``module``'s barriers as far as the oracle certifies.
 
     Returns ``(optimized_module, OptimizationReport)``.  The input
@@ -57,7 +58,8 @@ def optimize_module(module, model="wmm", entry="main", max_steps=2500,
     static cost model decides.  ``jobs > 1`` fans bisection probes
     across the :mod:`repro.mc.parallel` pool.  ``require_marks=False``
     also considers SC accesses without porter provenance marks (for
-    hand-written modules).
+    hand-written modules).  ``robustness=False`` disables the oracle's
+    static fast path (every query explores).
     """
     started = time.perf_counter()
     work = module.clone() if clone else module
@@ -76,7 +78,7 @@ def optimize_module(module, model="wmm", entry="main", max_steps=2500,
 
     oracle = Oracle(
         model=model, entry=entry, max_steps=max_steps,
-        max_states=max_states, jobs=jobs,
+        max_states=max_states, jobs=jobs, robustness=robustness,
     )
     baseline = oracle.establish(work)
     report.baseline_outcome = baseline.outcome
@@ -244,3 +246,7 @@ def _fill_counters(report, oracle):
     report.cache_hits = counters["cache_hits"]
     report.oracle_states = counters["states_total"]
     report.parallel_probes = counters["parallel_probes"]
+    report.robustness_checks = counters["robustness_checks"]
+    report.robustness_hits = counters["robustness_hits"]
+    report.robustness_states_saved = counters["robustness_states_saved"]
+    report.baseline_robust = counters["baseline_robust"]

@@ -1,0 +1,322 @@
+"""Tests for the static robustness analysis (critical cycles).
+
+Covers the litmus gallery (relaxed variants must be non-robust with a
+plausible critical cycle; minimal and fully-fenced variants must be
+robust), the order-aware safe-lock pruning, the dead-fence lint, and
+the agreement between the static verdict and the model checker.
+"""
+
+import pytest
+
+from repro.analysis.robustness import (
+    RobustnessAnalyzer,
+    analyze_robustness,
+    find_dead_fences,
+)
+from repro.api import check_module, compile_source, port_module
+from repro.core.config import PortingLevel
+from repro.mc.litmus import (
+    LITMUS_TESTS,
+    WEAKENED_LITMUS,
+    expected_verdict,
+    run_litmus,
+    weakened_source,
+)
+
+
+def _weakened_module(name, overrides=None):
+    return compile_source(weakened_source(name, overrides), name)
+
+
+def _litmus_module(name):
+    source, _expected = LITMUS_TESTS[name]
+    return compile_source(source, name)
+
+
+# -- litmus gallery: relaxed variants are non-robust -----------------------
+
+
+@pytest.mark.parametrize(
+    "name,label",
+    [
+        (name, label)
+        for name, (_t, _m, too_weak) in sorted(WEAKENED_LITMUS.items())
+        for label in sorted(too_weak)
+    ],
+)
+def test_too_weak_litmus_is_non_robust(name, label):
+    _template, _minimal, too_weak = WEAKENED_LITMUS[name]
+    module = _weakened_module(name, too_weak[label])
+    result = analyze_robustness(module, model="wmm")
+    assert not result.robust
+    assert result.witnesses
+    assert result.delayable_pairs > 0
+
+
+@pytest.mark.parametrize("name", sorted(WEAKENED_LITMUS))
+def test_minimal_orders_are_robust(name):
+    result = analyze_robustness(_weakened_module(name), model="wmm")
+    assert result.robust, result.render()
+    assert not result.witnesses
+
+
+@pytest.mark.parametrize("name", sorted(WEAKENED_LITMUS))
+def test_fully_fenced_litmus_is_robust(name):
+    _template, minimal, _too_weak = WEAKENED_LITMUS[name]
+    sc_orders = {slot: "memory_order_seq_cst" for slot in minimal}
+    result = analyze_robustness(
+        _weakened_module(name, sc_orders), model="wmm"
+    )
+    assert result.robust, result.render()
+
+
+def test_relaxed_mp_witness_names_both_locations():
+    module = _weakened_module(
+        "MP",
+        {"w_flag": "memory_order_relaxed",
+         "r_flag": "memory_order_relaxed"},
+    )
+    result = analyze_robustness(module, model="wmm")
+    assert not result.robust
+    witness = result.witnesses[0]
+    # The delayable pair and the cycle carry per-access provenance.
+    assert len(witness.delay) == 2
+    for prov in witness.delay:
+        assert {"function", "block", "index", "instr", "order"} <= set(prov)
+    kinds = [edge["kind"] for edge in witness.edges]
+    assert kinds[0] == "po-delay"
+    assert kinds[-1] == "conflict"
+    text = witness.describe()
+    assert "data" in text and "flag" in text
+
+
+def test_relaxed_iriw_is_non_robust_with_single_access_writers():
+    # IRIW's writer threads contribute one access each: the cycle has
+    # consecutive conflict edges, which minimal-cycle enumeration must
+    # allow.
+    _template, _minimal, too_weak = WEAKENED_LITMUS["IRIW"]
+    module = _weakened_module("IRIW", too_weak["reader-relaxed"])
+    result = analyze_robustness(module, model="wmm")
+    assert not result.robust
+
+
+# -- classic litmus tests: hard expectations per model ---------------------
+
+
+@pytest.mark.parametrize(
+    "name,model,robust",
+    [
+        ("SB", "tso", False),
+        ("SB", "wmm", False),
+        ("MP", "tso", True),       # TSO only delays store->load
+        ("MP", "wmm", False),
+        ("MP+atomics", "wmm", True),
+        ("MP+fences", "wmm", True),
+        ("SB+atomics", "wmm", True),
+        ("CAS-overtake", "tso", True),   # RMW drains the TSO buffer
+        ("CAS-overtake", "wmm", False),  # relaxed CAS halves may split
+    ],
+)
+def test_litmus_classification(name, model, robust):
+    result = analyze_robustness(_litmus_module(name), model=model)
+    assert result.robust == robust, result.render()
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+@pytest.mark.parametrize("model", ["tso", "wmm"])
+def test_litmus_robustness_is_sound(name, model):
+    """Robust => the model's verdict equals the SC verdict."""
+    result = analyze_robustness(_litmus_module(name), model=model)
+    if result.robust:
+        assert expected_verdict(name, model) == expected_verdict(name, "sc")
+
+
+def test_sc_is_always_robust():
+    result = analyze_robustness(_litmus_module("SB"), model="sc")
+    assert result.robust
+    assert result.nodes == 0
+
+
+# -- safe-lock pruning -----------------------------------------------------
+
+TAS_SPINLOCK = """
+int lock = 0;
+int shared_data = 0;
+
+void worker() {
+    while (atomic_cmpxchg(&lock, 0, 1) != 0) { }
+    shared_data = shared_data + 1;
+    lock = 0;
+}
+
+void thread_fn() {
+    worker();
+}
+
+int main() {
+    int t = thread_create(thread_fn);
+    worker();
+    thread_join(t);
+    assert(shared_data == 2);
+    return 0;
+}
+"""
+
+
+def test_unfenced_spinlock_is_non_robust_under_wmm():
+    # The plain unlock store does not release: the lock word is not a
+    # *safe* lock, so critical-section conflicts must stay in the graph.
+    module = compile_source(TAS_SPINLOCK, "tas")
+    result = analyze_robustness(module, model="wmm")
+    assert not result.robust
+    # ... and exploration agrees that this module misbehaves.
+    assert not check_module(module, model="wmm", max_steps=2500).ok
+
+
+def test_ported_spinlock_is_robust_via_safe_lock_pruning():
+    module = compile_source(TAS_SPINLOCK, "tas")
+    ported, _report = port_module(module, PortingLevel.ATOMIG)
+    result = analyze_robustness(ported, model="wmm")
+    assert result.robust, result.render()
+    assert any("lock" in note for note in result.notes)
+    assert check_module(ported, model="wmm", max_steps=2500).ok
+
+
+def test_pruning_is_per_query_not_destructive():
+    # The same analyzer instance must answer tso and a fresh wmm
+    # analyzer identically after a wmm query pruned edges in its view.
+    module = compile_source(TAS_SPINLOCK, "tas")
+    analyzer = RobustnessAnalyzer(module, model="wmm")
+    first = analyzer.analyze()
+    second = analyzer.analyze()
+    assert first.robust == second.robust
+    assert first.conflict_edges == second.conflict_edges
+
+
+# -- analyze() witness quota -----------------------------------------------
+
+
+def test_zero_witness_quota_still_detects_non_robustness():
+    module = _weakened_module(
+        "MP",
+        {"w_flag": "memory_order_relaxed",
+         "r_flag": "memory_order_relaxed"},
+    )
+    result = analyze_robustness(module, model="wmm", max_witnesses=0)
+    assert not result.robust
+    assert result.witnesses == []
+
+
+def test_witness_quota_caps_storage():
+    module = compile_source(TAS_SPINLOCK, "tas")
+    result = analyze_robustness(module, model="wmm", max_witnesses=1)
+    assert not result.robust
+    assert len(result.witnesses) == 1
+
+
+# -- result plumbing -------------------------------------------------------
+
+
+def test_result_to_dict_and_render():
+    result = analyze_robustness(_litmus_module("MP"), model="wmm")
+    payload = result.to_dict()
+    assert payload["module"] == "MP"
+    assert payload["model"] == "wmm"
+    assert payload["robust"] is False
+    assert payload["witnesses"]
+    assert all(
+        {"delay", "edges"} <= set(w) for w in payload["witnesses"]
+    )
+    text = result.render()
+    assert "NON-ROBUST" in text
+    assert "critical cycle 1" in text
+
+
+# -- checker pre-pass ------------------------------------------------------
+
+
+def test_check_module_fast_path_skips_exploration():
+    module = _litmus_module("MP+atomics")
+    result = check_module(module, model="wmm", robustness=True)
+    assert result.ok
+    assert result.verdict_source == "robustness"
+    assert result.states_explored == 0
+
+
+def test_check_module_fast_path_agrees_with_exploration():
+    module = _litmus_module("MP+atomics")
+    fast = check_module(module, model="wmm", robustness=True)
+    slow = check_module(module, model="wmm", robustness=False)
+    assert slow.verdict_source == "exploration"
+    assert fast.ok == slow.ok
+    assert fast.outcome == slow.outcome
+
+
+def test_check_module_falls_back_for_non_robust_modules():
+    module = _litmus_module("MP")
+    result = check_module(module, model="wmm", robustness=True)
+    assert result.verdict_source == "exploration"
+    assert not result.ok  # MP misbehaves under the WMM
+
+
+# -- dead-fence lint -------------------------------------------------------
+
+DEAD_FENCE_EXAMPLE = """
+int data = 0;
+int flag = 0;
+
+void producer() {
+    atomic_thread_fence(memory_order_seq_cst);
+    data = 1;
+    atomic_thread_fence(memory_order_seq_cst);
+    flag = 1;
+    atomic_thread_fence(memory_order_seq_cst);
+}
+
+int main() {
+    int t = thread_create(producer);
+    int f = flag;
+    atomic_thread_fence(memory_order_seq_cst);
+    int d = data;
+    assert(f == 0 || d == 1);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def test_dead_fence_lint_flags_edge_fences_only():
+    module = compile_source(DEAD_FENCE_EXAMPLE, "fences")
+    findings = find_dead_fences(module)
+    # Leading fence (nothing shared before it) and trailing fence
+    # (nothing shared after it) are dead; the two middle fences order
+    # real pairs and must not be flagged.
+    assert len(findings) == 2
+    reasons = sorted(f["reason"] for f in findings)
+    assert reasons == [
+        "no shared access after it on any path",
+        "no shared access before it on any path",
+    ]
+    for finding in findings:
+        assert {"function", "block", "index", "order", "reason"} <= set(
+            finding
+        )
+
+
+def test_live_fences_are_not_flagged():
+    source, _expected = LITMUS_TESTS["MP+fences"]
+    module = compile_source(source, "mp_fences")
+    assert find_dead_fences(module) == []
+
+
+def test_lint_report_carries_dead_fences():
+    from repro.api import lint_module
+    from repro.core.report import LINT_SCHEMA_VERSION
+
+    module = compile_source(DEAD_FENCE_EXAMPLE, "fences")
+    report = lint_module(module)
+    payload = report.to_dict()
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION == 3
+    assert len(payload["dead_fences"]) == 2
+    assert "dead fences" in report.summary()
+    assert "[dead-fence]" in report.render()
