@@ -12,10 +12,14 @@ Two regimes:
   cache warmed, i.e. the steady state of a CI run that executes the
   harness repeatedly over an unchanged corpus.
 
-The ≥3x wall-clock gate is asserted only on machines with at least
-``JOBS`` CPUs (GitHub's ubuntu-latest runners have 4): on fewer cores a
-process pool cannot beat the serial loop, so single-core boxes record
-the measured numbers in BENCH_port.json without enforcing the floor.
+The wall-clock gate is asserted on any multi-core machine
+(``os.cpu_count() >= 2``): the persistent pool + caches must deliver
+>1.5x at ``jobs=4`` with even two cores, and ≥3x on a ≥4-core box
+(GitHub's ubuntu-latest runners have 4).  Single-core boxes cannot beat
+the serial loop with a process pool, so they record the measured
+numbers in BENCH_port.json with ``gate_enforced: false`` and skip the
+assertion — the JSON field always tells the truth about whether the
+floor was applied, and which floor.
 
 Bit-identity is checked on the Table 2 + alias corpus: the printed IR
 of every port produced through the process pool must equal the printed
@@ -39,8 +43,30 @@ from repro.ir.printer import print_module
 
 SCALE = 100
 JOBS = 4
-SPEEDUP_FLOOR = 3.0
+#: Gate applies on any multi-core machine ...
+MIN_CPUS = 2
+#: ... at this floor; a full ``JOBS``-core machine must clear the
+#: stretch floor instead.
+SPEEDUP_FLOOR = 1.5
+SPEEDUP_STRETCH = 3.0
 IDENTITY_CORPUS = TABLE2_BENCHMARKS + ALIAS_BENCHMARKS
+
+
+def _active_floor():
+    """(floor, enforced) for this machine — recorded verbatim in JSON."""
+    cpus = os.cpu_count() or 1
+    if cpus >= JOBS:
+        return SPEEDUP_STRETCH, True
+    if cpus >= MIN_CPUS:
+        return SPEEDUP_FLOOR, True
+    return SPEEDUP_FLOOR, False
+
+
+def _speedup(serial_seconds, parallel_seconds):
+    """Wall-clock ratio with a near-zero guard (timer-resolution runs)."""
+    if parallel_seconds < 1e-6:
+        return 0.0
+    return serial_seconds / parallel_seconds
 
 #: Columns that must be identical between the serial and parallel
 #: harness paths (everything except wall-clock noise).
@@ -144,37 +170,47 @@ def test_profile_attached(serial_run):
 
 
 def test_parallel_speedup(serial_run, parallel_run):
-    """The headline gate: >=3x at jobs=4 on a >=4-core machine."""
+    """The headline gate: >1.5x at jobs=4 on any multi-core machine
+    (>=3x on a full 4-core box)."""
     _rows, serial_seconds = serial_run
     _prows, parallel_seconds = parallel_run
-    speedup = serial_seconds / max(parallel_seconds, 1e-9)
-    if (os.cpu_count() or 1) < JOBS:
+    speedup = _speedup(serial_seconds, parallel_seconds)
+    floor, enforced = _active_floor()
+    if not enforced:
         pytest.skip(
-            f"{os.cpu_count()} CPU(s) < {JOBS}: a process pool cannot "
-            f"beat the serial loop here (measured {speedup:.2f}x; "
-            "recorded in BENCH_port.json, gate enforced on >=4-core CI)"
+            f"{os.cpu_count()} CPU(s) < {MIN_CPUS}: a process pool "
+            f"cannot beat the serial loop here (measured {speedup:.2f}x; "
+            "recorded in BENCH_port.json with gate_enforced=false)"
         )
-    assert speedup >= SPEEDUP_FLOOR, (
+    assert speedup >= floor, (
         f"table3 scale={SCALE} jobs={JOBS}: serial {serial_seconds:.2f}s, "
         f"parallel {parallel_seconds:.2f}s -> {speedup:.2f}x "
-        f"< {SPEEDUP_FLOOR}x"
+        f"< {floor}x on {os.cpu_count()} CPUs"
     )
 
 
 def test_bench_port_json_regenerated(serial_run, parallel_run,
                                      identity_results, results_dir):
+    from repro.core.workers import pool_stats
+
     serial_rows, serial_seconds = serial_run
     parallel_rows, parallel_seconds = parallel_run
-    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    speedup = _speedup(serial_seconds, parallel_seconds)
+    floor, enforced = _active_floor()
     payload = {
         "scale": SCALE,
         "jobs": JOBS,
         "cpu_count": os.cpu_count(),
-        "speedup_floor": SPEEDUP_FLOOR,
-        "gate_enforced": (os.cpu_count() or 1) >= JOBS,
+        "min_cpus": MIN_CPUS,
+        "speedup_floor": floor,
+        "gate_enforced": enforced,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "speedup": speedup,
+        # Per-worker busy time from the persistent pools: shows skew
+        # (one worker stuck on a lumpy port) that aggregate wall
+        # seconds hide.
+        "pools": pool_stats(),
         "bit_identical": {
             f"{name}:{level}": (
                 texts["serial"] == texts["inline"]

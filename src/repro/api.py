@@ -63,7 +63,7 @@ def port_module(module, level=PortingLevel.ATOMIG, config=None,
 
 
 def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000,
-                 reduce=True, robustness=False):
+                 reduce=True, robustness=False, engine=None):
     """Exhaustively model-check ``module`` starting from ``main``.
 
     ``model`` is ``"sc"``, ``"tso"`` or ``"wmm"``.  Returns a
@@ -72,13 +72,16 @@ def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000,
     ``reduce=False`` turns off the partial-order reduction and explores
     every interleaving (slow; used as the oracle in perf tests).
     ``robustness=True`` tries the static critical-cycle pre-pass first
-    and skips exploration for provably robust modules.
+    and skips exploration for provably robust modules.  ``engine``
+    selects the exploration engine (``"inplace"``/``"clone"``); the
+    default is the explorer's (the fast in-place engine).
     """
     from repro.mc.explorer import check_module as _check
 
+    kwargs = {} if engine is None else {"engine": engine}
     return _check(module, model=model, max_steps=max_steps,
                   max_states=max_states, reduce=reduce,
-                  robustness=robustness)
+                  robustness=robustness, **kwargs)
 
 
 def lint_module(module, name_heuristic=True):

@@ -201,7 +201,7 @@ def _check_results(args):
                 level=None if args.level == "original" else args.level,
                 max_steps=args.max_steps, reduce=reduce,
                 config=_build_config(args), is_ir=args.file.endswith(".ir"),
-                robustness=args.robustness,
+                robustness=args.robustness, engine=args.engine,
             )
             for model in args.models
         ]
@@ -211,10 +211,11 @@ def _check_results(args):
         module, _report = port_module(
             module, _LEVELS[args.level], config=_build_config(args)
         )
+    engine_kwargs = {} if args.engine is None else {"engine": args.engine}
     return (
         (model, check_module(
             module, model=model, max_steps=args.max_steps, reduce=reduce,
-            robustness=args.robustness,
+            robustness=args.robustness, **engine_kwargs,
         ))
         for model in args.models
     )
@@ -602,6 +603,13 @@ def build_parser():
                        action=argparse.BooleanOptionalAction,
                        help="skip exploration for statically robust "
                             "modules (--no-robustness always explores)")
+    check.add_argument("--engine", default=None,
+                       choices=["inplace", "clone"],
+                       help="exploration engine: 'inplace' (undo-log "
+                            "DFS, the fast default) or 'clone' (the "
+                            "reference copy-per-transition engine); "
+                            "verdicts and state counts are identical "
+                            "by construction")
     _add_level_arg(check)
     _add_config_args(check)
     check.set_defaults(func=cmd_check)

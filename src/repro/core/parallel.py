@@ -125,20 +125,21 @@ def run_port_tasks(tasks, jobs=None):
     """Run a batch of port tasks; results align with the input order.
 
     ``jobs=None`` or ``jobs<=1`` runs sequentially in-process.  Larger
-    values use a ``fork`` pool when the platform has it (cheap, shares
-    the warmed-up interpreter) and fall back to ``spawn`` otherwise.
+    values use the persistent pool for that worker count
+    (:func:`repro.core.workers.get_pool`): forked once per process
+    lifetime and reused across batches, so a sweep that ports every
+    application at every level pays pool setup exactly once, and
+    per-worker busy time lands in the pool's ``worker_stats`` (surfaced
+    by the BENCH_port harness).
+
+    ``chunksize=1``: tasks are few and lumpy (a mariadb-sized port must
+    not strand a prefetched batch of small ones behind it).
     """
     tasks = list(tasks)
     if jobs is None or jobs <= 1 or len(tasks) <= 1:
         return [run_port_task(task) for task in tasks]
 
-    import multiprocessing
+    from repro.core.workers import get_pool
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork (e.g. Windows)
-        context = multiprocessing.get_context("spawn")
-    # chunksize=1: tasks are few and lumpy (a mariadb-sized port must
-    # not strand a prefetched batch of small ones behind it).
-    with context.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(run_port_task, tasks, chunksize=1)
+    pool = get_pool(jobs)
+    return pool.map(run_port_task, tasks, chunksize=1)

@@ -1,0 +1,207 @@
+"""Persistent worker pools with seeded module caches (DESIGN.md §6f).
+
+The batch harnesses (:mod:`repro.mc.parallel`, :mod:`repro.core.parallel`,
+the optimizer's bisection probes) used to build a fresh
+``multiprocessing.Pool`` per call: the Oracle's half-probing pays pool
+setup for every bisection round, and every worker recompiles sources it
+has already seen.  This module replaces that with three mechanisms:
+
+- **Persistent pools.**  :func:`get_pool` keeps one pool per worker
+  count alive for the whole process (closed via ``atexit``), so a
+  bisection loop that probes dozens of batches forks exactly once.
+- **Worker-side module caches.**  :func:`cached_module` memoizes
+  compiled/parsed modules by source digest inside each worker (and in
+  the serial in-process path).  Pools can additionally be *seeded*:
+  the initializer pre-compiles a list of sources once per worker, so a
+  sweep that checks the same program under ``sc``/``tso``/``wmm``
+  compiles it once, not once per (model, task).  Cache hits hand out
+  ``Module.clone()`` copies — the porting pipeline may mutate its
+  input, so the cached master is never exposed.
+- **Interned location keys + per-worker timing.**  Seeding interns the
+  module's global/function name strings (the location keys every
+  report row repeats), and every task runs through a timing wrapper;
+  :attr:`WorkerPool.worker_stats` maps worker pid to cumulative busy
+  seconds and task count, making pool skew visible to the perf
+  harnesses (``BENCH_port.json``).
+
+The serial path (``jobs`` unset or 1) never touches multiprocessing:
+callers fall back to a plain in-process loop that still benefits from
+:func:`cached_module`.
+"""
+
+import atexit
+import hashlib
+import os
+import sys
+import time
+from functools import partial
+
+# -- worker-side state (one copy per worker process) ------------------------
+
+#: Sources the pool initializer compiled: digest -> master module.
+#: Never evicted — seeds are few and chosen by the caller.
+_SEEDED = {}
+#: Opportunistic memo for sources first seen inside a task.  Bounded:
+#: a long bisection streams thousands of one-shot variants through a
+#: worker, and caching them all would only grow memory.
+_MEMO = {}
+_MEMO_LIMIT = 128
+
+
+def _source_key(source, is_ir):
+    tag = b"ir|" if is_ir else b"c|"
+    return hashlib.blake2b(tag + source.encode(), digest_size=16).digest()
+
+
+def _compile(source, name, is_ir):
+    if is_ir:
+        from repro.ir.parser import parse_module
+
+        return parse_module(source)
+    from repro.api import compile_source
+
+    return compile_source(source, name)
+
+
+def _intern_location_keys(module):
+    """Intern the name strings repeated in every result row.
+
+    Global and function names are the "location keys" that reports,
+    access sets and barrier tables key on; interning them once per
+    worker makes every later comparison a pointer check and dedups the
+    copies a pickled result would otherwise carry.
+    """
+    for name in list(module.globals):
+        sys.intern(name)
+    for name in list(module.functions):
+        sys.intern(name)
+
+
+def seed_worker(seeds):
+    """Pool initializer: pre-compile ``(name, source, is_ir)`` triples."""
+    for name, source, is_ir in seeds:
+        key = _source_key(source, is_ir)
+        if key not in _SEEDED:
+            module = _compile(source, name, is_ir)
+            _intern_location_keys(module)
+            _SEEDED[key] = module
+
+
+def cached_module(source, name, is_ir=False):
+    """A private module for ``source``: cloned from this worker's cache.
+
+    Misses compile (or parse) and memoize; hits — seeded or memoized —
+    return ``Module.clone()`` so callers may mutate freely.
+    """
+    key = _source_key(source, is_ir)
+    master = _SEEDED.get(key)
+    if master is None:
+        master = _MEMO.get(key)
+    if master is None:
+        master = _compile(source, name, is_ir)
+        _intern_location_keys(master)
+        if len(_MEMO) >= _MEMO_LIMIT:
+            _MEMO.clear()
+        _MEMO[key] = master
+    return master.clone()
+
+
+def timed_call(worker, task):
+    """Run one task, tagging the result with (pid, busy seconds)."""
+    started = time.perf_counter()
+    result = worker(task)
+    return (os.getpid(), time.perf_counter() - started, result)
+
+
+# -- the pool ---------------------------------------------------------------
+
+
+class WorkerPool:
+    """A persistent process pool with per-worker accounting."""
+
+    def __init__(self, jobs, seeds=()):
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork (e.g. Windows)
+            context = multiprocessing.get_context("spawn")
+        self.jobs = jobs
+        self._pool = context.Pool(
+            processes=jobs, initializer=seed_worker,
+            initargs=(tuple(seeds),),
+        )
+        #: pid -> {"tasks": int, "busy_seconds": float}
+        self.worker_stats = {}
+        self.batches = 0
+
+    def map(self, worker, tasks, chunksize=None):
+        """Run ``tasks`` through ``worker``; results keep input order.
+
+        ``chunksize=None`` shards the batch into ~4 chunks per worker —
+        large enough to amortize IPC, small enough that one slow shard
+        cannot strand a quarter of the batch.  Lumpy batches (a
+        mariadb-sized port among litmus rows) should pass
+        ``chunksize=1`` explicitly.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (self.jobs * 4))
+        rows = self._pool.map(
+            partial(timed_call, worker), tasks, chunksize=chunksize
+        )
+        self.batches += 1
+        results = []
+        for pid, busy, result in rows:
+            stats = self.worker_stats.setdefault(
+                pid, {"tasks": 0, "busy_seconds": 0.0}
+            )
+            stats["tasks"] += 1
+            stats["busy_seconds"] += busy
+            results.append(result)
+        return results
+
+    def close(self):
+        self._pool.close()
+        self._pool.join()
+
+
+# -- persistent registry ----------------------------------------------------
+
+_POOLS = {}
+
+
+def get_pool(jobs, seeds=()):
+    """The process-wide pool for ``jobs`` workers, created on first use.
+
+    ``seeds`` only takes effect when this call creates the pool; later
+    callers share the existing workers (their own sources still get
+    memoized on first use via :func:`cached_module`).
+    """
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = _POOLS[jobs] = WorkerPool(jobs, seeds=seeds)
+    return pool
+
+
+def pool_stats():
+    """{jobs: {"batches": n, "workers": worker_stats}} for live pools."""
+    return {
+        jobs: {"batches": pool.batches, "workers": pool.worker_stats}
+        for jobs, pool in _POOLS.items()
+    }
+
+
+def shutdown_pools():
+    """Close every persistent pool (registered with ``atexit``)."""
+    for pool in _POOLS.values():
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

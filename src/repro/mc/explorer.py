@@ -20,14 +20,36 @@ Python ``hash()``, whose 64-bit collisions could silently prune an
 unexplored state and mask a violation).  A stuck state with no enabled
 actions and unfinished threads is reported as a *deadlock* outcome with
 its trace; bound hits still mark the result *truncated*.
+
+Two engines drive the same traversal (DESIGN.md §6f):
+
+- ``engine="inplace"`` (default): mutates **one** ``State`` under the
+  undo-log journal (:mod:`repro.mc.undo`), reverting between siblings,
+  and dedups on the incremental digest (:mod:`repro.mc.encode`) — no
+  per-transition ``clone()`` and no full-state re-serialization.
+- ``engine="clone"``: the legacy path — clone per transition, digest
+  via ``State.canonical()`` + ``repr`` + BLAKE2.  Kept as the A/B
+  oracle for bisecting engine regressions (``atomig check --engine``).
+
+Both engines visit the same states in the same order and report
+identical verdicts, ``states_explored`` and stats (the property suite
+and ``tests/mc/test_engines.py`` enforce this); only wall time and the
+internal digest values differ.  Set ``ATOMIG_DIGEST_CHECK=1`` to make
+the in-place engine verify every incremental digest against a
+from-scratch recomputation.
 """
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass, field
 
+from repro.mc.encode import state_digest, state_digest_fresh
 from repro.mc.machine import Context, FINISHED, LIMIT, Machine, is_pending
 from repro.mc.models import get_model
+from repro.mc.undo import revert
+
+ENGINES = ("inplace", "clone")
 
 
 @dataclass
@@ -58,7 +80,9 @@ class ExplorationStats:
 
     @property
     def states_per_second(self):
-        if self.wall_seconds <= 0:
+        # Sub-microsecond walls are timer noise: a rate computed from
+        # them is garbage (or inf), so report "not measurable" instead.
+        if self.wall_seconds < 1e-6:
             return 0.0
         return self.states_visited / self.wall_seconds
 
@@ -153,6 +177,8 @@ def _digest(canonical):
 
     The canonical form is a nesting of tuples over ints, strings and
     None, for which ``repr`` is a stable, injective serialization.
+    Used by the clone engine; the in-place engine dedups on the
+    incremental :func:`repro.mc.encode.state_digest` instead.
     """
     return hashlib.blake2b(repr(canonical).encode(), digest_size=16).digest()
 
@@ -184,8 +210,9 @@ def _action_key(state, action):
         if earlier.kind == entry.kind and earlier.addr == entry.addr
     )
     pristine = not (
-        is_pending(entry.value) or is_pending(entry.rmw_operand)
-        or is_pending(entry.rmw_expected) or is_pending(entry.rmw_desired)
+        type(entry.value) is tuple or type(entry.rmw_operand) is tuple
+        or type(entry.rmw_expected) is tuple
+        or type(entry.rmw_desired) is tuple
     )
     return ("c", tid, entry.kind, entry.addr, rank, pristine)
 
@@ -218,7 +245,8 @@ def _independent(key_a, key_b):
 
 
 def check_module(module, model="wmm", entry="main", max_steps=2500,
-                 max_states=2_000_000, reduce=True, robustness=False):
+                 max_states=2_000_000, reduce=True, robustness=False,
+                 engine="inplace"):
     """Exhaustively check all executions of ``module`` from ``entry``.
 
     Returns the first assertion violation found (depth-first order) or
@@ -234,7 +262,14 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
     check returns ``ok`` immediately with zero explored states and
     ``verdict_source="robustness"``.  Non-robust modules fall back to
     full exploration.
+
+    ``engine`` selects the exploration substrate: ``"inplace"`` (the
+    fast undo-log engine, default) or ``"clone"`` (the legacy
+    clone-per-transition path).  Both produce identical verdicts and
+    state counts.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (use one of {ENGINES})")
     if robustness and model in ("tso", "wmm"):
         from repro.analysis.robustness import analyze_robustness
 
@@ -258,17 +293,20 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
     stats = ExplorationStats()
     result.stats = stats
     started = time.perf_counter()
+    explore = _explore_clone if engine == "clone" else _explore_inplace
+    explore(machine, result, stats, reduce, max_states)
+    stats.wall_seconds = time.perf_counter() - started
+    stats.states_explored = result.states_explored
+    return result
 
-    def finish():
-        stats.wall_seconds = time.perf_counter() - started
-        stats.states_explored = result.states_explored
-        return result
 
+def _explore_clone(machine, result, stats, reduce, max_states):
+    """Legacy engine: clone the full state per transition (A/B oracle)."""
     try:
         initial = machine.initial_state()
     except Exception as error:  # setup errors are violations too
         result.violation = f"initialization failed: {error}"
-        return finish()
+        return
 
     stack = [(initial, frozenset())]
     visited = {}  # digest -> sleep set the state was explored under
@@ -280,7 +318,7 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
             if state.violation is not None:
                 result.violation = state.violation
                 result.trace = state.trace_list()
-                return finish()
+                return
             key = _digest(state.canonical())
             stored = visited.get(key)
             revisit = stored is not None
@@ -301,7 +339,7 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
                 if stats.states_visited >= max_states:
                     result.truncated = True
                     result.notes.append("state budget exhausted")
-                    return finish()
+                    return
 
             if any(t.status == LIMIT for t in state.threads.values()):
                 result.truncated = True
@@ -453,7 +491,236 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
                 machine.apply_action(successor, action)
                 stack.append((successor, frozenset()))
             break
-    return finish()
+
+
+def _explore_inplace(machine, result, stats, reduce, max_states):
+    """Fast engine: one mutable state, undo-log reverts, incremental
+    digests.
+
+    The traversal is move-for-move identical to :func:`_explore_clone`;
+    only the substrate differs.  The DFS stack holds *descriptors*
+    ``(mark, action, sleep, digest)``: popping one reverts the journal
+    to ``mark`` (restoring the parent state bit-identically, caches
+    included) and applies ``action``.  Child probing applies, digests
+    and reverts each candidate; the probe digest rides along in the
+    descriptor (replaying a deterministic action from a bit-identical
+    parent reproduces it), so a popped child is never digested twice.
+    The descriptor of a child whose mutations are still applied when it
+    is popped carries ``action=None`` and its own post-apply mark, so
+    the deepest-first child never pays a revert + re-apply either.
+    Nothing is reverted at subtree exits — every pop starts by
+    reverting to its own mark, which unwinds whatever the previous
+    subtree left behind.
+    """
+    interner = machine.ctx.interner
+    digest_check = bool(os.environ.get("ATOMIG_DIGEST_CHECK"))
+    try:
+        state = machine.initial_state()
+    except Exception as error:  # setup errors are violations too
+        result.violation = f"initialization failed: {error}"
+        return
+
+    journal = machine.journal = []
+    stack = [(0, None, frozenset(), None)]
+    visited = {}  # digest -> sleep set the state was explored under
+    while stack:
+        if len(stack) > stats.peak_frontier:
+            stats.peak_frontier = len(stack)
+        mark, action, sleep, key = stack.pop()
+        revert(state, journal, mark)
+        if action is not None:
+            machine.apply_action(state, action)
+        while True:
+            if state.violation is not None:
+                result.violation = state.violation
+                result.trace = state.trace_list()
+                return
+            if key is None:
+                key = state_digest(state, interner)
+            if digest_check and key != state_digest_fresh(state, interner):
+                raise AssertionError(
+                    "incremental digest diverged from fresh recomputation"
+                )
+            stored = visited.get(key)
+            revisit = stored is not None
+            if revisit:
+                if stored <= sleep:
+                    stats.dedup_hits += 1
+                    break
+                visited[key] = stored & sleep
+            else:
+                visited[key] = sleep
+                stats.states_visited += 1
+                if not reduce:
+                    result.states_explored += 1
+                if stats.states_visited >= max_states:
+                    result.truncated = True
+                    result.notes.append("state budget exhausted")
+                    return
+
+            if any(t.status == LIMIT for t in state.threads.values()):
+                result.truncated = True
+                if reduce and not revisit:
+                    result.states_explored += 1
+                break
+
+            actions = machine.enabled_actions(state)
+            if not actions:
+                if revisit:
+                    stats.dedup_hits += 1
+                    break
+                if reduce:
+                    result.states_explored += 1
+                if all(t.status == FINISHED
+                       for t in state.threads.values()):
+                    break  # normal termination
+                blocked = [
+                    f"T{tid}:{t.status}"
+                    for tid, t in state.threads.items()
+                    if t.status != FINISHED
+                ]
+                if not result.deadlock:
+                    result.deadlock = True
+                    result.deadlock_trace = state.trace_list() + [
+                        f"deadlock: no enabled actions "
+                        f"({', '.join(blocked)})"
+                    ]
+                result.notes.append(
+                    f"deadlocked state ({', '.join(blocked)})"
+                )
+                break
+
+            pairs = [
+                (action, _action_key(state, action)) for action in actions
+            ]
+            if revisit:
+                explorable = [
+                    (action, akey) for action, akey in pairs
+                    if akey in stored and akey not in sleep
+                ]
+                covered = [akey for _, akey in pairs if akey not in stored]
+                if not explorable:
+                    stats.dedup_hits += 1
+                    break
+            else:
+                covered = ()
+                if sleep:
+                    explorable = [
+                        (action, akey) for action, akey in pairs
+                        if akey not in sleep
+                    ]
+                    stats.sleep_prunes += len(pairs) - len(explorable)
+                    if not explorable:
+                        break  # every ordering already covered elsewhere
+                else:
+                    explorable = pairs
+
+            if reduce and len(explorable) == 1:
+                # Macro-step: apply directly; macro steps are never
+                # individually reverted (an ancestor's mark covers them).
+                action, akey = explorable[0]
+                machine.apply_action(state, action)
+                sleep = frozenset(
+                    k for k in sleep if _independent(akey, k)
+                ) | frozenset(
+                    c for c in covered if _independent(akey, c)
+                )
+                stats.transitions += 1
+                stats.macro_steps += 1
+                key = None
+                continue
+
+            node_mark = len(journal)
+            if reduce and not revisit:
+                invisible = next(
+                    (pair for pair in explorable
+                     if machine.action_invisible(state, pair[0])),
+                    None,
+                )
+                if invisible is not None:
+                    action, akey = invisible
+                    machine.apply_action(state, action)
+                    if state.violation is not None:
+                        adigest = None
+                    else:
+                        adigest = state_digest(state, interner)
+                    if adigest is None or adigest not in visited:
+                        sleep = frozenset(
+                            k for k in sleep if _independent(akey, k)
+                        )
+                        stats.transitions += 1
+                        stats.ample_steps += 1
+                        key = adigest  # successor digest already known
+                        continue
+                    # Known territory: undo and fall back to expansion.
+                    revert(state, journal, node_mark)
+
+            # Full expansion: a genuine scheduling decision.
+            stats.transitions += len(explorable)
+            if reduce:
+                children = []
+                applied_key = None  # akey of the child left applied
+                for action, akey in explorable:
+                    if len(journal) > node_mark:
+                        revert(state, journal, node_mark)
+                        applied_key = None
+                    machine.apply_action(state, action)
+                    if state.violation is None:
+                        cdigest = state_digest(state, interner)
+                        if cdigest == key:
+                            stats.loop_prunes += 1
+                            revert(state, journal, node_mark)
+                            continue
+                    else:
+                        cdigest = None
+                    children.append((action, akey, cdigest))
+                    applied_key = akey
+                if not children:
+                    break  # nothing but spin retries (state may be
+                    # dirty; the next pop reverts to its own mark)
+                if len(children) == 1:
+                    # The choice was illusory: continue as a macro-step.
+                    action, akey, cdigest = children[0]
+                    if applied_key is None:
+                        machine.apply_action(state, action)
+                    sleep = frozenset(
+                        k for k in sleep if _independent(akey, k)
+                    ) | frozenset(
+                        c for c in covered if _independent(akey, c)
+                    )
+                    stats.macro_steps += 1
+                    key = cdigest  # probe digest of this very state
+                    continue
+                result.states_explored += 1
+                last = len(children) - 1
+                for index, (action, akey, cdigest) in enumerate(children):
+                    child_sleep = {
+                        k for k in sleep if _independent(akey, k)
+                    }
+                    for c in covered:
+                        if _independent(akey, c):
+                            child_sleep.add(c)
+                    for later_index in range(index + 1, len(children)):
+                        later_key = children[later_index][1]
+                        if _independent(later_key, akey):
+                            child_sleep.add(later_key)
+                    if index == last and applied_key is not None:
+                        # Still applied from probing: popped first, so
+                        # hand it its own post-apply mark and no action.
+                        stack.append((len(journal), None,
+                                      frozenset(child_sleep), cdigest))
+                    else:
+                        # Replaying `action` from the reverted parent
+                        # reproduces the probed state; its digest rides
+                        # along so the pop never re-digests.
+                        stack.append((node_mark, action,
+                                      frozenset(child_sleep), cdigest))
+                break
+            # Unreduced: push a descriptor per child; the last pushed is
+            # popped (applied + explored) first, as in the clone engine.
+            for action, _akey in explorable:
+                stack.append((node_mark, action, frozenset(), None))
+            break
 
 
 def compare_models(module, models=("sc", "tso", "wmm"), **kwargs):

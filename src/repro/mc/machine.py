@@ -17,19 +17,54 @@ memory operations (DESIGN.md §6).  Key ideas:
   read + reservation), then its store half lingers as a release store
   that later plain stores may overtake — precisely the Armv8
   LDAXR/STLXR behaviour behind the MariaDB lf-hash bug (Figure 7).
+
+Fast-state support (DESIGN.md §6f): every mutating site journals an
+undo record when ``Machine.journal`` is active (the in-place engine),
+memory writes flow through ``State.mem_write``/``mem_del`` so a Zobrist
+digest of the memory image stays incrementally correct, and threads
+carry a memoized byte encoding (``Thread._enc``) invalidated via
+``undo.touch`` exactly when their content changes.
 """
 
+from repro.analysis.liveness import liveness_tables
 from repro.analysis.nonlocal_ import NonLocalInfo
 from repro.ir import instructions as ins
 from repro.ir.instructions import MemoryOrder
 from repro.ir.values import Argument, Constant, GlobalVar
+from repro.mc.encode import Interner, cell_hash
+from repro.mc.undo import (
+    OP_ALLOC,
+    OP_ENV,
+    OP_FBLK,
+    OP_FIDX,
+    OP_FPOP,
+    OP_FPUSH,
+    OP_FSWAP,
+    OP_MEM,
+    OP_OUT,
+    OP_RES,
+    OP_SSET,
+    OP_STACK,
+    OP_STATUS,
+    OP_STEPS,
+    OP_TNEW,
+    OP_TRACE,
+    OP_WADD,
+    OP_WDEL,
+    OP_WSET,
+    touch,
+)
 
 GLOBAL_BASE = 1_000
 HEAP_BASE = 500_000
 STACK_BASE = 1_000_000
 STACK_SIZE = 50_000
 
+TRACE_CAP = 400  # longest scheduler/commit trace kept per state
+
 _PENDING = "p"  # tag of pending-value tuples ('p', token)
+
+_ABSENT = object()  # memory-cell sentinel distinguishing 0 from missing
 
 
 def is_pending(value):
@@ -43,6 +78,7 @@ class Context:
         self.module = module
         self.model = model
         self.entry = entry
+        self.interner = Interner()
         self.global_addr = {}
         self.global_layout = []  # (addr, value) initial memory image
         self.global_regions = []  # (start, end, name), sorted by start
@@ -55,6 +91,27 @@ class Context:
             size = max(gvar.value_type.size, 1)
             self.global_regions.append((addr, addr + size, gvar.name))
             addr += size
+        # Frame-free operand values (constants, global addresses),
+        # resolved once: the interpreter's ``_value`` becomes one dict
+        # probe + env lookup instead of an isinstance chain.
+        self.operand_values = {}
+        for function in module.functions.values():
+            for instr in function.instructions():
+                for operand in instr.operands:
+                    if isinstance(operand, Constant):
+                        self.operand_values[id(operand)] = operand.value
+                    elif isinstance(operand, GlobalVar):
+                        self.operand_values[id(operand)] = (
+                            self.global_addr[operand.name])
+        # Liveness-driven env GC: operand death points and write-skips
+        # (see repro.analysis.liveness) — keeps frame envs at live-set
+        # size, which every encode/clone/canonical is O() of.
+        self.dies = {}
+        self.unused = set()
+        for function in module.functions.values():
+            fdies, funused = liveness_tables(function)
+            self.dies.update(fdies)
+            self.unused |= funused
         # Static classification: which accesses are provably private.
         self.private = set()
         for function in module.functions.values():
@@ -285,7 +342,7 @@ class Frame:
     """One activation record of the in-order issue stage."""
 
     __slots__ = ("function", "block", "index", "env", "alloca_addrs",
-                 "stack_base", "call_instr")
+                 "stack_base", "call_instr", "_skeys", "_salloc", "_iepoch")
 
     def __init__(self, function, call_instr=None):
         self.function = function
@@ -295,6 +352,13 @@ class Frame:
         self.alloca_addrs = {}
         self.stack_base = None
         self.call_instr = call_instr
+        # Sorted-key caches for the state encoder, invalidated whenever
+        # the respective key *set* changes (value overwrites keep them).
+        self._skeys = None
+        self._salloc = None
+        # Journal epoch of the last OP_FIDX/OP_FBLK record for this
+        # frame: one record per action restores the whole index run.
+        self._iepoch = 0
 
     def clone(self):
         copy = Frame.__new__(Frame)
@@ -305,6 +369,12 @@ class Frame:
         copy.alloca_addrs = dict(self.alloca_addrs)
         copy.stack_base = self.stack_base
         copy.call_instr = self.call_instr
+        copy._skeys = self._skeys
+        copy._salloc = self._salloc
+        # A COW clone swapped in mid-action inherits the epoch: the
+        # OP_FSWAP record restores the *original* frame wholesale, so
+        # the clone's own index mutations never need journaling.
+        copy._iepoch = self._iepoch
         return copy
 
 
@@ -319,7 +389,7 @@ LIMIT = "limit"  # hit the per-thread step bound
 
 class Thread:
     __slots__ = ("tid", "frames", "window", "status", "steps", "stack_top",
-                 "owned")
+                 "owned", "_enc", "_sepoch", "_bepoch")
 
     def __init__(self, tid, frame):
         self.tid = tid
@@ -329,6 +399,9 @@ class Thread:
         self.status = RUN
         self.steps = 0
         self.stack_top = STACK_BASE + tid * STACK_SIZE
+        self._enc = None  # memoized byte encoding (repro.mc.encode)
+        self._sepoch = -1  # journal epoch of the last OP_STEPS record
+        self._bepoch = -1  # probe epoch at which the last probe failed
         frame.stack_base = self.stack_top
 
     def clone(self):
@@ -346,6 +419,9 @@ class Thread:
         copy.status = self.status
         copy.steps = self.steps
         copy.stack_top = self.stack_top
+        copy._enc = self._enc  # same content, same encoding
+        copy._sepoch = -1  # no journal record names the copy
+        copy._bepoch = self._bepoch  # same content, same probe outcome
         copy.owned = [False] * len(self.frames)
         self.owned = [False] * len(self.frames)
         return copy
@@ -354,13 +430,16 @@ class Thread:
     def frame(self):
         return self.frames[-1]
 
-    def mutable_frame(self):
+    def mutable_frame(self, journal=None):
         """The top frame, privately owned (cloned on first write)."""
-        return self.mutable_frame_at(len(self.frames) - 1)
+        return self.mutable_frame_at(len(self.frames) - 1, journal)
 
-    def mutable_frame_at(self, index):
+    def mutable_frame_at(self, index, journal=None):
         if not self.owned[index]:
-            self.frames[index] = self.frames[index].clone()
+            old = self.frames[index]
+            if journal is not None:
+                journal.append((OP_FSWAP, self, index, old))
+            self.frames[index] = old.clone()
             self.owned[index] = True
         return self.frames[index]
 
@@ -377,11 +456,11 @@ class Thread:
 
 
 class State:
-    """A full machine state; cloned at every exploration branch."""
+    """A full machine state; cloned (or journaled) per exploration branch."""
 
     __slots__ = ("memory", "threads", "next_tid", "heap_top", "reservations",
                  "violation", "trace_tail", "trace_len", "output",
-                 "token_counter")
+                 "token_counter", "mem_hash", "pending_mem", "probe_epoch")
 
     def __init__(self):
         self.memory = {}
@@ -394,6 +473,15 @@ class State:
         self.trace_len = 0
         self.output = []
         self.token_counter = 0
+        self.mem_hash = 0  # Zobrist XOR over non-zero, non-pending cells
+        self.pending_mem = {}  # addr -> token for pending-valued cells
+        # Monotone counter bumped on every event that could unblock a
+        # stuck thread: any memory mutation (including undo restores)
+        # and any thread entering FINISHED/LIMIT (what joins wait on).
+        # A blocked thread whose last failed probe recorded the current
+        # value (``Thread._bepoch``) is provably still stuck and its
+        # re-probe is skipped (``Machine.run_quiescence``).
+        self.probe_epoch = 0
 
     def clone(self):
         copy = State.__new__(State)
@@ -407,10 +495,78 @@ class State:
         copy.trace_len = self.trace_len
         copy.output = list(self.output)
         copy.token_counter = self.token_counter
+        copy.mem_hash = self.mem_hash
+        copy.pending_mem = dict(self.pending_mem)
+        copy.probe_epoch = self.probe_epoch
         return copy
 
-    def log(self, message):
-        if self.trace_len < 400:
+    # -- memory image (all mutation flows through these) ------------------
+
+    def mem_write(self, addr, value, journal=None):
+        """Write one cell, keeping the incremental digest in sync."""
+        memory = self.memory
+        old = memory.get(addr, _ABSENT)
+        if old is _ABSENT:
+            if journal is not None:
+                journal.append((OP_MEM, addr, False, None))
+            memory[addr] = value
+            self.probe_epoch += 1
+            if type(value) is tuple:
+                self.pending_mem[addr] = value[1]
+            elif value != 0:
+                self.mem_hash ^= cell_hash(addr, value)
+            return
+        if old == value:
+            return
+        if journal is not None:
+            journal.append((OP_MEM, addr, True, old))
+        memory[addr] = value
+        self.probe_epoch += 1
+        if type(old) is tuple:
+            del self.pending_mem[addr]
+        elif old != 0:
+            self.mem_hash ^= cell_hash(addr, old)
+        if type(value) is tuple:
+            self.pending_mem[addr] = value[1]
+        elif value != 0:
+            self.mem_hash ^= cell_hash(addr, value)
+
+    def mem_del(self, addr, journal=None):
+        """Drop one cell (stack reclamation), digest kept in sync."""
+        old = self.memory.pop(addr, _ABSENT)
+        if old is _ABSENT:
+            return
+        self.probe_epoch += 1
+        if journal is not None:
+            journal.append((OP_MEM, addr, True, old))
+        if type(old) is tuple:
+            del self.pending_mem[addr]
+        elif old != 0:
+            self.mem_hash ^= cell_hash(addr, old)
+
+    def _mem_restore(self, addr, had, old):
+        """Inverse of one journaled memory mutation (undo.revert)."""
+        self.probe_epoch += 1  # a restore changes memory like any write
+        memory = self.memory
+        current = memory.get(addr, _ABSENT)
+        if current is not _ABSENT:
+            if type(current) is tuple:
+                del self.pending_mem[addr]
+            elif current != 0:
+                self.mem_hash ^= cell_hash(addr, current)
+        if had:
+            memory[addr] = old
+            if type(old) is tuple:
+                self.pending_mem[addr] = old[1]
+            elif old != 0:
+                self.mem_hash ^= cell_hash(addr, old)
+        elif current is not _ABSENT:
+            del memory[addr]
+
+    def log(self, message, journal=None):
+        if self.trace_len < TRACE_CAP:
+            if journal is not None:
+                journal.append((OP_TRACE,))
             self.trace_tail = (self.trace_tail, message)
             self.trace_len += 1
 
@@ -441,11 +597,13 @@ class State:
             thread = self.threads[tid]
             frames = []
             for frame in thread.frames:
+                # Token ids are assigned in sorted-key order: env dict
+                # insertion order is execution-path-dependent (the env
+                # GC deletes and the undo log reinserts), so numbering
+                # must follow content, not history.
                 env = tuple(
-                    sorted(
-                        (key, canon_value(value))
-                        for key, value in frame.env.items()
-                    )
+                    (key, canon_value(frame.env[key]))
+                    for key in sorted(frame.env)
                 )
                 allocas = tuple(sorted(frame.alloca_addrs.items()))
                 frames.append(
@@ -490,18 +648,36 @@ class ExecutionError(Exception):
 
 
 class Machine:
-    """Executes bursts and actions over states for one (module, model)."""
+    """Executes bursts and actions over states for one (module, model).
+
+    ``journal`` is ``None`` for the clone engine; the in-place engine
+    installs a list and every mutating site below appends undo records
+    to it (see :mod:`repro.mc.undo` for the record catalogue).
+    """
 
     def __init__(self, context, max_steps=2500):
         self.ctx = context
         self.max_steps = max_steps
+        self.journal = None
+        model = context.model
+        self._loads_buffered = model.buffers_loads()
+        self._stores_buffered = model.buffers_stores()
+        self._dies = context.dies
+        self._unused = context.unused
+        self._opvals = context.operand_values
+        # Journal epoch: bumped once per applied action.  Between two
+        # epoch bumps the explorer never takes a revert mark, so one
+        # OP_STEPS/OP_FIDX record per (thread/frame, epoch) restores
+        # the whole run of increments — the journal shrinks from one
+        # record per executed instruction to one per action.
+        self._epoch = 0
 
     # -- construction -----------------------------------------------------
 
     def initial_state(self):
         state = State()
         for addr, value in self.ctx.global_layout:
-            state.memory[addr] = value
+            state.mem_write(addr, value)
         entry_fn = self.ctx.module.functions.get(self.ctx.entry)
         if entry_fn is None:
             raise ValueError(f"no entry function @{self.ctx.entry}")
@@ -512,57 +688,106 @@ class Machine:
         self.run_quiescence(state)
         return state
 
+    # -- journaled primitive writes ---------------------------------------
+
+    def _set_status(self, state, thread, status):
+        if thread.status is status:
+            return
+        journal = self.journal
+        touch(journal, thread)
+        if journal is not None:
+            journal.append((OP_STATUS, thread, thread.status))
+        thread.status = status
+        if status is FINISHED or status is LIMIT:
+            # The only status transitions another thread's blocked
+            # probe can observe (joins wait on these two).
+            state.probe_epoch += 1
+
+    def _set_violation(self, state, message):
+        journal = self.journal
+        if journal is not None:
+            journal.append((OP_SSET, "violation", state.violation))
+        state.violation = message
+
     # -- scheduling --------------------------------------------------------
 
     def run_quiescence(self, state):
-        """Run every thread's invisible burst until nothing progresses."""
+        """Run every thread's invisible burst until nothing progresses.
+
+        Blocked and ready threads are re-probed *without* flipping their
+        status to RUN first: a probe that makes no progress re-derives
+        the same status from the dispatch result, so the transient flip
+        would only invalidate digest caches and grow the journal.  The
+        probe itself is status-blind (``_run`` only refuses
+        finished/limited threads), which is what lets a previously
+        blocked thread advance once memory or a window changed.
+
+        A probe can only be unblocked by *someone else's* progress
+        (memory writes, token resolutions, threads finishing — all of
+        which happen inside a progressing burst), so each thread records
+        the quiescence "version" it last probed at and is skipped while
+        the version is unchanged: the usual no-progress confirmation
+        round costs one probe instead of one per thread.
+
+        Across calls, ``Thread._bepoch`` memoizes a failed probe against
+        ``State.probe_epoch``: a blocked probe's outcome depends only on
+        memory cells, FINISHED/LIMIT transitions of other threads (both
+        bump the epoch) and the thread's own content (whose every
+        mutation clears the memo via ``undo.touch``), so while the two
+        match the thread is provably still stuck and is not re-probed —
+        a pure load-commit macro run re-probes nobody.
+        """
+        version = 0
+        probed = {}
         progressed = True
         while progressed and state.violation is None:
             progressed = False
-            for tid in sorted(state.threads):
-                thread = state.threads[tid]
-                if thread.status in (RUN, BLOCKED):
-                    thread.status = RUN
+            for thread in list(state.threads.values()):
+                status = thread.status
+                if status is RUN or status is BLOCKED or status is READY:
+                    if thread._bepoch == state.probe_epoch:
+                        continue  # provably still stuck (see docstring)
+                    tid = thread.tid
+                    if probed.get(tid) == version:
+                        continue  # nothing changed since its last probe
                     if self._burst(state, thread):
                         progressed = True
+                        version += 1
+                    probed[tid] = version
             # Join conditions may have been satisfied by finishing threads.
 
     def enabled_actions(self, state):
         """All scheduler choices available at a quiescent state."""
         actions = []
-        for tid in sorted(state.threads):
-            thread = state.threads[tid]
+        may_commit = self.ctx.model.may_commit
+        reservations = state.reservations
+        for tid, thread in state.threads.items():
             if thread.status == READY:
                 actions.append(("visible", tid))
-            for index, entry in enumerate(thread.window):
-                if not self.ctx.model.may_commit(thread.window, index):
+            window = thread.window
+            for index, entry in enumerate(window):
+                if not may_commit(window, index):
                     continue
-                reserved_by = state.reservations.get(entry.addr)
-                if entry.kind in ("store", "rmw", "rmw_store"):
+                if entry.kind != "load":
+                    reserved_by = reservations.get(entry.addr)
                     if reserved_by is not None and reserved_by != tid:
                         continue
                 actions.append(("commit", tid, index))
         return actions
 
     def apply_action(self, state, action):
+        self._epoch += 1  # new revert-mark context (see __init__)
         kind = action[0]
         if kind == "visible":
             thread = state.threads[action[1]]
-            thread.status = RUN
             try:
-                self._execute(state, thread, visible_ok=True)
+                self._run(state, thread, True)
             except ExecutionError as error:
-                state.violation = error.message
+                self._set_violation(state, error.message)
                 return
         elif kind == "commit":
             self._commit(state, action[1], action[2])
-        self._wake_all(state)
         self.run_quiescence(state)
-
-    def _wake_all(self, state):
-        for thread in state.threads.values():
-            if thread.status in (BLOCKED, READY):
-                thread.status = RUN
 
     # -- partial-order reduction support -----------------------------------
 
@@ -626,216 +851,296 @@ class Machine:
     # -- commits -------------------------------------------------------------
 
     def _commit(self, state, tid, index):
+        journal = self.journal
         thread = state.threads[tid]
+        touch(journal, thread)
         entry = thread.window[index]
-        if entry.kind == "load":
+        kind = entry.kind
+        if kind == "load":
             value = state.memory.get(entry.addr, 0)
+            if journal is not None:
+                journal.append((OP_WDEL, thread, index, entry))
             del thread.window[index]
             self._resolve(state, thread, entry.token, value)
-            state.log(f"T{tid} commit load @{entry.addr} -> {value}")
-        elif entry.kind == "store":
-            state.memory[entry.addr] = entry.value
+            if state.trace_len < TRACE_CAP:
+                state.log(f"T{tid} commit load @{entry.addr} -> {value}",
+                          journal)
+        elif kind == "store":
+            state.mem_write(entry.addr, entry.value, journal)
+            if journal is not None:
+                journal.append((OP_WDEL, thread, index, entry))
             del thread.window[index]
-            state.log(f"T{tid} commit store @{entry.addr} = {entry.value}")
-        elif entry.kind == "rmw":
+            if state.trace_len < TRACE_CAP:
+                state.log(f"T{tid} commit store @{entry.addr} = {entry.value}",
+                          journal)
+        elif kind == "rmw":
             self._exec_rmw(state, thread, entry, index)
-        elif entry.kind == "rmw_store":
-            state.memory[entry.addr] = entry.value
+        else:  # rmw_store
+            state.mem_write(entry.addr, entry.value, journal)
+            if journal is not None:
+                journal.append((OP_RES, entry.addr,
+                                entry.addr in state.reservations,
+                                state.reservations.get(entry.addr)))
             state.reservations.pop(entry.addr, None)
+            if journal is not None:
+                journal.append((OP_WDEL, thread, index, entry))
             del thread.window[index]
-            state.log(f"T{tid} commit rmw-store @{entry.addr} = {entry.value}")
+            if state.trace_len < TRACE_CAP:
+                state.log(
+                    f"T{tid} commit rmw-store @{entry.addr} = {entry.value}",
+                    journal)
         if thread.status == FINISHING and not thread.window:
-            thread.status = FINISHED
+            self._set_status(state, thread, FINISHED)
 
     def _exec_rmw(self, state, thread, entry, index):
-        old = state.memory.get(entry.addr, 0)
+        journal = self.journal
+        addr = entry.addr
+        old = state.memory.get(addr, 0)
         token = entry.token
         if entry.rmw_expected is not None:
             # Compare-exchange.
             if old == entry.rmw_expected:
+                if journal is not None:
+                    journal.append((OP_WSET, thread, index, entry))
                 thread.window[index] = WindowEntry(
-                    "rmw_store", entry.addr, entry.order, entry.instr,
+                    "rmw_store", addr, entry.order, entry.instr,
                     value=entry.rmw_desired,
                 )
-                state.reservations[entry.addr] = thread.tid
+                if journal is not None:
+                    journal.append((OP_RES, addr, addr in state.reservations,
+                                    state.reservations.get(addr)))
+                state.reservations[addr] = thread.tid
             else:
+                if journal is not None:
+                    journal.append((OP_WDEL, thread, index, entry))
                 del thread.window[index]  # failed CAS: no store half
         else:
+            if journal is not None:
+                journal.append((OP_WSET, thread, index, entry))
             thread.window[index] = WindowEntry(
-                "rmw_store", entry.addr, entry.order, entry.instr,
+                "rmw_store", addr, entry.order, entry.instr,
                 value=_rmw_compute(entry.rmw_op, old, entry.rmw_operand),
             )
-            state.reservations[entry.addr] = thread.tid
+            if journal is not None:
+                journal.append((OP_RES, addr, addr in state.reservations,
+                                state.reservations.get(addr)))
+            state.reservations[addr] = thread.tid
         self._resolve(state, thread, token, old)
-        state.log(f"T{thread.tid} exec rmw @{entry.addr} old={old}")
+        if state.trace_len < TRACE_CAP:
+            state.log(f"T{thread.tid} exec rmw @{addr} old={old}", journal)
 
     def _resolve(self, state, thread, token, value):
         """Bind a pending load's value everywhere it may have flowed."""
+        journal = self.journal
+        touch(journal, thread)
         pending = (_PENDING, token)
         for index, frame in enumerate(thread.frames):
             if any(held == pending for held in frame.env.values()):
-                frame = thread.mutable_frame_at(index)
-                for key, held in frame.env.items():
+                frame = thread.mutable_frame_at(index, journal)
+                env = frame.env
+                for key, held in env.items():
                     if held == pending:
-                        frame.env[key] = value
-        for index, entry in enumerate(thread.window):
+                        if journal is not None:
+                            journal.append(
+                                (OP_ENV, thread, frame, key, True, held))
+                        env[key] = value
+        window = thread.window
+        for index, entry in enumerate(window):
             if entry.value == pending:
-                thread.window[index] = entry.resolved_with(value)
-        for addr, held in state.memory.items():
-            if held == pending:
-                state.memory[addr] = value
+                if journal is not None:
+                    journal.append((OP_WSET, thread, index, entry))
+                window[index] = entry.resolved_with(value)
+        if state.pending_mem:
+            addrs = [addr for addr, held in state.pending_mem.items()
+                     if held == token]
+            for addr in addrs:
+                state.mem_write(addr, value, journal)
 
     # -- bursts ------------------------------------------------------------------
 
     def _burst(self, state, thread):
         """Run invisible instructions; returns True if any progress."""
-        progressed = False
-        while thread.status == RUN:
-            try:
-                stepped = self._execute(state, thread, visible_ok=False)
-            except ExecutionError as error:
-                state.violation = error.message
-                return True
-            if not stepped:
-                break
-            progressed = True
-        return progressed
+        try:
+            return self._run(state, thread, False)
+        except ExecutionError as error:
+            self._set_violation(state, error.message)
+            return True
 
     # -- the interpreter -------------------------------------------------------
 
-    def _execute(self, state, thread, visible_ok):
-        """Execute one instruction; returns True if the PC advanced."""
-        if thread.status in (FINISHED, FINISHING, LIMIT):
-            return False
-        if thread.steps >= self.max_steps:
-            thread.status = LIMIT
-            return False
-        frame = thread.mutable_frame()
-        instr = frame.block.instructions[frame.index]
-        thread.steps += 1
+    def _run(self, state, thread, visible_ok):
+        """Run ``thread`` until it blocks, finishes, or needs a visible
+        slot; returns True if any instruction executed.
 
-        result = self._dispatch(state, thread, frame, instr, visible_ok)
-        if result is _BLOCKED:
-            thread.status = BLOCKED
-            thread.steps -= 1
+        The whole burst runs in one loop with the loop-invariant lookups
+        (journal, epoch, dispatch table, liveness tables, frame) hoisted
+        out — per-instruction overhead is what bounds the explorer's
+        states/s, so this path avoids one function call and a re-derived
+        prologue per instruction.  Only the *first* iteration honours
+        ``visible_ok``: a scheduled visible step immediately continues
+        into its invisible suffix (quiescence is confluent — invisible
+        steps never write shared memory, and the only cross-thread
+        influence, threads *finishing*, is monotone — so folding the
+        suffix into the same loop cannot change the fixpoint).
+        """
+        status = thread.status
+        if status is FINISHED or status is FINISHING or status is LIMIT:
             return False
-        if result is _VISIBLE:
-            thread.status = READY
-            thread.steps -= 1
-            return False
-        if result is _CONTROL:
-            return True  # dispatch already moved the PC
-        frame.env[id(instr)] = result
-        frame.index += 1
-        return True
+        journal = self.journal
+        epoch = self._epoch
+        max_steps = self.max_steps
+        handlers = _HANDLERS
+        dies_get = self._dies.get
+        unused = self._unused
+        frames = thread.frames
+        owned = thread.owned
+        top = len(frames) - 1
+        if owned[top]:
+            frame = frames[top]  # in-place engine: always owned
+        else:
+            frame = thread.mutable_frame_at(top, journal)
+        progressed = False
+        steps = thread.steps
+        try:
+            while True:
+                if steps >= max_steps:
+                    self._set_status(state, thread, LIMIT)
+                    break
+                instr = frame.block.instructions[frame.index]
+                handler = handlers.get(instr.__class__)
+                if handler is not None:
+                    result = handler(
+                        self, state, thread, frame, instr, visible_ok)
+                else:
+                    result = self._dispatch_generic(
+                        state, thread, frame, instr, visible_ok)
+                if result is _BLOCKED:
+                    # A failed probe mutated nothing: no touch, no journal.
+                    self._set_status(state, thread, BLOCKED)
+                    thread._bepoch = state.probe_epoch  # memoize the failure
+                    break
+                if result is _VISIBLE:
+                    self._set_status(state, thread, READY)
+                    thread._bepoch = state.probe_epoch  # idem: probe-stable
+                    break
+                visible_ok = False  # only the scheduled step is visible
+                progressed = True
+                if journal is not None and thread._sepoch != epoch:
+                    thread._sepoch = epoch
+                    journal.append((OP_STEPS, thread, steps))
+                steps += 1
+                key = id(instr)
+                # Env GC: the operands whose last use this instruction
+                # was are unreadable from here on — drop them (Ret has
+                # an empty list; its popped frame may be shared and
+                # must not be written).
+                dies = dies_get(key)
+                if dies:
+                    touch(journal, thread)
+                    env = frame.env
+                    for dkey in dies:
+                        old = env.pop(dkey, _ABSENT)
+                        if old is not _ABSENT and journal is not None:
+                            journal.append(
+                                (OP_ENV, thread, frame, dkey, True, old))
+                    frame._skeys = None
+                if result is _CONTROL:
+                    # Branch/call/ret moved the PC: refetch the frame.
+                    if not frames:
+                        break  # root-frame return already set the status
+                    top = len(frames) - 1
+                    if owned[top]:
+                        frame = frames[top]
+                    else:
+                        frame = thread.mutable_frame_at(top, journal)
+                    continue
+                env = frame.env
+                touch(journal, thread)
+                if key not in unused:  # skip never-read results entirely
+                    had = key in env
+                    if journal is not None:
+                        journal.append((OP_ENV, thread, frame, key, had,
+                                        env.get(key)))
+                    if not had:
+                        frame._skeys = None
+                    env[key] = result
+                if journal is not None and frame._iepoch != epoch:
+                    frame._iepoch = epoch
+                    journal.append((OP_FIDX, thread, frame, frame.index))
+                frame.index += 1
+        finally:
+            # Also on ExecutionError: the journal's OP_STEPS snapshot
+            # reverts from whatever value is current, so the counter
+            # must reflect the executed prefix.
+            thread.steps = steps
+        return progressed
 
-    def _dispatch(self, state, thread, frame, instr, visible_ok):
-        if isinstance(instr, ins.Alloca):
-            return self._do_alloca(state, thread, frame, instr)
-        if isinstance(instr, ins.Load):
-            return self._do_load(state, thread, frame, instr, visible_ok)
-        if isinstance(instr, ins.Store):
-            return self._do_store(state, thread, frame, instr, visible_ok)
-        if isinstance(instr, ins.Gep):
-            return self._do_gep(frame, instr)
-        if isinstance(instr, ins.BinOp):
-            return self._do_binop(frame, instr)
-        if isinstance(instr, ins.Cast):
-            return self._value(frame, instr.value)
-        if isinstance(instr, (ins.Cmpxchg, ins.AtomicRMW)):
-            return self._do_rmw(state, thread, frame, instr, visible_ok)
-        if isinstance(instr, ins.Fence):
-            return self._do_fence(thread)
-        if isinstance(instr, ins.Br):
-            frame.block = instr.target
-            frame.index = 0
-            return _CONTROL
-        if isinstance(instr, ins.CondBr):
-            cond = self._value(frame, instr.cond)
-            if is_pending(cond):
-                return _BLOCKED
-            frame.block = instr.true_block if cond else instr.false_block
-            frame.index = 0
-            return _CONTROL
-        if isinstance(instr, ins.Ret):
-            return self._do_ret(state, thread, frame, instr)
-        if isinstance(instr, ins.Call):
-            return self._do_call(state, thread, frame, instr)
-        if isinstance(instr, ins.ThreadCreate):
-            return self._do_thread_create(state, thread, frame, instr)
-        if isinstance(instr, ins.ThreadJoin):
-            return self._do_thread_join(state, frame, instr)
-        if isinstance(instr, ins.Malloc):
-            return self._do_malloc(state, frame, instr)
-        if isinstance(instr, ins.Free):
-            value = self._value(frame, instr.pointer)
-            return 0 if not is_pending(value) else _BLOCKED
-        if isinstance(instr, ins.Sleep):
-            return 0  # no memory semantics
-        if isinstance(instr, ins.CompilerBarrier):
-            return 0  # hardware-invisible
-        if isinstance(instr, ins.AssertInst):
-            cond = self._value(frame, instr.cond)
-            if is_pending(cond):
-                return _BLOCKED
-            if not cond:
-                raise ExecutionError(
-                    f"assertion failed in @{frame.function.name}: "
-                    f"{instr.message or instr!r}"
-                )
-            return 0
-        if isinstance(instr, ins.PrintInst):
-            value = self._value(frame, instr.value)
-            if is_pending(value):
-                return _BLOCKED
-            state.output.append(value)
-            return 0
+    def _dispatch_generic(self, state, thread, frame, instr, visible_ok):
+        """Subclass-tolerant fallback for exact-class handler misses."""
+        for cls, handler in _HANDLERS.items():
+            if isinstance(instr, cls):
+                return handler(self, state, thread, frame, instr, visible_ok)
         raise ExecutionError(f"model checker cannot execute {instr!r}")
 
     # -- operand evaluation -------------------------------------------------------
 
     def _value(self, frame, operand):
-        if isinstance(operand, Constant):
-            return operand.value
-        if isinstance(operand, GlobalVar):
-            return self.ctx.global_addr[operand.name]
-        if isinstance(operand, (Argument, ins.Instruction)):
-            return frame.env[id(operand)]
-        raise ExecutionError(f"cannot evaluate operand {operand!r}")
+        key = id(operand)
+        value = self._opvals.get(key, _ABSENT)
+        if value is not _ABSENT:
+            return value  # constant or global address, precomputed
+        try:
+            return frame.env[key]
+        except KeyError:
+            if isinstance(operand, (Argument, ins.Instruction)):
+                raise  # a liveness/undo bug, not a user-program error
+            raise ExecutionError(f"cannot evaluate operand {operand!r}")
 
     # -- memory operations ------------------------------------------------------------
 
     def _do_alloca(self, state, thread, frame, instr):
         addr = frame.alloca_addrs.get(id(instr))
         if addr is None:
+            journal = self.journal
+            touch(journal, thread)
             addr = thread.stack_top
             size = max(instr.allocated_type.size, 1)
-            thread.stack_top += size
+            if journal is not None:
+                journal.append((OP_STACK, thread, thread.stack_top))
+                journal.append((OP_ALLOC, thread, frame, id(instr)))
+            thread.stack_top = addr + size
             frame.alloca_addrs[id(instr)] = addr
+            frame._salloc = None
             for offset in range(size):
-                state.memory[addr + offset] = 0
+                state.mem_write(addr + offset, 0, journal)
         return addr
 
     def _do_load(self, state, thread, frame, instr, visible_ok):
         addr = self._value(frame, instr.pointer)
-        if is_pending(addr):
+        if type(addr) is tuple:
             return _BLOCKED
         if id(instr) in self.ctx.private:
             return state.memory.get(addr, 0)
-        model = self.ctx.model
-        if model.buffers_loads():
-            if len(thread.window) >= model.window_limit:
+        if self._loads_buffered:
+            window = thread.window
+            if len(window) >= self.ctx.model.window_limit:
                 return _BLOCKED
+            journal = self.journal
+            touch(journal, thread)
+            if journal is not None:
+                journal.append((OP_SSET, "token_counter",
+                                state.token_counter))
+                journal.append((OP_WADD, thread))
             state.token_counter += 1
             token = state.token_counter
-            thread.window.append(
+            window.append(
                 WindowEntry("load", addr, instr.order, instr, token=token)
             )
             return (_PENDING, token)
         # Immediate load (SC / TSO): a visible scheduling point.
         if not visible_ok:
             return _VISIBLE
-        if model.buffers_stores():
+        if self._stores_buffered:
             for entry in reversed(thread.window):  # TSO store forwarding
                 if entry.addr == addr and entry.kind in ("store", "rmw_store"):
                     return entry.value
@@ -844,48 +1149,53 @@ class Machine:
     def _do_store(self, state, thread, frame, instr, visible_ok):
         addr = self._value(frame, instr.pointer)
         value = self._value(frame, instr.value)
-        if is_pending(addr):
+        if type(addr) is tuple:
             return _BLOCKED
         if id(instr) in self.ctx.private:
-            state.memory[addr] = value  # tokens may flow through
+            state.mem_write(addr, value, self.journal)  # tokens may flow
             return 0
         model = self.ctx.model
-        if is_pending(value) and not model.buffers_loads():
+        if type(value) is tuple and not self._loads_buffered:
             return _BLOCKED
         if model.store_requires_drain(instr.order):
             if thread.window:
                 return _BLOCKED
             if not visible_ok:
                 return _VISIBLE
-            if is_pending(value):
+            if type(value) is tuple:
                 return _BLOCKED
-            state.memory[addr] = value
+            state.mem_write(addr, value, self.journal)
             return 0
-        if model.buffers_stores():
-            if len(thread.window) >= model.window_limit:
+        if self._stores_buffered:
+            window = thread.window
+            if len(window) >= model.window_limit:
                 return _BLOCKED
-            thread.window.append(
+            journal = self.journal
+            touch(journal, thread)
+            if journal is not None:
+                journal.append((OP_WADD, thread))
+            window.append(
                 WindowEntry("store", addr, instr.order, instr, value=value)
             )
             return 0
         if not visible_ok:
             return _VISIBLE
-        state.memory[addr] = value
+        state.mem_write(addr, value, self.journal)
         return 0
 
     def _do_rmw(self, state, thread, frame, instr, visible_ok):
         addr = self._value(frame, instr.pointer)
-        if is_pending(addr):
+        if type(addr) is tuple:
             return _BLOCKED
         if isinstance(instr, ins.Cmpxchg):
             expected = self._value(frame, instr.expected)
             desired = self._value(frame, instr.desired)
-            if is_pending(expected) or is_pending(desired):
+            if type(expected) is tuple or type(desired) is tuple:
                 return _BLOCKED
             op, operand = None, None
         else:
             operand = self._value(frame, instr.value)
-            if is_pending(operand):
+            if type(operand) is tuple:
                 return _BLOCKED
             op = instr.op
             expected = desired = None
@@ -897,7 +1207,7 @@ class Machine:
                 if (op is None and old == expected)
                 else old if op is None else _rmw_compute(op, old, operand)
             )
-            state.memory[addr] = new
+            state.mem_write(addr, new, self.journal)
             return old
 
         model = self.ctx.model
@@ -909,16 +1219,23 @@ class Machine:
             old = state.memory.get(addr, 0)
             if op is None:
                 if old == expected:
-                    state.memory[addr] = desired
+                    state.mem_write(addr, desired, self.journal)
             else:
-                state.memory[addr] = _rmw_compute(op, old, operand)
+                state.mem_write(addr, _rmw_compute(op, old, operand),
+                                self.journal)
             return old
         # WMM: enter the window; execution happens at commit time.
-        if len(thread.window) >= model.window_limit:
+        window = thread.window
+        if len(window) >= model.window_limit:
             return _BLOCKED
+        journal = self.journal
+        touch(journal, thread)
+        if journal is not None:
+            journal.append((OP_SSET, "token_counter", state.token_counter))
+            journal.append((OP_WADD, thread))
         state.token_counter += 1
         token = state.token_counter
-        thread.window.append(
+        window.append(
             WindowEntry(
                 "rmw", addr, instr.order, instr, token=token,
                 rmw_op=op, rmw_operand=operand,
@@ -934,7 +1251,7 @@ class Machine:
 
     def _do_gep(self, frame, instr):
         addr = self._value(frame, instr.base)
-        if is_pending(addr):
+        if type(addr) is tuple:
             return _BLOCKED
         for step in instr.path:
             if step[0] == "field":
@@ -944,7 +1261,7 @@ class Machine:
                 )
             else:
                 element, index_value = step[1], self._value(frame, step[2])
-                if is_pending(index_value):
+                if type(index_value) is tuple:
                     return _BLOCKED
                 addr += element.size * index_value
         return addr
@@ -952,7 +1269,7 @@ class Machine:
     def _do_binop(self, frame, instr):
         left = self._value(frame, instr.left)
         right = self._value(frame, instr.right)
-        if is_pending(left) or is_pending(right):
+        if type(left) is tuple or type(right) is tuple:
             return _BLOCKED
         return _binop_compute(instr.op, left, right)
 
@@ -962,20 +1279,40 @@ class Machine:
         value = 0
         if instr.has_value:
             value = self._value(frame, instr.value)
-            if is_pending(value):
+            if type(value) is tuple:
                 return _BLOCKED
+        journal = self.journal
+        touch(journal, thread)
         # Reclaim the frame's stack slots so re-execution is canonical.
         for addr in range(frame.stack_base, thread.stack_top):
-            state.memory.pop(addr, None)
+            state.mem_del(addr, journal)
+        if journal is not None:
+            journal.append((OP_STACK, thread, thread.stack_top))
+            journal.append((OP_FPOP, thread, thread.frames[-1],
+                            thread.owned[-1]))
         thread.stack_top = frame.stack_base
         thread.pop_frame()
         if not thread.frames:
-            thread.status = FINISHING if thread.window else FINISHED
+            self._set_status(state, thread,
+                             FINISHING if thread.window else FINISHED)
             return _CONTROL
-        caller = thread.mutable_frame()
+        caller = thread.mutable_frame(journal)
         call_instr = frame.call_instr
-        if call_instr is not None:
-            caller.env[id(call_instr)] = value
+        if call_instr is not None and id(call_instr) not in self._unused:
+            key = id(call_instr)
+            env = caller.env
+            had = key in env
+            if journal is not None:
+                journal.append((OP_ENV, thread, caller, key, had,
+                                env.get(key)))
+            if not had:
+                caller._skeys = None
+            env[key] = value
+        if journal is not None:
+            epoch = self._epoch
+            if caller._iepoch != epoch:
+                caller._iepoch = epoch
+                journal.append((OP_FIDX, thread, caller, caller.index))
         caller.index += 1
         return _CONTROL
 
@@ -983,7 +1320,7 @@ class Machine:
         args = []
         for operand in instr.args:
             value = self._value(frame, operand)
-            if is_pending(value):
+            if type(value) is tuple:
                 return _BLOCKED
             args.append(value)
         if len(thread.frames) > 64:
@@ -994,6 +1331,10 @@ class Machine:
         callee_frame.stack_base = thread.stack_top
         for argument, value in zip(instr.callee.arguments, args):
             callee_frame.env[id(argument)] = value
+        journal = self.journal
+        touch(journal, thread)
+        if journal is not None:
+            journal.append((OP_FPUSH, thread))
         thread.push_frame(callee_frame)
         return _CONTROL
 
@@ -1001,10 +1342,14 @@ class Machine:
         arg = None
         if instr.arg is not None:
             arg = self._value(frame, instr.arg)
-            if is_pending(arg):
+            if type(arg) is tuple:
                 return _BLOCKED
+        journal = self.journal
         tid = state.next_tid
-        state.next_tid += 1
+        if journal is not None:
+            journal.append((OP_SSET, "next_tid", tid))
+            journal.append((OP_TNEW, tid))
+        state.next_tid = tid + 1
         new_frame = Frame(instr.callee)
         new_thread = Thread(tid, new_frame)
         if instr.callee.arguments and arg is not None:
@@ -1012,12 +1357,14 @@ class Machine:
         elif instr.callee.arguments:
             new_frame.env[id(instr.callee.arguments[0])] = 0
         state.threads[tid] = new_thread
-        state.log(f"T{thread.tid} spawns T{tid} @{instr.callee.name}")
+        if state.trace_len < TRACE_CAP:
+            state.log(f"T{thread.tid} spawns T{tid} @{instr.callee.name}",
+                      journal)
         return tid
 
     def _do_thread_join(self, state, frame, instr):
         tid = self._value(frame, instr.tid)
-        if is_pending(tid):
+        if type(tid) is tuple:
             return _BLOCKED
         target = state.threads.get(tid)
         if target is None:
@@ -1030,19 +1377,109 @@ class Machine:
 
     def _do_malloc(self, state, frame, instr):
         size = self._value(frame, instr.size)
-        if is_pending(size):
+        if type(size) is tuple:
             return _BLOCKED
+        journal = self.journal
         addr = state.heap_top
-        state.heap_top += max(int(size), 1)
-        for offset in range(max(int(size), 1)):
-            state.memory.setdefault(addr + offset, 0)
+        if journal is not None:
+            journal.append((OP_SSET, "heap_top", addr))
+        span = max(int(size), 1)
+        state.heap_top = addr + span
+        memory = state.memory
+        for offset in range(span):
+            if addr + offset not in memory:
+                state.mem_write(addr + offset, 0, journal)
         return addr
 
 
-# Sentinels returned by _dispatch.
+# Sentinels returned by the dispatch handlers.
 _BLOCKED = object()
 _VISIBLE = object()
 _CONTROL = object()
+
+
+# -- standalone dispatch handlers (uniform signature) -----------------------
+
+
+def _h_br(machine, state, thread, frame, instr, visible_ok):
+    journal = machine.journal
+    touch(journal, thread)
+    if journal is not None:
+        journal.append((OP_FBLK, thread, frame, frame.block, frame.index))
+        # The block record restores the index too: no OP_FIDX needed
+        # for the rest of this epoch's run in the new block.
+        frame._iepoch = machine._epoch
+    frame.block = instr.target
+    frame.index = 0
+    return _CONTROL
+
+
+def _h_condbr(machine, state, thread, frame, instr, visible_ok):
+    cond = machine._value(frame, instr.cond)
+    if type(cond) is tuple:
+        return _BLOCKED
+    journal = machine.journal
+    touch(journal, thread)
+    if journal is not None:
+        journal.append((OP_FBLK, thread, frame, frame.block, frame.index))
+        frame._iepoch = machine._epoch  # subsumes OP_FIDX (see _h_br)
+    frame.block = instr.true_block if cond else instr.false_block
+    frame.index = 0
+    return _CONTROL
+
+
+def _h_free(machine, state, thread, frame, instr, visible_ok):
+    value = machine._value(frame, instr.pointer)
+    return _BLOCKED if type(value) is tuple else 0
+
+
+def _h_assert(machine, state, thread, frame, instr, visible_ok):
+    cond = machine._value(frame, instr.cond)
+    if type(cond) is tuple:
+        return _BLOCKED
+    if not cond:
+        raise ExecutionError(
+            f"assertion failed in @{frame.function.name}: "
+            f"{instr.message or instr!r}"
+        )
+    return 0
+
+
+def _h_print(machine, state, thread, frame, instr, visible_ok):
+    value = machine._value(frame, instr.value)
+    if type(value) is tuple:
+        return _BLOCKED
+    journal = machine.journal
+    if journal is not None:
+        journal.append((OP_OUT,))
+    state.output.append(value)
+    return 0
+
+
+# Exact-class dispatch table (isinstance fallback in _dispatch_generic).
+_HANDLERS = {
+    ins.BinOp: lambda m, s, t, f, i, v: m._do_binop(f, i),
+    ins.Load: lambda m, s, t, f, i, v: m._do_load(s, t, f, i, v),
+    ins.Store: lambda m, s, t, f, i, v: m._do_store(s, t, f, i, v),
+    ins.CondBr: _h_condbr,
+    ins.Br: _h_br,
+    ins.Gep: lambda m, s, t, f, i, v: m._do_gep(f, i),
+    ins.Alloca: lambda m, s, t, f, i, v: m._do_alloca(s, t, f, i),
+    ins.Cast: lambda m, s, t, f, i, v: m._value(f, i.value),
+    ins.Cmpxchg: lambda m, s, t, f, i, v: m._do_rmw(s, t, f, i, v),
+    ins.AtomicRMW: lambda m, s, t, f, i, v: m._do_rmw(s, t, f, i, v),
+    ins.Fence: lambda m, s, t, f, i, v: m._do_fence(t),
+    ins.Ret: lambda m, s, t, f, i, v: m._do_ret(s, t, f, i),
+    ins.Call: lambda m, s, t, f, i, v: m._do_call(s, t, f, i),
+    ins.ThreadCreate: lambda m, s, t, f, i, v: m._do_thread_create(s, t, f, i),
+    ins.ThreadJoin: lambda m, s, t, f, i, v: m._do_thread_join(s, f, i),
+    ins.Malloc: lambda m, s, t, f, i, v: m._do_malloc(s, f, i),
+    ins.Free: _h_free,
+    ins.Sleep: lambda m, s, t, f, i, v: 0,
+    ins.CompilerBarrier: lambda m, s, t, f, i, v: 0,
+    ins.AssertInst: _h_assert,
+    ins.PrintInst: _h_print,
+}
 
 
 def _rmw_compute(op, old, operand):

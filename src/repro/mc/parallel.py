@@ -12,6 +12,12 @@ sequentially (``jobs`` unset or 1, the deterministic default) or on a
 Tasks carry source text rather than IR modules: compiling is cheap and
 text pickles everywhere, so the same task list works under both the
 ``fork`` and ``spawn`` start methods.
+
+Pools are *persistent* (:mod:`repro.core.workers`): the first parallel
+batch forks the workers, later batches reuse them, and each worker
+memoizes compiled modules by source digest — so the Oracle's bisection
+probes, which re-check the same programs dozens of times, stop paying
+pool setup and recompilation per round.
 """
 
 from dataclasses import dataclass
@@ -39,61 +45,66 @@ class CheckTask:
     is_ir: bool = False
     #: Run the static robustness pre-pass before exploring.
     robustness: bool = False
+    #: Exploration engine ("inplace"/"clone"); None = explorer default.
+    engine: str = None
 
 
 def run_task(task):
     """Compile, port and check one task; returns its ``CheckResult``.
 
     Top-level (not a closure) so it pickles under every multiprocessing
-    start method.
+    start method.  Modules come from the per-worker cache
+    (:func:`repro.core.workers.cached_module`): a source checked under
+    several models or re-probed across bisection rounds compiles once
+    per worker.
     """
-    from repro.api import compile_source, port_module
+    from repro.api import port_module
     from repro.core.config import PortingLevel
+    from repro.core.workers import cached_module
     from repro.mc.explorer import check_module
 
-    if task.is_ir:
-        from repro.ir.parser import parse_module
-
-        module = parse_module(task.source)
-    else:
-        module = compile_source(task.source, task.name)
+    module = cached_module(task.source, task.name, is_ir=task.is_ir)
     if task.level is not None:
         module, _report = port_module(
             module, PortingLevel(task.level), config=task.config
         )
+    kwargs = {}
+    if task.engine is not None:
+        kwargs["engine"] = task.engine
     return check_module(
         module, model=task.model, entry=task.entry,
         max_steps=task.max_steps, max_states=task.max_states,
-        reduce=task.reduce, robustness=task.robustness,
+        reduce=task.reduce, robustness=task.robustness, **kwargs,
     )
 
 
-def run_tasks(tasks, jobs=None, worker=run_task):
+def run_tasks(tasks, jobs=None, worker=run_task, seeds=(), chunksize=1):
     """Run a batch of tasks; results align with the input order.
 
     ``jobs=None`` or ``jobs<=1`` runs sequentially in-process.  Larger
-    values use a ``fork`` pool when the platform has it (cheap, shares
-    the warmed-up interpreter) and fall back to ``spawn`` otherwise.
+    values use the persistent pool for that worker count
+    (:func:`repro.core.workers.get_pool`): forked once per process
+    lifetime, optionally seeded with pre-compiled sources, with
+    per-worker busy-time accounting.
 
     ``worker`` is the per-task function (default :func:`run_task`); it
     must be a picklable top-level callable.  Other batch harnesses
     (e.g. the barrier optimizer's per-benchmark jobs) reuse this pool
     plumbing with their own task/worker pair.
+
+    ``chunksize=1`` by default: check batches are few and lumpy (one
+    slow corpus row must not strand a prefetched batch behind it).
+    Callers with many uniform tasks can raise it, or pass ``None`` to
+    let the pool shard the batch evenly.
     """
     tasks = list(tasks)
     if jobs is None or jobs <= 1 or len(tasks) <= 1:
         return [worker(task) for task in tasks]
 
-    import multiprocessing
+    from repro.core.workers import get_pool
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork (e.g. Windows)
-        context = multiprocessing.get_context("spawn")
-    # chunksize=1: tasks are few and lumpy (one slow corpus row must
-    # not strand a prefetched batch behind it).
-    with context.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(worker, tasks, chunksize=1)
+    pool = get_pool(jobs, seeds=seeds)
+    return pool.map(worker, tasks, chunksize=chunksize)
 
 
 def compare_models_parallel(source, name="module", models=("sc", "tso", "wmm"),
@@ -108,5 +119,8 @@ def compare_models_parallel(source, name="module", models=("sc", "tso", "wmm"),
         CheckTask(name=name, source=source, model=model, **task_fields)
         for model in models
     ]
-    results = run_tasks(tasks, jobs=jobs)
+    # Seed the pool with the shared source: each worker compiles it
+    # once, then serves every model's task from its cache.
+    is_ir = bool(task_fields.get("is_ir"))
+    results = run_tasks(tasks, jobs=jobs, seeds=((name, source, is_ir),))
     return dict(zip(models, results))

@@ -1,0 +1,163 @@
+"""Undo-log journal for the in-place exploration engine.
+
+The clone engine copies the whole object graph per transition; the
+in-place engine instead mutates one ``State`` and *reverts*.  Every
+mutating site in :mod:`repro.mc.machine` appends a typed record to a
+flat journal list **before** mutating (when ``Machine.journal`` is
+active), and :func:`revert` pops records back to a mark, restoring the
+state bit-identically — including the incremental-digest caches:
+
+- ``OP_ENC`` snapshots a thread's memoized byte encoding the first time
+  the thread is touched after a digest, so reverting restores not just
+  the content but the cache (the parent state never re-encodes).
+- ``OP_MEM`` records are replayed through ``State._mem_restore`` so the
+  Zobrist memory hash and the pending-cell index roll back with the
+  memory image.
+
+Records are plain tuples ``(opcode, ...)`` with interned int opcodes;
+the revert loop is a frequency-ordered compare chain.  The protocol is
+append-only between marks — ``mark = len(journal)`` before applying an
+action, ``revert(state, journal, mark)`` afterwards — which is exactly
+the DFS discipline (LIFO) of the explorer.
+"""
+
+# Opcodes, ordered roughly by expected frequency.
+OP_ENV = 0      # (op, thread, frame, key, had, old)     env write
+OP_FIDX = 1     # (op, thread, frame, old_index)         index bump
+OP_STEPS = 2    # (op, thread, old_steps)                step budget
+OP_FBLK = 3     # (op, thread, frame, old_block, old_index)  branch taken
+OP_MEM = 4      # (op, addr, had, old)                   memory cell
+OP_WADD = 5     # (op, thread)                           window append
+OP_WDEL = 6     # (op, thread, index, entry)             window delete
+OP_WSET = 7     # (op, thread, index, old_entry)         window replace
+OP_STATUS = 8   # (op, thread, old_status)               status change
+OP_ENC = 9      # (op, thread, old_enc)                  digest-cache snapshot
+OP_SSET = 10    # (op, attr, old)                        State scalar attr
+OP_TRACE = 11   # (op,)                                  trace append
+OP_RES = 12     # (op, addr, had, old)                   reservation
+OP_FPUSH = 13   # (op, thread)                           frame push (call)
+OP_FPOP = 14    # (op, thread, frame, owned)             frame pop (ret)
+OP_STACK = 15   # (op, thread, old_stack_top)            stack bump
+OP_ALLOC = 16   # (op, thread, frame, key)               alloca registered
+OP_TNEW = 17    # (op, tid)                              thread spawned
+OP_OUT = 18     # (op,)                                  output append
+OP_FSWAP = 19   # (op, thread, index, old_frame)         COW frame clone
+
+
+def revert(state, journal, mark):
+    """Pop journal records back to ``mark``, undoing each mutation.
+
+    Thread-content handlers drop the thread's cached encoding (it
+    described the *mutated* content); the matching ``OP_ENC`` record —
+    always appended before the content records of its epoch, hence
+    popped after them — then reinstates the pre-mutation cache.
+    """
+    while len(journal) > mark:
+        record = journal.pop()
+        op = record[0]
+        if op == OP_ENV:
+            _, thread, frame, key, had, old = record
+            env = frame.env
+            if had:
+                if key not in env:
+                    frame._skeys = None  # undoing an env-GC delete
+                env[key] = old
+            else:
+                del env[key]
+                frame._skeys = None  # key set changed
+            thread._enc = None
+        elif op == OP_FIDX:
+            _, thread, frame, old_index = record
+            frame.index = old_index
+            thread._enc = None
+        elif op == OP_STEPS:
+            record[1].steps = record[2]
+        elif op == OP_FBLK:
+            _, thread, frame, old_block, old_index = record
+            frame.block = old_block
+            frame.index = old_index
+            thread._enc = None
+        elif op == OP_MEM:
+            state._mem_restore(record[1], record[2], record[3])
+        elif op == OP_WADD:
+            thread = record[1]
+            thread.window.pop()
+            thread._enc = None
+        elif op == OP_WDEL:
+            _, thread, index, entry = record
+            thread.window.insert(index, entry)
+            thread._enc = None
+        elif op == OP_WSET:
+            _, thread, index, old_entry = record
+            thread.window[index] = old_entry
+            thread._enc = None
+        elif op == OP_STATUS:
+            thread = record[1]
+            thread.status = record[2]
+            thread._enc = None
+            # May leave or re-enter FINISHED/LIMIT: joins waiting on
+            # this thread must be re-probed either way.
+            state.probe_epoch += 1
+        elif op == OP_ENC:
+            record[1]._enc = record[2]
+        elif op == OP_SSET:
+            setattr(state, record[1], record[2])
+        elif op == OP_TRACE:
+            state.trace_tail = state.trace_tail[0]
+            state.trace_len -= 1
+        elif op == OP_RES:
+            _, addr, had, old = record
+            if had:
+                state.reservations[addr] = old
+            else:
+                state.reservations.pop(addr, None)
+        elif op == OP_FPUSH:
+            thread = record[1]
+            thread.frames.pop()
+            thread.owned.pop()
+            thread._enc = None
+        elif op == OP_FPOP:
+            _, thread, frame, owned = record
+            thread.frames.append(frame)
+            thread.owned.append(owned)
+            thread._enc = None
+        elif op == OP_STACK:
+            thread = record[1]
+            thread.stack_top = record[2]
+            thread._enc = None
+        elif op == OP_ALLOC:
+            _, thread, frame, key = record
+            del frame.alloca_addrs[key]
+            frame._salloc = None  # key set changed
+            thread._enc = None
+        elif op == OP_TNEW:
+            del state.threads[record[1]]
+        elif op == OP_OUT:
+            state.output.pop()
+        elif op == OP_FSWAP:
+            # The COW clone is content-identical to the original frame,
+            # so the cached encoding (if any) stays valid.
+            _, thread, index, old_frame = record
+            thread.frames[index] = old_frame
+            thread.owned[index] = False
+        else:  # pragma: no cover - opcode set is closed
+            raise AssertionError(f"unknown journal opcode {op}")
+
+
+def touch(journal, thread):
+    """Invalidate ``thread``'s cached encoding, snapshotting it first.
+
+    Called by every machine path about to mutate thread content.  The
+    snapshot makes revert restore the cache along with the content; when
+    the cache is already invalid this is a single attribute test.
+
+    Also drops the thread's blocked-probe memo (``Thread._bepoch``):
+    the memoized "still stuck" verdict is conditioned on the thread's
+    own content being unchanged since the failed probe.
+    """
+    thread._bepoch = -1
+    enc = thread._enc
+    if enc is not None:
+        thread._enc = None
+        if journal is not None:
+            journal.append((OP_ENC, thread, enc))

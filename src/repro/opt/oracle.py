@@ -53,7 +53,7 @@ class Oracle:
 
     def __init__(self, model="wmm", entry="main", max_steps=2500,
                  max_states=400_000, reduce=True, jobs=1,
-                 robustness=True):
+                 robustness=True, engine=None):
         self.model = model
         self.entry = entry
         self.max_steps = max_steps
@@ -61,6 +61,12 @@ class Oracle:
         self.reduce = reduce
         self.jobs = jobs or 1
         self.robustness = robustness
+        #: Exploration engine override ("inplace"/"clone"); None keeps
+        #: the explorer default.  Deliberately *not* part of the verdict
+        #: cache key: the engines are verdict-identical by construction
+        #: (the engine-equivalence CI gate checks outcome and state
+        #: counts on every corpus program).
+        self.engine = engine
         self.baseline_outcome = None
         self.baseline_states = 0
         self.baseline_robust = False
@@ -140,12 +146,16 @@ class Oracle:
                     name="opt-probe", source=text, model=self.model,
                     level=None, entry=self.entry,
                     max_steps=self.max_steps, max_states=self.budget,
-                    reduce=self.reduce, is_ir=True,
+                    reduce=self.reduce, is_ir=True, engine=self.engine,
                 )
                 for _key, text in pending
             ]
             self.parallel_probes += len(tasks)
-            results = run_tasks(tasks, jobs=min(self.jobs, len(tasks)))
+            # jobs, not min(jobs, len(tasks)): the pool registry is
+            # keyed by worker count, so a constant count means every
+            # bisection round — whatever its batch size — reuses the
+            # same persistent workers (and their module caches).
+            results = run_tasks(tasks, jobs=self.jobs)
             for (key, _text), result in zip(pending, results):
                 self.checks_run += 1
                 self.states_total += result.states_explored
@@ -191,10 +201,11 @@ class Oracle:
 
     def _check(self, module, max_states):
         self.checks_run += 1
+        kwargs = {} if self.engine is None else {"engine": self.engine}
         result = check_module(
             module, model=self.model, entry=self.entry,
             max_steps=self.max_steps, max_states=max_states,
-            reduce=self.reduce,
+            reduce=self.reduce, **kwargs,
         )
         self.states_total += result.states_explored
         return result

@@ -38,6 +38,8 @@ class OptimizeTask:
     require_marks: bool = True
     #: Enable the oracle's static robustness fast path.
     robustness: bool = True
+    #: Exploration engine for the oracle's checks; None = default.
+    engine: str = None
 
 
 def run_optimize_task(task):
@@ -46,16 +48,12 @@ def run_optimize_task(task):
     Top-level (not a closure) so it pickles under every multiprocessing
     start method.
     """
-    from repro.api import compile_source, port_module
+    from repro.api import port_module
     from repro.core.config import PortingLevel
+    from repro.core.workers import cached_module
     from repro.opt.weaken import optimize_module
 
-    if task.is_ir:
-        from repro.ir.parser import parse_module
-
-        module = parse_module(task.source)
-    else:
-        module = compile_source(task.source, task.name)
+    module = cached_module(task.source, task.name, is_ir=task.is_ir)
     if task.level is not None:
         module, _report = port_module(
             module, PortingLevel(task.level), config=task.config
@@ -64,7 +62,7 @@ def run_optimize_task(task):
         module, model=task.model, entry=task.entry,
         max_steps=task.max_steps, max_states=task.max_states,
         require_marks=task.require_marks, clone=False,
-        robustness=task.robustness,
+        robustness=task.robustness, engine=task.engine,
     )
     return report.to_dict()
 

@@ -1,0 +1,68 @@
+"""Engine equivalence: clone and in-place explorers are interchangeable.
+
+The in-place engine (undo-log DFS + incremental digests) must be a pure
+substrate swap: on every program, under every model, it must report the
+same outcome AND the same exploration counts as the reference clone
+engine — ``states_explored``, ``states_visited`` and ``transitions``,
+not just the verdict.  This is the contract that lets the Oracle's
+verdict cache ignore the engine entirely.
+"""
+
+import pytest
+
+from repro.api import compile_source, port_module
+from repro.bench.corpus import BENCHMARKS
+from repro.core.config import PortingLevel
+from repro.mc.explorer import ENGINES, check_module
+from repro.mc.litmus import LITMUS_TESTS
+
+BOUNDS = dict(max_steps=600, max_states=400_000)
+CORPUS = ("message_passing", "ck_ring", "ck_spinlock_cas", "ck_sequence",
+          "lf_hash")
+
+
+def _results(module, model):
+    results = {}
+    for engine in ENGINES:
+        results[engine] = check_module(
+            module, model=model, engine=engine, **BOUNDS
+        )
+    return results
+
+
+def _assert_identical(results, label):
+    clone = results["clone"]
+    inplace = results["inplace"]
+    assert inplace.outcome == clone.outcome, label
+    assert inplace.states_explored == clone.states_explored, label
+    assert inplace.truncated == clone.truncated, label
+    assert inplace.stats.states_visited == clone.stats.states_visited, label
+    assert inplace.stats.transitions == clone.stats.transitions, label
+
+
+@pytest.mark.parametrize("name", CORPUS)
+@pytest.mark.parametrize("model", ["tso", "wmm"])
+def test_corpus_engines_identical(name, model):
+    bench = BENCHMARKS[name]
+    source = bench.mc_source()
+    module, _report = port_module(
+        compile_source(source, name), PortingLevel.ATOMIG
+    )
+    _assert_identical(_results(module, model), f"{name}/{model}")
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+def test_litmus_engines_identical(name):
+    source, expected = LITMUS_TESTS[name]
+    module = compile_source(source, f"litmus_{name}")
+    for model in expected:
+        results = _results(module, model)
+        _assert_identical(results, f"{name}/{model}")
+        # ... and both agree with the calibrated verdict.
+        assert results["inplace"].ok == expected[model], f"{name}/{model}"
+
+
+def test_unknown_engine_rejected():
+    module = compile_source(LITMUS_TESTS["SB"][0], "sb")
+    with pytest.raises(ValueError):
+        check_module(module, engine="warp")
