@@ -60,6 +60,13 @@ from repro.analysis.races import (
 )
 from repro.ir import instructions as ins
 
+#: Version of the ``atomig robustness --json`` payload.  Kept in
+#: lockstep with :data:`repro.core.report.LINT_SCHEMA_VERSION` (the two
+#: static-analysis payloads version together); bumped to 4 when
+#: witnesses gained deterministic ordering and results gained this
+#: field.
+ROBUSTNESS_SCHEMA_VERSION = 4
+
 #: Key classes whose same-key accesses may genuinely conflict.
 _CONFLICT_CAPABLE = (
     AccessClass.LOCK, AccessClass.RACY, AccessClass.UNKNOWN,
@@ -200,6 +207,7 @@ class RobustnessResult:
 
     def to_dict(self):
         return {
+            "schema_version": ROBUSTNESS_SCHEMA_VERSION,
             "module": self.module_name,
             "model": self.model,
             "robust": self.robust,
@@ -211,6 +219,49 @@ class RobustnessResult:
             "wall_seconds": self.wall_seconds,
             "notes": list(self.notes),
         }
+
+
+@dataclass
+class CriticalCycle:
+    """One enumerated critical cycle, rooted at its delayable pair."""
+
+    cycle_id: int = 0
+    #: Node ids of the delayable po pair that closes the cycle.
+    delay: tuple = ()
+    witness: RobustnessWitness = None
+
+    def to_dict(self):
+        return {
+            "cycle_id": self.cycle_id,
+            "delay": list(self.witness.delay),
+            "edges": len(self.witness.edges),
+        }
+
+
+@dataclass
+class CycleEnumeration:
+    """Bounded all-cycles enumeration — the fence synthesizer's input.
+
+    Per the analyzer's criterion a module is non-robust iff some
+    *delayable* pair closes a cycle, so cycles are enumerated per
+    delayable pair (its *culprits* are the pairs with at least one
+    cycle).  ``bounded`` is True when any cap (cycles per pair, total
+    cycles, path length, expansion budget) may have truncated the
+    enumeration; culprit membership stays exact regardless — pairs
+    whose bounded search starved fall back to the unbounded
+    single-cycle BFS.
+    """
+
+    model: str = "wmm"
+    cycles: list = field(default_factory=list)
+    #: Delayable (a, b) nid pairs closing >= 1 critical cycle, sorted
+    #: by location key.
+    culprits: list = field(default_factory=list)
+    #: Every delayable (a, b) nid pair, sorted by location key.
+    delayable: list = field(default_factory=list)
+    bounded: bool = False
+    #: nid -> _Node view shared with the analyzer (repair consumes it).
+    nodes: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -442,10 +493,7 @@ class RobustnessAnalyzer:
             po_edges.setdefault(a, set()).add(b)
         result.po_pairs = len(follows)
 
-        delayable = [
-            (a, b) for a, b in open_pairs
-            if self._delayable(self._cycle_nodes[a], self._cycle_nodes[b])
-        ]
+        delayable = self._sorted_delayable(open_pairs)
         result.delayable_pairs = len(delayable)
 
         for a, b in delayable:
@@ -458,6 +506,155 @@ class RobustnessAnalyzer:
                     break
         result.wall_seconds = time.perf_counter() - started
         return result
+
+    def _location_sort_key(self, nid):
+        """Stable source-position key: (function, block, index, kind).
+
+        Used wherever pair or witness *order* is observable (reports,
+        snapshots, repair provenance): set iteration order would tie
+        output to discovery order, which varies as unrelated code
+        reshuffles node ids.
+        """
+        node = self._cycle_nodes[nid]
+        return (node.function, node.block_label, node.index, node.kind)
+
+    def _sorted_delayable(self, open_pairs):
+        """Delayable pairs of ``open_pairs``, sorted by location key."""
+        return sorted(
+            (
+                (a, b) for a, b in open_pairs
+                if self._delayable(self._cycle_nodes[a],
+                                   self._cycle_nodes[b])
+            ),
+            key=lambda pair: (self._location_sort_key(pair[0]),
+                              self._location_sort_key(pair[1])),
+        )
+
+    def delayable_pairs(self):
+        """Sorted provenance pairs the model may currently delay.
+
+        One ``(provenance_a, provenance_b)`` tuple per delayable po
+        pair under the module's *current* orders — the observable
+        surface for the RMW read/write-half delay semantics (each
+        provenance names its ``half``).
+        """
+        _follows, open_pairs, _fences = self._run_dataflow()
+        nodes = self._cycle_nodes
+        return [
+            (nodes[a].provenance(), nodes[b].provenance())
+            for a, b in self._sorted_delayable(open_pairs)
+        ]
+
+    def enumerate_critical_cycles(self, max_cycles_per_pair=4,
+                                  max_total=64, max_len=5, budget=4000):
+        """Bounded enumeration of *all* critical cycles (repair input).
+
+        For each delayable pair (in location-key order) a depth-first
+        search over the alternating conflict/po meta-graph collects up
+        to ``max_cycles_per_pair`` distinct cycles, capped at
+        ``max_total`` cycles overall, ``max_len`` conflict edges per
+        cycle and ``budget`` node expansions per pair.  Every culprit
+        pair contributes at least one cycle (falling back to the
+        unbounded single-cycle BFS when the bounded search starves), so
+        culprit membership is exact even when ``bounded`` reports that
+        the cycle *list* may be incomplete.
+        """
+        enum = CycleEnumeration(model=self.model)
+        if self.model == "sc":
+            return enum
+        conflicts, _pruned = self._conflict_view()
+        follows, open_pairs, _fences = self._run_dataflow()
+        po_edges = {}
+        for a, b in follows:
+            po_edges.setdefault(a, set()).add(b)
+        enum.delayable = self._sorted_delayable(open_pairs)
+        enum.nodes = self._cycle_nodes
+        for a, b in enum.delayable:
+            room = max_total - len(enum.cycles)
+            if room <= 0:
+                enum.bounded = True
+            limit = max(1, min(max_cycles_per_pair, room))
+            witnesses, truncated = self._find_cycles(
+                a, b, po_edges, conflicts, limit=limit,
+                max_len=max_len, budget=budget,
+            )
+            if truncated:
+                enum.bounded = True
+            if not witnesses:
+                # Bounded search may starve before its first cycle on
+                # deep graphs; the BFS keeps culprit status exact.
+                fallback = self._find_cycle(a, b, po_edges, conflicts)
+                if fallback is not None:
+                    witnesses = [fallback]
+            if witnesses:
+                enum.culprits.append((a, b))
+                for witness in witnesses:
+                    enum.cycles.append(CriticalCycle(
+                        cycle_id=len(enum.cycles), delay=(a, b),
+                        witness=witness,
+                    ))
+        return enum
+
+    def _find_cycles(self, a, b, po_edges, conflicts, limit, max_len=5,
+                     budget=4000):
+        """Up to ``limit`` distinct critical cycles closing a ->po b.
+
+        Same meta-graph as :meth:`_find_cycle`, explored depth-first
+        with adjacency in sorted nid order (deterministic), bounded by
+        cycle length (conflict edges), an expansion budget and the
+        cycle count.  Returns ``(witnesses, truncated)`` where
+        ``truncated`` means some bound may have hidden further cycles.
+        """
+        if b not in conflicts:
+            return [], False
+        nodes = self._cycle_nodes
+        found = []
+        state = {"expansions": 0, "truncated": False}
+
+        def emit(path_edges, closing):
+            edges = ([("po-delay", a, b)] + list(path_edges)
+                     + [("conflict", closing, a)])
+            found.append(RobustnessWitness(
+                delay=(nodes[a].provenance(), nodes[b].provenance()),
+                edges=[
+                    {"kind": kind,
+                     "from": nodes[src].provenance(),
+                     "to": nodes[dst].provenance()}
+                    for kind, src, dst in edges
+                ],
+            ))
+
+        def dfs(u, path_edges, on_path, depth):
+            if len(found) >= limit:
+                state["truncated"] = True
+                return
+            state["expansions"] += 1
+            if state["expansions"] > budget or depth >= max_len:
+                state["truncated"] = True
+                return
+            for w in sorted(conflicts.get(u, ())):
+                if len(found) >= limit:
+                    return
+                if w == a:
+                    emit(path_edges, u)
+                    continue
+                if w in on_path:
+                    continue
+                # The conflicting thread contributes a single access...
+                dfs(w, path_edges + [("conflict", u, w)],
+                    on_path | {w}, depth + 1)
+                # ...or continues along one of its po pairs.
+                for v in sorted(po_edges.get(w, ())):
+                    if len(found) >= limit:
+                        return
+                    if v in on_path or v == w or v not in conflicts:
+                        continue
+                    dfs(v,
+                        path_edges + [("conflict", u, w), ("po", w, v)],
+                        on_path | {w, v}, depth + 1)
+
+        dfs(b, [], {b}, 0)
+        return found[:limit], state["truncated"]
 
     def _delayable(self, a, b):
         """May the model commit ``b`` before the earlier ``a``?"""

@@ -121,6 +121,24 @@ def run_module(module, entry="main", schedule_seed=0, cost_model=None,
     )
 
 
+def repair_module(module, **kwargs):
+    """Statically repair ``module`` to robustness (min-cost fences).
+
+    Enumerates every critical cycle the robustness analyzer can reach,
+    casts "break them all" as a min-cost cover over the delayable
+    program-order pairs that close them, and applies the solved set of
+    fence insertions / memory-order strengthenings.  Returns
+    ``(repaired_module, RepairReport)``; the repaired module
+    re-classifies robust, so its weak-model verdict provably equals its
+    (unchanged) SC verdict.  See
+    :func:`repro.analysis.repair.repair_module` for the knobs
+    (``model``, ``arch``, ``verify``...).
+    """
+    from repro.analysis.repair import repair_module as _repair
+
+    return _repair(module, **kwargs)
+
+
 def optimize_module(module, **kwargs):
     """Weaken ``module``'s barriers under a model-checking oracle.
 
@@ -144,5 +162,6 @@ __all__ = [
     "lint_module",
     "optimize_module",
     "port_module",
+    "repair_module",
     "run_module",
 ]

@@ -49,9 +49,11 @@ def _add_level_arg(parser):
 
 def _build_config(args):
     check_robustness = getattr(args, "check_robustness", False)
+    repair = getattr(args, "repair", False)
     if not (args.polling or args.barrier_seeds or args.strict_spinloops
             or args.no_inline or args.no_alias or args.prune_protected
-            or check_robustness or args.alias_mode != "type_based"):
+            or check_robustness or repair
+            or args.alias_mode != "type_based"):
         return None
     return AtoMigConfig(
         detect_polling_loops=args.polling,
@@ -61,6 +63,9 @@ def _build_config(args):
         alias_exploration=not args.no_alias,
         prune_protected=args.prune_protected,
         check_robustness=check_robustness,
+        repair_mode=repair,
+        repair_model=getattr(args, "repair_model", "wmm"),
+        repair_arch=getattr(args, "repair_arch", "armv8"),
         alias_mode=args.alias_mode,
     )
 
@@ -83,6 +88,18 @@ def _add_config_args(parser):
                         help="after porting, attach the static "
                              "Shasha-Snir robustness classification to "
                              "the report")
+    parser.add_argument("--repair", action="store_true",
+                        help="after porting, statically repair any "
+                             "remaining non-robustness with a min-cost "
+                             "set of fences / order strengthenings")
+    parser.add_argument("--repair-model", choices=["tso", "wmm"],
+                        default="wmm",
+                        help="memory model the --repair pass targets "
+                             "(default: wmm)")
+    parser.add_argument("--repair-arch", choices=["armv8", "power"],
+                        default="armv8",
+                        help="cost model weighting the --repair pass "
+                             "(default: armv8)")
     parser.add_argument("--alias-mode", choices=("type_based", "points_to"),
                         default="type_based",
                         help="location-key precision for alias exploration: "
@@ -101,6 +118,8 @@ def cmd_port(args):
         optimize=args.optimize,
     )
     print(report.summary())
+    if report.repair:
+        print(_repair_summary(report.repair))
     if report.optimization:
         print(_opt_summary(report.optimization))
     if report.spinloops:
@@ -131,6 +150,21 @@ def cmd_port(args):
         else:
             print(text)
     return 0
+
+
+def _repair_summary(payload):
+    """One-line rendering of a RepairReport dict."""
+    if not payload["rounds"]:
+        return (f"repair [{payload['model']}/{payload['arch']}]: "
+                f"already robust, nothing to repair")
+    status = "robust" if payload["robust_after"] else "STILL NON-ROBUST"
+    return (
+        f"repair [{payload['model']}/{payload['arch']}]: {status} — "
+        f"{payload['cycles_broken']} cycles broken by "
+        f"{payload['strengthened']} strengthenings + "
+        f"{payload['fences_added']} fences (+{payload['total_cost']} "
+        f"cycles, {payload['solver']} cover)"
+    )
 
 
 def _opt_summary(payload):
@@ -190,6 +224,9 @@ def cmd_optimize(args):
 def _check_results(args):
     """Run one check per requested model, possibly on a process pool."""
     reduce = not args.no_reduce
+    # --repair needs the porting pipeline even at level original (the
+    # repair stage lives there).
+    needs_port = args.level != "original" or args.repair
     if args.jobs and args.jobs > 1:
         from repro.mc.parallel import CheckTask, run_tasks
 
@@ -198,7 +235,7 @@ def _check_results(args):
         tasks = [
             CheckTask(
                 name=args.file, source=source, model=model,
-                level=None if args.level == "original" else args.level,
+                level=args.level if needs_port else None,
                 max_steps=args.max_steps, reduce=reduce,
                 config=_build_config(args), is_ir=args.file.endswith(".ir"),
                 robustness=args.robustness, engine=args.engine,
@@ -207,7 +244,7 @@ def _check_results(args):
         ]
         return zip(args.models, run_tasks(tasks, jobs=args.jobs))
     module = _load(args.file)
-    if args.level != "original":
+    if needs_port:
         module, _report = port_module(
             module, _LEVELS[args.level], config=_build_config(args)
         )
@@ -401,11 +438,16 @@ def _robustness_corpus(args):
 
     One line per benchmark with the original-level and atomig-level
     classification under ``--model`` — the snapshot CI diffs, so a
-    change in any module's robustness class is a loud event.
+    change in any module's robustness class is a loud event.  Witness
+    order is deterministic (sorted by location key), so the snapshot is
+    stable across runs.  ``--json`` emits one machine-readable
+    :class:`RobustnessResult` payload per benchmark and level instead,
+    with full per-access witness provenance.
     """
     from repro.analysis.robustness import analyze_robustness
     from repro.bench.corpus import BENCHMARKS
 
+    payloads = []
     for name in sorted(BENCHMARKS):
         benchmark = BENCHMARKS[name]
         source = benchmark.mc_source or benchmark.perf_source
@@ -420,10 +462,95 @@ def _robustness_corpus(args):
                     module.clone(), _LEVELS[level]
                 )
             result = analyze_robustness(work, model=args.model)
+            if args.json:
+                payload = result.to_dict()
+                payload["benchmark"] = name
+                payload["level"] = level
+                payloads.append(payload)
             verdict = "robust" if result.robust else "non-robust"
             fields.append(f"{level}={verdict}")
-        print(f"{name:20s} [{args.model}] {'  '.join(fields)}")
+        if not args.json:
+            print(f"{name:20s} [{args.model}] {'  '.join(fields)}")
+    if args.json:
+        import json
+
+        print(json.dumps(payloads, indent=2))
     return 0
+
+
+def cmd_repair(args):
+    """Statically repair a module to robustness (min-cost fences)."""
+    from repro.api import repair_module
+
+    if args.corpus:
+        return _repair_corpus(args)
+    if not args.file:
+        print("repair: a FILE is required unless --corpus is given")
+        return 2
+    module = _load(args.file)
+    if args.level != "original":
+        module, _report = port_module(
+            module, _LEVELS[args.level], config=_build_config(args)
+        )
+    repaired, report = repair_module(
+        module, model=args.model, arch=args.arch, verify=args.verify,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.emit_ir:
+        from repro.ir.printer import print_module
+
+        text = print_module(repaired)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"repaired IR written to {args.output}")
+        else:
+            print(text)
+    return 0 if report.robust_after else 1
+
+
+def _repair_corpus(args):
+    """Re-synthesize every corpus benchmark (the CI regression snapshot).
+
+    One line per benchmark: the robust blanket-SC baseline cost, the
+    synthesized repair cost under ``--arch``, the action mix and the
+    solver evidence (see
+    :func:`repro.analysis.repair.resynthesize_ported`).  Deterministic,
+    so CI can diff it against ``benchmarks/results/repair_corpus.txt``.
+    """
+    from repro.analysis.repair import resynthesize_ported
+    from repro.bench.corpus import BENCHMARKS
+
+    failures = 0
+    for name in sorted(BENCHMARKS):
+        benchmark = BENCHMARKS[name]
+        source = benchmark.mc_source or benchmark.perf_source
+        if source is None:
+            continue
+        module = compile_source(source(), name)
+        ported, _report = port_module(module, _LEVELS["atomig"])
+        _repaired, report = resynthesize_ported(
+            ported, model=args.model, arch=args.arch,
+        )
+        fallback = any("fell back" in note for note in report.notes)
+        if not report.robust_after:
+            failures += 1
+        print(
+            f"{name:28s} [{args.model}/{report.arch}]"
+            f" sc={report.incumbent.get('barriers', 0)}"
+            f" repair={report.barrier_cost_after}"
+            f" strengthened={report.strengthened}"
+            f" fences={report.fences_added}"
+            f" solver={report.solver}"
+            + (" fallback" if fallback else "")
+            + ("" if report.robust_after else " NON-ROBUST")
+        )
+    return 1 if failures else 0
 
 
 def cmd_litmus(args):
@@ -509,6 +636,12 @@ def cmd_tables(args):
             ["benchmark", "cost_sc", "cost_opt", "saved_pct", "weakened",
              "fences_gone", "frozen", "checks", "verdict_kept"],
             "Table 9: oracle-guided barrier weakening (SC vs optimized)"),
+        10: (lambda: T.table10(jobs=args.jobs),
+             ["benchmark", "arch", "cost_sc", "cost_repair", "cost_opt",
+              "strengthened", "fences", "solver", "robust_after",
+              "verdict_kept"],
+             "Table 10: static repair vs oracle weakening, per "
+             "architecture"),
     }
     for number in selected:
         if number not in specs:
@@ -686,6 +819,38 @@ def build_parser():
     _add_level_arg(robustness)
     _add_config_args(robustness)
     robustness.set_defaults(func=cmd_robustness)
+
+    repair = sub.add_parser(
+        "repair",
+        help="statically repair a module to robustness: break every "
+             "critical cycle with a min-cost set of fences / order "
+             "strengthenings",
+    )
+    repair.add_argument("file", nargs="?",
+                        help="Mini-C or .ir file to repair")
+    repair.add_argument("--model", choices=["tso", "wmm"], default="wmm",
+                        help="memory model to repair against "
+                             "(default: wmm)")
+    repair.add_argument("--arch", choices=["armv8", "power"],
+                        default="armv8",
+                        help="cost model weighting the repair "
+                             "(default: armv8)")
+    repair.add_argument("--json", action="store_true",
+                        help="emit the RepairReport as JSON")
+    repair.add_argument("--verify", action="store_true",
+                        help="model-check the repaired module with the "
+                             "robustness fast path and record the "
+                             "0-state evidence")
+    repair.add_argument("--emit-ir", action="store_true",
+                        help="print the repaired IR")
+    repair.add_argument("-o", "--output",
+                        help="write the repaired IR here")
+    repair.add_argument("--corpus", action="store_true",
+                        help="repair every corpus benchmark at atomig "
+                             "level (CI snapshot mode)")
+    _add_level_arg(repair)
+    _add_config_args(repair)
+    repair.set_defaults(func=cmd_repair)
 
     litmus = sub.add_parser("litmus", help="run calibration litmus tests")
     litmus.add_argument("names", nargs="*")

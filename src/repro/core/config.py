@@ -81,6 +81,18 @@ class AtoMigConfig:
     #: model checking: its WMM verdict equals its SC verdict.  Off by
     #: default — ``atomig check`` runs the same pre-pass on demand.
     check_robustness: bool = False
+    #: After porting, statically repair any remaining non-robustness:
+    #: enumerate critical cycles and break every one with a min-cost set
+    #: of fence insertions / order strengthenings
+    #: (:mod:`repro.analysis.repair`).  The repair runs *before* the
+    #: post-port verify so inserted fences are re-verified, and its
+    #: :class:`RepairReport` lands in ``report.repair``.  Off by
+    #: default — ``atomig repair`` / ``--repair`` switch it on.
+    repair_mode: bool = False
+    #: Memory model the repair targets (matches ``atomig check -m``).
+    repair_model: str = "wmm"
+    #: Cost-model name weighting the repair (``armv8`` / ``power``).
+    repair_arch: str = "armv8"
     #: Location-key precision for alias exploration.  ``type_based`` is
     #: the paper's scheme (global names + struct-field signatures);
     #: ``points_to`` additionally keys pointers by their Andersen

@@ -76,6 +76,27 @@ def run_porting(module, level=PortingLevel.ATOMIG, config=None,
     else:
         touched = _run_atomig(ported, level, config, report)
 
+    if config.repair_mode:
+        from repro.analysis.repair import repair_module
+
+        with stats.stage("repair"):
+            _, repair_report = repair_module(
+                ported, model=config.repair_model,
+                arch=config.repair_arch, clone=False,
+            )
+        report.repair = repair_report.to_dict()
+        if repair_report.rounds:
+            # Repaired functions carry new fences / orders: make sure
+            # the incremental verifier re-checks them.
+            if touched is not None:
+                touched |= {a.function for a in repair_report.actions}
+            report.notes.append(repair_report.summary())
+        if not repair_report.robust_after:
+            report.notes.append(
+                f"repair: module still non-robust under "
+                f"{config.repair_model} after repair"
+            )
+
     with stats.stage("verify"):
         if touched is None or not config.incremental_verify:
             verify_module(ported)

@@ -66,6 +66,10 @@ class PortingReport:
     #: config enables ``check_robustness`` (a
     #: :class:`repro.analysis.robustness.RobustnessResult` dict), else {}.
     robustness: dict = field(default_factory=dict)
+    #: Static fence-repair results when the config enables
+    #: ``repair_mode`` (a :class:`repro.analysis.repair.RepairReport`
+    #: dict), else {}.
+    repair: dict = field(default_factory=dict)
     #: Diagnostic notes (e.g. unknown inline asm).
     notes: list = field(default_factory=list)
 
@@ -115,6 +119,7 @@ class PortingReport:
             "stats": self.stats.to_dict(),
             "optimization": dict(self.optimization),
             "robustness": dict(self.robustness),
+            "repair": dict(self.repair),
             "notes": list(self.notes),
         }
 
@@ -133,8 +138,12 @@ class PortingReport:
 
 #: Version of the ``atomig lint --json`` payload.  Bump on any change
 #: to the structure below; the lint-corpus snapshot test asserts it so
-#: consumers notice schema drift loudly instead of silently.
-LINT_SCHEMA_VERSION = 3
+#: consumers notice schema drift loudly instead of silently.  Versioned
+#: in lockstep with
+#: :data:`repro.analysis.robustness.ROBUSTNESS_SCHEMA_VERSION` (4: the
+#: robustness payload gained ``schema_version`` + deterministic witness
+#: ordering, and porting reports gained ``repair``).
+LINT_SCHEMA_VERSION = 4
 
 
 @dataclass

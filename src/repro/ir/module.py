@@ -177,10 +177,22 @@ def _clone_function_body(source, target, new_module, value_map):
             )
         return mapped
 
+    # Allocas first: they are operand-free, and transforms (inlining,
+    # porters) may leave a use in an earlier-ordered block than its
+    # alloca, which the single in-order pass below cannot remap.
+    for block in source.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, ins.Alloca) and instr not in value_map:
+                value_map[instr] = ins.Alloca(instr.allocated_type)
+
     for block in source.blocks:
         clone_block = block_map[block]
         for instr in block.instructions:
-            cloned = _clone_instruction(instr, map_value, block_map, new_module)
+            cloned = value_map.get(instr)
+            if cloned is None:
+                cloned = _clone_instruction(
+                    instr, map_value, block_map, new_module
+                )
             cloned.source_line = instr.source_line
             cloned.marks = set(instr.marks)
             cloned.name = instr.name

@@ -23,14 +23,14 @@ from repro.ir.instructions import MemoryOrder
 #: *source* (without any porting mark) is presumed intentional.
 PORTER_ACCESS_MARKS = frozenset({
     "annotation", "spin_control", "optimistic_control", "sticky",
-    "naive", "polling_control", "barrier_seed", "volatile",
+    "naive", "polling_control", "barrier_seed", "volatile", "repair",
 })
 
 #: Marks identifying porter-inserted (not source-level) fences; only
 #: these are deletion candidates — a fence the programmer wrote is
 #: kept even when the oracle would tolerate its removal.
 PORTER_FENCE_MARKS = frozenset({
-    "optimistic", "explicit_ablation", "lasagne",
+    "optimistic", "explicit_ablation", "lasagne", "repair",
 })
 
 #: Sentinel "order" for fence-deletion rungs.

@@ -53,7 +53,7 @@ class Oracle:
 
     def __init__(self, model="wmm", entry="main", max_steps=2500,
                  max_states=400_000, reduce=True, jobs=1,
-                 robustness=True, engine=None):
+                 robustness=True, engine=None, analyzer=None):
         self.model = model
         self.entry = entry
         self.max_steps = max_steps
@@ -78,7 +78,11 @@ class Oracle:
         self.robustness_checks = 0
         self.robustness_hits = 0
         self._verdicts = {}
-        self._analyzer = None
+        #: An already-built :class:`RobustnessAnalyzer` bound to the
+        #: module this oracle will serve (the repair pass hands its
+        #: graph over so seeding the weakener costs no rebuild); lazily
+        #: built otherwise.
+        self._analyzer = analyzer
 
     # -- baseline ----------------------------------------------------------
 

@@ -40,6 +40,13 @@ class OptimizeTask:
     robustness: bool = True
     #: Exploration engine for the oracle's checks; None = default.
     engine: str = None
+    #: Seed the weakener from the static fence-repair pass (the
+    #: repaired minimal-fence module) instead of the raw port.
+    repair_seed: bool = False
+    #: Architecture cost-model name ("armv8" / "power"); None keeps the
+    #: default model.  Affects cost *reporting* and candidate ranking,
+    #: never the oracle's verdicts.
+    arch: str = None
 
 
 def run_optimize_task(task):
@@ -52,17 +59,21 @@ def run_optimize_task(task):
     from repro.core.config import PortingLevel
     from repro.core.workers import cached_module
     from repro.opt.weaken import optimize_module
+    from repro.vm.costs import cost_model_for
 
     module = cached_module(task.source, task.name, is_ir=task.is_ir)
     if task.level is not None:
         module, _report = port_module(
             module, PortingLevel(task.level), config=task.config
         )
+    cost_model = cost_model_for(task.arch) if task.arch else None
     _optimized, report = optimize_module(
         module, model=task.model, entry=task.entry,
         max_steps=task.max_steps, max_states=task.max_states,
+        cost_model=cost_model,
         require_marks=task.require_marks, clone=False,
         robustness=task.robustness, engine=task.engine,
+        repair_seed=task.repair_seed,
     )
     return report.to_dict()
 

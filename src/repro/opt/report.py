@@ -47,6 +47,10 @@ class OptimizationReport:
     robustness_hits: int = 0
     robustness_states_saved: int = 0
     baseline_robust: bool = False
+    #: Static fence-repair evidence when the run seeded from the repair
+    #: pass (``repair_seed=True``): a
+    #: :class:`repro.analysis.repair.RepairReport` dict, else {}.
+    repair: dict = field(default_factory=dict)
     #: Module-level cost estimates (repro.vm.costs.CostEstimate dicts).
     cost_before: dict = field(default_factory=dict)
     cost_after: dict = field(default_factory=dict)
@@ -94,6 +98,7 @@ class OptimizationReport:
             "robustness_hits": self.robustness_hits,
             "robustness_states_saved": self.robustness_states_saved,
             "baseline_robust": self.baseline_robust,
+            "repair": dict(self.repair),
             "cost_before": dict(self.cost_before),
             "cost_after": dict(self.cost_after),
             "barrier_cost_before": self.barrier_cost_before,

@@ -45,7 +45,7 @@ from repro.vm.costs import CostModel, estimate_cost
 def optimize_module(module, model="wmm", entry="main", max_steps=2500,
                     max_states=400_000, jobs=1, cost_model=None,
                     counts=None, require_marks=True, clone=True,
-                    robustness=True, engine=None):
+                    robustness=True, engine=None, repair_seed=False):
     """Weaken ``module``'s barriers as far as the oracle certifies.
 
     Returns ``(optimized_module, OptimizationReport)``.  The input
@@ -60,6 +60,15 @@ def optimize_module(module, model="wmm", entry="main", max_steps=2500,
     also considers SC accesses without porter provenance marks (for
     hand-written modules).  ``robustness=False`` disables the oracle's
     static fast path (every query explores).
+
+    ``repair_seed=True`` first runs the static fence-repair pass
+    (:func:`repro.analysis.repair.repair_module`) on the working module
+    so the weakener starts from a *robust* minimal-fence seed instead
+    of whatever (possibly non-robust) state it was handed: the oracle's
+    baseline then classifies robust, its static fast path answers
+    candidate queries without exploration, and the shared analyzer
+    graph is reused by both passes.  The repair evidence lands in
+    ``report.repair``.
     """
     started = time.perf_counter()
     work = module.clone() if clone else module
@@ -76,10 +85,24 @@ def optimize_module(module, model="wmm", entry="main", max_steps=2500,
         report.wall_seconds = time.perf_counter() - started
         return work, report
 
+    analyzer = None
+    if repair_seed and model != "sc":
+        from repro.analysis.repair import repair_module
+        from repro.analysis.robustness import RobustnessAnalyzer
+
+        analyzer = RobustnessAnalyzer(work, model=model)
+        _, repair_report = repair_module(
+            work, model=model, cost_model=costs, clone=False,
+            analyzer=analyzer,
+        )
+        report.repair = repair_report.to_dict()
+        if repair_report.rounds:
+            report.notes.append(repair_report.summary())
+
     oracle = Oracle(
         model=model, entry=entry, max_steps=max_steps,
         max_states=max_states, jobs=jobs, robustness=robustness,
-        engine=engine,
+        engine=engine, analyzer=analyzer,
     )
     baseline = oracle.establish(work)
     report.baseline_outcome = baseline.outcome

@@ -1,8 +1,9 @@
-"""Cycle cost model calibrated to Armv8 barrier measurements.
+"""Cycle cost models calibrated to per-architecture barrier measurements.
 
-The ratios follow "No Barrier in the Road: A Comprehensive Study and
-Optimization of ARM Barriers" (Liu, Zang, Chen — PPoPP 2020), the paper
-AtoMig cites for its implicit-over-explicit design decision:
+The default (Armv8) ratios follow "No Barrier in the Road: A
+Comprehensive Study and Optimization of ARM Barriers" (Liu, Zang, Chen —
+PPoPP 2020), the paper AtoMig cites for its implicit-over-explicit
+design decision:
 
 - one-way (implicit) barriers — LDAR / STLR — cost a small multiple of
   plain accesses;
@@ -12,6 +13,14 @@ AtoMig cites for its implicit-over-explicit design decision:
 
 Absolute values are abstract cycles; only ratios matter for the
 normalized slowdowns reported by the benchmark harness.
+
+:data:`COST_MODELS` names the per-architecture weight tables the fence
+synthesizer and Table 10 state their results against: ``armv8`` (the
+defaults above) and ``power``, a Power-like machine where acquire and
+release map to ``lwsync`` (expensive on *both* sides, unlike Armv8's
+nearly-free LDAR) and a full fence is ``hwsync`` — so the cheapest
+repair differs per architecture, which is the point of carrying the
+architecture name through the reports.
 """
 
 from dataclasses import dataclass
@@ -24,6 +33,9 @@ from repro.ir.instructions import MemoryOrder
 class CostModel:
     """Per-operation abstract cycle costs."""
 
+    #: Architecture the weights are calibrated for (reporting only;
+    #: never part of cost arithmetic).
+    name: str = "armv8"
     alu: int = 1
     branch: int = 1
     plain_load: int = 2
@@ -125,6 +137,42 @@ class CostModel:
         if isinstance(instr, ins.Fence):
             return self.fence
         raise TypeError(f"not a memory access or fence: {instr!r}")
+
+
+#: Named per-architecture weight tables.  ``armv8`` is the dataclass
+#: default (LDAR nearly free, STLR moderate, DMB expensive).  ``power``
+#: models an lwsync/hwsync machine: acquire *loads* are as expensive as
+#: release stores (both lower to lwsync-class barriers), full fences
+#: (hwsync) cost twice Armv8's DMB, and SC RMWs pay the surrounding
+#: sync pair.  Ratios loosely follow the lwsync/hwsync measurements in
+#: the literature; as everywhere in this module only ratios matter.
+COST_MODELS = {
+    "armv8": CostModel(),
+    "power": CostModel(
+        name="power",
+        acquire_load=14,
+        release_store=14,
+        fence=80,
+        rmw=16,
+        rmw_sc=44,
+    ),
+}
+
+
+def cost_model_for(arch):
+    """The named :class:`CostModel`, or ``arch`` itself when it already
+    is one (so every ``arch=`` knob accepts both spellings)."""
+    if isinstance(arch, CostModel):
+        return arch
+    if arch is None:
+        return COST_MODELS["armv8"]
+    try:
+        return COST_MODELS[arch]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {arch!r} "
+            f"(known: {', '.join(sorted(COST_MODELS))})"
+        ) from None
 
 
 def is_barrier(instr):

@@ -309,6 +309,114 @@ def test_live_fences_are_not_flagged():
     assert find_dead_fences(module) == []
 
 
+# -- RMW half delay semantics ----------------------------------------------
+#
+# Only the read half of an RMW acquires and only the write half
+# releases (mirroring machine.WindowEntry).  ``delayable_pairs()``
+# exposes the per-half provenance, so these tests pin down which half
+# blocks a delay.
+
+ACQUIRE_RMW = """
+int x = 0;
+int y = 0;
+
+void worker() {
+    atomic_fetch_add_explicit(&x, 1, memory_order_acquire);
+    atomic_store_explicit(&y, 1, memory_order_relaxed);
+}
+
+int main() {
+    int t = thread_create(worker);
+    atomic_store_explicit(&x, 5, memory_order_relaxed);
+    int r = atomic_load_explicit(&y, memory_order_relaxed);
+    thread_join(t);
+    return 0;
+}
+"""
+
+RELEASE_RMW = """
+int x = 0;
+int y = 0;
+
+void worker() {
+    atomic_store_explicit(&y, 1, memory_order_relaxed);
+    atomic_fetch_add_explicit(&x, 1, memory_order_release);
+}
+
+int main() {
+    int t = thread_create(worker);
+    atomic_store_explicit(&x, 5, memory_order_relaxed);
+    int r = atomic_load_explicit(&y, memory_order_relaxed);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def _worker_pairs(source, model):
+    module = compile_source(source, "rmw_halves")
+    analyzer = RobustnessAnalyzer(module, model=model)
+    return [
+        (a, b) for a, b in analyzer.delayable_pairs()
+        if a["function"] == "worker"
+    ]
+
+
+def test_acquire_rmw_read_half_blocks_delay_but_write_half_does_not():
+    pairs = _worker_pairs(ACQUIRE_RMW, "wmm")
+    halves = {a["half"] for a, _b in pairs if a["kind"].startswith("rmw")}
+    # The acquiring read half pins every later access; the write half
+    # of the same instruction does not acquire, so the later relaxed
+    # store may still overtake it.
+    assert halves == {"write"}
+    for a, b in pairs:
+        assert a["order"] == "acquire"
+        assert b["kind"] == "store"
+
+
+def test_release_rmw_write_half_blocks_delay_but_read_half_does_not():
+    pairs = _worker_pairs(RELEASE_RMW, "wmm")
+    halves = {b["half"] for _a, b in pairs if b["kind"].startswith("rmw")}
+    # The releasing write half must wait for every earlier access; the
+    # read half of the same instruction does not release, so it may
+    # still commit early.
+    assert halves == {"read"}
+    for _a, b in pairs:
+        assert b["order"] == "release"
+
+
+def test_only_one_half_of_an_rmw_is_ever_the_culprit():
+    """Regression: the two halves of one instruction must be tracked
+    independently — a repair that strengthens the wrong half would
+    leave the delayable half uncovered."""
+    module = compile_source(RELEASE_RMW, "rmw_halves")
+    analyzer = RobustnessAnalyzer(module, model="wmm")
+    rmw_sides = [
+        b["half"] for _a, b in analyzer.delayable_pairs()
+        if b["kind"].startswith("rmw")
+    ]
+    assert rmw_sides == ["read"]
+
+
+def test_tso_rmw_halves_drain_the_buffer():
+    """Under TSO an RMW drains the store buffer: neither half can be
+    delayed past, and neither half can itself overtake."""
+    for source in (ACQUIRE_RMW, RELEASE_RMW):
+        module = compile_source(source, "rmw_halves")
+        analyzer = RobustnessAnalyzer(module, model="tso")
+        for a, b in analyzer.delayable_pairs():
+            assert not a["kind"].startswith("rmw"), (a, b)
+            assert not b["kind"].startswith("rmw"), (a, b)
+            assert a["kind"] == "store" and b["kind"] == "load"
+
+
+def test_delayable_pairs_order_is_deterministic():
+    module = compile_source(ACQUIRE_RMW, "rmw_halves")
+    first = RobustnessAnalyzer(module, model="wmm").delayable_pairs()
+    second = RobustnessAnalyzer(module, model="wmm").delayable_pairs()
+    assert first == second
+
+
 def test_lint_report_carries_dead_fences():
     from repro.api import lint_module
     from repro.core.report import LINT_SCHEMA_VERSION
@@ -316,7 +424,7 @@ def test_lint_report_carries_dead_fences():
     module = compile_source(DEAD_FENCE_EXAMPLE, "fences")
     report = lint_module(module)
     payload = report.to_dict()
-    assert payload["schema_version"] == LINT_SCHEMA_VERSION == 3
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION == 4
     assert len(payload["dead_fences"]) == 2
     assert "dead fences" in report.summary()
     assert "[dead-fence]" in report.render()

@@ -1,0 +1,73 @@
+"""Property test: static fence repair always restores robustness.
+
+For every weakened-litmus gallery entry and *any* verifier-legal order
+assignment over its slots, ``repair_module`` must return a robust
+module, the recorded actions must replay deterministically onto a
+fresh compile, and the synthesized cost must never exceed the blanket
+all-SC assignment — repair is a minimization, not just a fix.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.repair import repair_module
+from repro.analysis.robustness import analyze_robustness
+from repro.api import compile_source
+from repro.ir.printer import print_module
+from repro.mc.litmus import WEAKENED_LITMUS, weakened_source
+from repro.vm.costs import cost_model_for, estimate_cost
+
+STORE_ORDERS = ("memory_order_relaxed", "memory_order_release",
+                "memory_order_seq_cst")
+LOAD_ORDERS = ("memory_order_relaxed", "memory_order_acquire",
+               "memory_order_seq_cst")
+
+
+@st.composite
+def gallery_assignments(draw):
+    """(name, overrides): any legal orders for one gallery entry."""
+    name = draw(st.sampled_from(sorted(WEAKENED_LITMUS)))
+    _template, minimal, _too_weak = WEAKENED_LITMUS[name]
+    overrides = {
+        slot: draw(st.sampled_from(
+            STORE_ORDERS if slot.startswith("w") else LOAD_ORDERS
+        ))
+        for slot in sorted(minimal)
+    }
+    return name, overrides
+
+
+def _compile(name, overrides):
+    return compile_source(weakened_source(name, overrides), name)
+
+
+@given(gallery_assignments())
+@settings(max_examples=50, deadline=None)
+def test_repair_always_restores_robustness(assignment):
+    name, overrides = assignment
+    repaired, report = repair_module(_compile(name, overrides),
+                                     model="wmm")
+    assert report.robust_after, report.render()
+    assert analyze_robustness(repaired, model="wmm").robust
+
+
+@given(gallery_assignments())
+@settings(max_examples=25, deadline=None)
+def test_repair_replays_and_never_exceeds_blanket_sc(assignment):
+    name, overrides = assignment
+    model = cost_model_for("armv8")
+    repaired, report = repair_module(_compile(name, overrides),
+                                     model="wmm", arch="armv8")
+    # Replay: the recorded actions reproduce the repair exactly.
+    fresh = _compile(name, overrides)
+    report.apply(fresh)
+    assert print_module(fresh) == print_module(repaired)
+    # Minimality bound: never costlier than forcing every slot to SC.
+    _template, minimal, _too_weak = WEAKENED_LITMUS[name]
+    all_sc = _compile(name, {slot: "memory_order_seq_cst"
+                             for slot in minimal})
+    sc_cost = estimate_cost(all_sc, model).barriers
+    assert report.barrier_cost_after <= sc_cost, (
+        f"{name}: repair {report.barrier_cost_after} > blanket SC "
+        f"{sc_cost} for {overrides}"
+    )

@@ -278,3 +278,74 @@ def test_tables_9_runs(capsys):
     rows = T.table9(benchmarks=("ck_spinlock_cas",))
     assert rows[0]["verdict_kept"]
     assert rows[0]["cost_opt"] < rows[0]["cost_sc"]
+
+
+def test_repair_command_fixes_unported_spinlock(tas_file, capsys):
+    # At level original the TAS spinlock is non-robust under the WMM;
+    # the repair must synthesize order back and exit 0.
+    assert main(["repair", tas_file, "--level", "original"]) == 0
+    out = capsys.readouterr().out
+    assert "non-robust" in out or "robust" in out
+    assert "NON-ROBUST after repair" not in out
+
+
+def test_repair_json_output_with_verify(tas_file, capsys):
+    assert main(["repair", tas_file, "--level", "original", "--json",
+                 "--verify"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["robust_after"]
+    assert payload["rounds"], "no repair rounds on a non-robust input"
+    assert payload["verify"]["verdict_source"] == "robustness"
+    assert payload["verify"]["states"] == 0
+    assert payload["cost_after"]["barriers"] >= \
+        payload["cost_before"]["barriers"]
+
+
+def test_repair_emit_ir_round_trips(tas_file, tmp_path, capsys):
+    out_path = tmp_path / "repaired.ir"
+    assert main(["repair", tas_file, "--level", "original", "--emit-ir",
+                 "-o", str(out_path)]) == 0
+    from repro.analysis.robustness import analyze_robustness
+    from repro.ir.parser import parse_module
+
+    module = parse_module(out_path.read_text())
+    assert analyze_robustness(module, model="wmm").robust
+
+
+def test_repair_requires_file_or_corpus(capsys):
+    assert main(["repair"]) == 2
+    assert "FILE is required" in capsys.readouterr().out
+
+
+def test_repair_power_arch_reported(tas_file, capsys):
+    assert main(["repair", tas_file, "--level", "original", "--arch",
+                 "power", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["arch"] == "power"
+
+
+def test_port_repair_flag_prints_summary(tas_file, capsys):
+    assert main(["port", tas_file, "--level", "original",
+                 "--repair"]) == 0
+    out = capsys.readouterr().out
+    assert "repair [wmm/armv8]:" in out
+
+
+def test_check_repair_flag_keeps_verdict(mp_file, capsys):
+    assert main(["check", mp_file, "--models", "wmm", "--repair"]) == 0
+    out = capsys.readouterr().out
+    assert "violation" not in out
+
+
+def test_robustness_corpus_json(capsys):
+    from repro.analysis.robustness import ROBUSTNESS_SCHEMA_VERSION
+
+    assert main(["robustness", "--corpus", "--json"]) == 0
+    payloads = json.loads(capsys.readouterr().out)
+    assert payloads, "corpus produced no JSON payloads"
+    names = {p["benchmark"] for p in payloads}
+    assert len(names) > 10
+    for payload in payloads:
+        assert payload["schema_version"] == ROBUSTNESS_SCHEMA_VERSION == 4
+        assert payload["level"] in ("original", "atomig")
+        assert {"robust", "model", "witnesses"} <= set(payload)
