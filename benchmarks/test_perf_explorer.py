@@ -1,6 +1,6 @@
 """Exploration-performance gate: reduction, engine identity, throughput.
 
-Three families of guarantees, all measured on the Table-2 corpus and
+Four families of guarantees, all measured on the Table-2 corpus and
 recorded in ``BENCH_mc.json`` so the perf trajectory is tracked from
 PR 2 onward (EXPERIMENTS.md):
 
@@ -17,6 +17,14 @@ PR 2 onward (EXPERIMENTS.md):
   programs.  Floors are set from measured single-core container runs
   with ≥2x headroom for timer noise (see EXPERIMENTS.md for the
   methodology and the honest numbers).
+- **Source-DPOR** (PR 9): the ``por="dpor"`` backend must stay
+  verdict-identical to sleep everywhere, beat sleep ≥2x on the median
+  of its gate trio (states_visited), never exceed sleep on the
+  conflict-light programs, and stay under an honesty ceiling on the
+  convergent spin-loop programs — where the *stateful* sleep+dedup
+  engine structurally wins because distinct Mazurkiewicz classes
+  collapse into few unique states, a regime stateless DPOR cannot
+  exploit by construction.
 
 Gate workloads are the Table-2 corpus programs; where the default
 model-checking client is fully lock-serialized (one contended address —
@@ -67,6 +75,20 @@ MIN_PROGRAMS_OVER_SPS_FLOOR = 3
 #: The in-place engine must beat the clone engine's wall clock by this
 #: factor on the corpus median (measured 1.9x-4.0x per program).
 ENGINE_SPEEDUP_FLOOR = 1.3
+#: Source-DPOR gate trio: the median sleep-vs-dpor states_visited ratio
+#: over these programs must clear the floor (measured 0.71x / 18.3x /
+#: 2.44x → median 2.44x; floor keeps headroom for count drift).
+DPOR_GATE_PROGRAMS = ("ck_ring", "ck_spinlock_mcs", "lf_hash")
+DPOR_MEDIAN_FLOOR = 2.0
+#: Conflict-light programs (locks, disjoint addresses): DPOR must never
+#: visit more states than sleep — this is its headline regime.
+DPOR_CONFLICT_LIGHT = ("ck_spinlock_cas", "ck_spinlock_mcs", "lf_hash")
+#: Convergent spin-loop programs where stateless DPOR structurally
+#: loses to the stateful sleep+dedup engine (equivalence classes
+#: outnumber unique states).  Bounded, not hidden: DPOR may visit at
+#: most this multiple of sleep's states (measured 1.41x / 27.4x).
+DPOR_CYCLE_HEAVY = ("ck_ring", "ck_sequence")
+DPOR_BLOWUP_CEILING = 40.0
 
 
 def _rate(states, wall_seconds):
@@ -101,6 +123,7 @@ def _measure_rows():
                                engine="inplace", **BOUNDS)
         clone = check_module(ported, model="wmm", reduce=True,
                              engine="clone", **BOUNDS)
+        dpor = check_module(ported, model="wmm", por="dpor", **BOUNDS)
         rows.append({
             "program": name,
             "client": "gate" if bench.gate_source else "mc",
@@ -140,6 +163,28 @@ def _measure_rows():
             ),
             "reduction_ratio": (
                 oracle.states_explored / max(inplace.states_explored, 1)
+            ),
+            "dpor": {
+                "outcome": dpor.outcome,
+                "states_explored": dpor.states_explored,
+                "states_visited": dpor.stats.states_visited,
+                "transitions": dpor.stats.transitions,
+                "wall_seconds": dpor.stats.wall_seconds,
+                "races_detected": dpor.stats.races_detected,
+                "backtrack_points": dpor.stats.backtrack_points,
+                "equivalence_classes": dpor.stats.equivalence_classes,
+                "stats": dpor.stats.to_dict(),
+            },
+            "dpor_verdict_matches": (
+                dpor.ok == inplace.ok
+                and dpor.outcome == inplace.outcome
+                and dpor.truncated == inplace.truncated
+            ),
+            #: sleep states_visited / dpor states_visited — >1 means
+            #: DPOR did less work than the sleep-set backend.
+            "dpor_ratio": (
+                inplace.stats.states_visited
+                / max(dpor.stats.states_visited, 1)
             ),
         })
     return rows
@@ -213,6 +258,51 @@ def test_engine_speedup(gate_rows):
     )
 
 
+def test_dpor_verdict_identity_on_gate_set(gate_rows):
+    """DPOR is only admissible if it never changes a verdict."""
+    for row in gate_rows:
+        assert row["dpor_verdict_matches"], (
+            row["program"], row["dpor"]["outcome"], row["verdict"]
+        )
+
+
+def test_dpor_median_reduction_on_gate_trio(gate_rows):
+    """DPOR must beat sleep ≥2x on the median of its gate trio."""
+    ratios = {row["program"]: row["dpor_ratio"] for row in gate_rows}
+    trio = [ratios[name] for name in DPOR_GATE_PROGRAMS]
+    median = statistics.median(trio)
+    assert median >= DPOR_MEDIAN_FLOOR, (
+        f"median sleep-vs-dpor ratio {median:.2f}x < {DPOR_MEDIAN_FLOOR}x "
+        f"on {DPOR_GATE_PROGRAMS}; per program: "
+        f"{ {n: round(ratios[n], 2) for n in DPOR_GATE_PROGRAMS} }"
+    )
+
+
+def test_dpor_never_worse_on_conflict_light(gate_rows):
+    """Conflict-light programs: DPOR ≤ sleep on states visited."""
+    rows = {row["program"]: row for row in gate_rows}
+    for name in DPOR_CONFLICT_LIGHT:
+        row = rows[name]
+        assert (row["dpor"]["states_visited"]
+                <= row["engines"]["inplace"]["states_visited"]), (
+            name,
+            row["dpor"]["states_visited"],
+            row["engines"]["inplace"]["states_visited"],
+        )
+
+
+def test_dpor_blowup_bounded_on_cycle_heavy(gate_rows):
+    """Convergent spin loops: the structural loss stays bounded."""
+    rows = {row["program"]: row for row in gate_rows}
+    for name in DPOR_CYCLE_HEAVY:
+        row = rows[name]
+        sleep_visited = row["engines"]["inplace"]["states_visited"]
+        assert (row["dpor"]["states_visited"]
+                <= DPOR_BLOWUP_CEILING * max(sleep_visited, 1)), (
+            name, row["dpor"]["states_visited"], sleep_visited
+        )
+
+
 def test_bench_mc_json_regenerated(gate_rows, results_dir):
     payload = {
         "model": "wmm",
@@ -222,6 +312,11 @@ def test_bench_mc_json_regenerated(gate_rows, results_dir):
         "min_programs_over_floor": MIN_PROGRAMS_OVER_FLOOR,
         "states_per_second_floor": STATES_PER_SECOND_FLOOR,
         "engine_speedup_floor": ENGINE_SPEEDUP_FLOOR,
+        "dpor_gate_programs": list(DPOR_GATE_PROGRAMS),
+        "dpor_median_floor": DPOR_MEDIAN_FLOOR,
+        "dpor_conflict_light": list(DPOR_CONFLICT_LIGHT),
+        "dpor_cycle_heavy": list(DPOR_CYCLE_HEAVY),
+        "dpor_blowup_ceiling": DPOR_BLOWUP_CEILING,
         "rows": gate_rows,
         "summary": {
             "programs_over_floor": sorted(
@@ -237,6 +332,17 @@ def test_bench_mc_json_regenerated(gate_rows, results_dir):
             "median_engine_speedup": statistics.median(
                 row["engine_speedup"] for row in gate_rows
             ),
+            "all_dpor_verdicts_match": all(
+                row["dpor_verdict_matches"] for row in gate_rows
+            ),
+            "dpor_gate_median": statistics.median(
+                row["dpor_ratio"] for row in gate_rows
+                if row["program"] in DPOR_GATE_PROGRAMS
+            ),
+            "dpor_ratios": {
+                row["program"]: round(row["dpor_ratio"], 3)
+                for row in gate_rows
+            },
         },
     }
     path = os.path.join(results_dir, "BENCH_mc.json")

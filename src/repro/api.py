@@ -63,25 +63,29 @@ def port_module(module, level=PortingLevel.ATOMIG, config=None,
 
 
 def check_module(module, model="wmm", max_steps=2500, max_states=2_000_000,
-                 reduce=True, robustness=False, engine=None):
+                 reduce=None, robustness=False, engine=None, por=None,
+                 macro=None):
     """Exhaustively model-check ``module`` starting from ``main``.
 
     ``model`` is ``"sc"``, ``"tso"`` or ``"wmm"``.  Returns a
     :class:`repro.mc.explorer.CheckResult` whose ``violation`` field
     holds a counterexample trace when an assertion can fail.
-    ``reduce=False`` turns off the partial-order reduction and explores
-    every interleaving (slow; used as the oracle in perf tests).
-    ``robustness=True`` tries the static critical-cycle pre-pass first
-    and skips exploration for provably robust modules.  ``engine``
-    selects the exploration engine (``"inplace"``/``"clone"``); the
-    default is the explorer's (the fast in-place engine).
+    Reduction is controlled by ``por`` (``"none"``/``"sleep"``/
+    ``"dpor"``) and ``macro`` (``"on"``/``"off"``); ``reduce=False``
+    is the deprecated alias for turning both off (the slow oracle in
+    perf tests).  All backends return identical verdicts by
+    construction.  ``robustness=True`` tries the static critical-cycle
+    pre-pass first and skips exploration for provably robust modules.
+    ``engine`` selects the exploration engine (``"inplace"``/
+    ``"clone"``); the default is the explorer's (the fast in-place
+    engine).
     """
     from repro.mc.explorer import check_module as _check
 
     kwargs = {} if engine is None else {"engine": engine}
     return _check(module, model=model, max_steps=max_steps,
-                  max_states=max_states, reduce=reduce,
-                  robustness=robustness, **kwargs)
+                  max_states=max_states, reduce=reduce, por=por,
+                  macro=macro, robustness=robustness, **kwargs)
 
 
 def lint_module(module, name_heuristic=True):

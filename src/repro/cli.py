@@ -223,7 +223,9 @@ def cmd_optimize(args):
 
 def _check_results(args):
     """Run one check per requested model, possibly on a process pool."""
-    reduce = not args.no_reduce
+    # --no-reduce is the deprecated both-knobs-off alias; the explicit
+    # --por/--macro flags win over it (resolve_reduction's contract).
+    reduce = False if args.no_reduce else None
     # --repair needs the porting pipeline even at level original (the
     # repair stage lives there).
     needs_port = args.level != "original" or args.repair
@@ -237,6 +239,7 @@ def _check_results(args):
                 name=args.file, source=source, model=model,
                 level=args.level if needs_port else None,
                 max_steps=args.max_steps, reduce=reduce,
+                por=args.por, macro=args.macro,
                 config=_build_config(args), is_ir=args.file.endswith(".ir"),
                 robustness=args.robustness, engine=args.engine,
             )
@@ -252,6 +255,7 @@ def _check_results(args):
     return (
         (model, check_module(
             module, model=model, max_steps=args.max_steps, reduce=reduce,
+            por=args.por, macro=args.macro,
             robustness=args.robustness, **engine_kwargs,
         ))
         for model in args.models
@@ -730,8 +734,20 @@ def build_parser():
     check.add_argument("--stats", action="store_true",
                        help="print exploration statistics per model")
     check.add_argument("--no-reduce", action="store_true",
-                       help="disable partial-order reduction and "
-                            "macro-stepping (the slow oracle)")
+                       help="deprecated alias for '--por none --macro "
+                            "off' (disable partial-order reduction and "
+                            "macro-stepping together)")
+    check.add_argument("--por", default=None,
+                       choices=["none", "sleep", "dpor"],
+                       help="partial-order-reduction backend: 'sleep' "
+                            "(Godefroid sleep sets, the default), "
+                            "'dpor' (source-DPOR with happens-before "
+                            "clocks and race-driven backtracking), or "
+                            "'none' (enumerate every interleaving)")
+    check.add_argument("--macro", default=None, choices=["on", "off"],
+                       help="macro-stepping of single-choice runs "
+                            "(default on; independent of --por so "
+                            "ablations can isolate each reduction)")
     check.add_argument("--robustness", default=True,
                        action=argparse.BooleanOptionalAction,
                        help="skip exploration for statically robust "

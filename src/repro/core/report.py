@@ -255,7 +255,13 @@ def format_exploration_stats(stats):
     Multi-line, aligned — what ``atomig check --stats`` prints under
     each model's verdict line.
     """
-    rows = [
+    rows = []
+    if getattr(stats, "engine", "") or getattr(stats, "por", ""):
+        backend = f"{stats.engine or '?'} engine, por={stats.por or '?'}"
+        if getattr(stats, "macro", ""):
+            backend += f", macro={stats.macro}"
+        rows.append(("backend", backend))
+    rows += [
         ("scheduling decisions", f"{stats.states_explored}"),
         ("states visited", f"{stats.states_visited}"),
         ("transitions", f"{stats.transitions}"),
@@ -264,6 +270,16 @@ def format_exploration_stats(stats):
         ("sleep-set prunes", f"{stats.sleep_prunes}"),
         ("self-loop prunes", f"{stats.loop_prunes}"),
         ("dedup hits", f"{stats.dedup_hits}"),
+    ]
+    if getattr(stats, "por", "") == "dpor":
+        rows += [
+            ("races detected", f"{stats.races_detected}"),
+            ("backtrack points", f"{stats.backtrack_points}"),
+            ("wakeup re-explorations", f"{stats.wakeup_reexplorations}"),
+            ("equivalence classes", f"{stats.equivalence_classes}"),
+            ("cycle expansions", f"{stats.cycle_expansions}"),
+        ]
+    rows += [
         ("peak frontier", f"{stats.peak_frontier}"),
         ("compression", f"{stats.compression_ratio:.1f}x"),
         ("throughput", f"{stats.states_per_second:,.0f} states/s"),

@@ -40,6 +40,7 @@ from-scratch recomputation.
 """
 
 import hashlib
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -50,15 +51,59 @@ from repro.mc.models import get_model
 from repro.mc.undo import revert
 
 ENGINES = ("inplace", "clone")
+#: Partial-order-reduction backends: Godefroid sleep sets (the PR-2
+#: default), source-DPOR over reads-from equivalence (PR 9,
+#: :mod:`repro.mc.dpor`), or none (the slow validation oracle).
+PORS = ("none", "sleep", "dpor")
+MACROS = ("on", "off")
+
+
+def resolve_reduction(reduce=None, por=None, macro=None):
+    """Resolve the split ``por``/``macro`` knobs and the legacy alias.
+
+    ``reduce=`` historically disabled sleep sets *and* macro-stepping
+    together; it survives as a deprecated alias so existing callers
+    keep their exact semantics: ``reduce=False`` maps to
+    ``(por="none", macro="off")``, anything else to
+    ``(por="sleep", macro="on")``.  Explicit ``por``/``macro`` values
+    win over the alias, so ablations can isolate each reduction.
+
+    Returns ``(por, macro_on)`` with ``por`` validated against
+    :data:`PORS` and ``macro_on`` a bool.
+    """
+    if por is None:
+        por = "none" if reduce is False else "sleep"
+    if por not in PORS:
+        raise ValueError(f"unknown por backend {por!r} (use one of {PORS})")
+    if macro is None:
+        macro = "off" if reduce is False else "on"
+    if macro in (True, False):  # tolerate programmatic booleans
+        macro = "on" if macro else "off"
+    if macro not in MACROS:
+        raise ValueError(f"unknown macro mode {macro!r} (use 'on'/'off')")
+    return por, macro == "on"
 
 
 @dataclass
 class ExplorationStats:
-    """Observability record for one exploration (``atomig check --stats``)."""
+    """Observability record for one exploration (``atomig check --stats``).
+
+    Serialized rows (``to_dict``/``to_json``) carry a ``schema``
+    version plus the ``engine``/``por``/``macro`` configuration that
+    produced them, so BENCH_mc.json cells are self-describing and a
+    consumer can tell a sleep-set row from a DPOR row without context.
+    Schema history: 1 = unversioned PR-7 shape (counters only);
+    2 = adds version + provenance + the DPOR counters.
+    """
+
+    #: to_dict()/to_json() layout version.
+    SCHEMA = 2
 
     #: Scheduling decision points (mirrored into CheckResult).
     states_explored: int = 0
-    #: Unique canonical states inserted into the dedup set.
+    #: Unique canonical states inserted into the dedup set (sleep/none
+    #: backends) or exploration-tree states visited (DPOR, which is
+    #: stateless and never dedups across branches).
     states_visited: int = 0
     #: Actions applied (including macro/ample steps).
     transitions: int = 0
@@ -76,6 +121,24 @@ class ExplorationStats:
     dedup_hits: int = 0
     #: Largest DFS frontier (stack) observed.
     peak_frontier: int = 0
+    #: DPOR: reversible races detected between concurrent events.
+    races_detected: int = 0
+    #: DPOR: reversal actions scheduled into backtrack (todo) sets.
+    backtrack_points: int = 0
+    #: DPOR: scheduled reversals that had to evict a sleeping action
+    #: (wakeup handling, so a reversal is not re-pruned).
+    wakeup_reexplorations: int = 0
+    #: DPOR: maximal executions explored — one per reads-from
+    #: equivalence class reached (plus bound-truncated prefixes).
+    equivalence_classes: int = 0
+    #: DPOR: path cycles detected, each conservatively re-expanded.
+    cycle_expansions: int = 0
+    #: Provenance: exploration substrate ("inplace"/"clone").
+    engine: str = ""
+    #: Provenance: partial-order-reduction backend ("none"/"sleep"/"dpor").
+    por: str = ""
+    #: Provenance: macro-stepping ("on"/"off").
+    macro: str = ""
     wall_seconds: float = 0.0
 
     @property
@@ -93,6 +156,10 @@ class ExplorationStats:
 
     def to_dict(self):
         return {
+            "schema": self.SCHEMA,
+            "engine": self.engine,
+            "por": self.por,
+            "macro": self.macro,
             "states_explored": self.states_explored,
             "states_visited": self.states_visited,
             "transitions": self.transitions,
@@ -101,24 +168,50 @@ class ExplorationStats:
             "sleep_prunes": self.sleep_prunes,
             "loop_prunes": self.loop_prunes,
             "dedup_hits": self.dedup_hits,
+            "races_detected": self.races_detected,
+            "backtrack_points": self.backtrack_points,
+            "wakeup_reexplorations": self.wakeup_reexplorations,
+            "equivalence_classes": self.equivalence_classes,
+            "cycle_expansions": self.cycle_expansions,
             "peak_frontier": self.peak_frontier,
             "wall_seconds": self.wall_seconds,
             "states_per_second": self.states_per_second,
             "compression_ratio": self.compression_ratio,
         }
 
+    def to_json(self):
+        return json.dumps(self.to_dict(), sort_keys=True)
+
     def summary(self):
+        provenance = ""
+        if self.engine or self.por:
+            bits = [b for b in (self.engine, self.por) if b]
+            if self.macro:
+                bits.append(f"macro={self.macro}")
+            provenance = f"[{'/'.join(bits)}] "
+        dpor = ""
+        if self.por == "dpor":
+            dpor = (
+                f", {self.races_detected} races -> "
+                f"{self.backtrack_points} backtracks "
+                f"({self.wakeup_reexplorations} wakeups), "
+                f"{self.equivalence_classes} equivalence classes"
+            )
         return (
+            f"{provenance}"
             f"{self.states_explored} decisions / {self.states_visited} states "
             f"/ {self.transitions} transitions "
             f"({self.compression_ratio:.1f}x compressed), "
             f"{self.macro_steps} macro + {self.ample_steps} ample steps, "
             f"{self.sleep_prunes} sleep + {self.loop_prunes} loop prunes, "
-            f"{self.dedup_hits} dedup hits, "
+            f"{self.dedup_hits} dedup hits{dpor}, "
             f"frontier {self.peak_frontier}, "
             f"{self.states_per_second:,.0f} states/s, "
             f"{self.wall_seconds:.3f}s"
         )
+
+    def __str__(self):
+        return self.summary()
 
 
 @dataclass
@@ -245,15 +338,30 @@ def _independent(key_a, key_b):
 
 
 def check_module(module, model="wmm", entry="main", max_steps=2500,
-                 max_states=2_000_000, reduce=True, robustness=False,
-                 engine="inplace"):
+                 max_states=2_000_000, reduce=None, robustness=False,
+                 engine="inplace", por=None, macro=None):
     """Exhaustively check all executions of ``module`` from ``entry``.
 
     Returns the first assertion violation found (depth-first order) or
     an ``ok`` result once the reachable quiescent-state space is
-    exhausted.  ``reduce=False`` disables the partial-order reduction
-    and macro-stepping (the unreduced explorer is the oracle the
-    reduction is validated against).
+    exhausted.
+
+    Reduction is controlled by two independent knobs (resolved by
+    :func:`resolve_reduction`):
+
+    - ``por``: the partial-order-reduction backend — ``"sleep"``
+      (Godefroid sleep sets + ample steps + loop prunes, the default),
+      ``"dpor"`` (source-DPOR with happens-before vector clocks and
+      race-driven backtracking, :mod:`repro.mc.dpor`), or ``"none"``
+      (the slow oracle every backend is validated against).
+    - ``macro``: ``"on"``/``"off"`` — compress single-choice runs into
+      uncounted macro-steps.
+
+    ``reduce=`` is a deprecated alias kept for old callers:
+    ``reduce=False`` means ``por="none", macro="off"``; explicit
+    ``por``/``macro`` win over it.  All backends return identical
+    verdicts (the property suite enforces this); they differ only in
+    how many states they visit to reach them.
 
     ``robustness=True`` runs the static critical-cycle pre-pass first
     (:mod:`repro.analysis.robustness`): a robust module provably shows
@@ -270,6 +378,7 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (use one of {ENGINES})")
+    por, macro_on = resolve_reduction(reduce, por, macro)
     if robustness and model in ("tso", "wmm"):
         from repro.analysis.robustness import analyze_robustness
 
@@ -277,7 +386,9 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
         if robust.robust:
             result = CheckResult(model=model, verdict_source="robustness")
             result.stats = ExplorationStats(
-                wall_seconds=robust.wall_seconds
+                wall_seconds=robust.wall_seconds,
+                engine=engine, por=por,
+                macro="on" if macro_on else "off",
             )
             result.notes.append(
                 f"statically robust: no critical cycle with an "
@@ -290,18 +401,35 @@ def check_module(module, model="wmm", entry="main", max_steps=2500,
     context = Context(module, model_obj, entry=entry)
     machine = Machine(context, max_steps=max_steps)
     result = CheckResult(model=model)
-    stats = ExplorationStats()
+    stats = ExplorationStats(
+        engine=engine, por=por, macro="on" if macro_on else "off"
+    )
     result.stats = stats
     started = time.perf_counter()
-    explore = _explore_clone if engine == "clone" else _explore_inplace
-    explore(machine, result, stats, reduce, max_states)
+    if por == "dpor":
+        from repro.mc.dpor import explore_dpor
+
+        explore_dpor(machine, result, stats, macro_on, max_states, engine)
+    else:
+        sleep_on = por == "sleep"
+        explore = _explore_clone if engine == "clone" else _explore_inplace
+        explore(machine, result, stats, sleep_on, macro_on, max_states)
     stats.wall_seconds = time.perf_counter() - started
     stats.states_explored = result.states_explored
     return result
 
 
-def _explore_clone(machine, result, stats, reduce, max_states):
-    """Legacy engine: clone the full state per transition (A/B oracle)."""
+def _explore_clone(machine, result, stats, sleep_on, macro_on, max_states):
+    """Legacy engine: clone the full state per transition (A/B oracle).
+
+    ``sleep_on`` gates the sleep sets, ample (invisible-commit) steps
+    and the covered-set bookkeeping; ``macro_on`` gates macro-step
+    compression of single-choice runs.  With both off the traversal is
+    the historic unreduced oracle (every fresh state counted); with
+    either on, the reduced probing path (loop prunes, decision-point
+    counting) is used.
+    """
+    reduce = sleep_on or macro_on
     try:
         initial = machine.initial_state()
     except Exception as error:  # setup errors are violations too
@@ -401,7 +529,7 @@ def _explore_clone(machine, result, stats, reduce, max_states):
                 else:
                     explorable = pairs
 
-            if reduce and len(explorable) == 1:
+            if macro_on and len(explorable) == 1:
                 # Macro-step: no scheduling choice, run uninterrupted.
                 action, akey = explorable[0]
                 machine.apply_action(state, action)
@@ -414,7 +542,7 @@ def _explore_clone(machine, result, stats, reduce, max_states):
                 stats.macro_steps += 1
                 continue
 
-            if reduce and not revisit:
+            if sleep_on and not revisit:
                 invisible = next(
                     (pair for pair in explorable
                      if machine.action_invisible(state, pair[0])),
@@ -455,7 +583,7 @@ def _explore_clone(machine, result, stats, reduce, max_states):
                     children.append((successor, akey))
                 if not children:
                     break  # nothing but spin retries: covered right here
-                if len(children) == 1:
+                if macro_on and len(children) == 1:
                     # The choice was illusory: continue as a macro-step.
                     successor, akey = children[0]
                     state = successor
@@ -477,10 +605,11 @@ def _explore_clone(machine, result, stats, reduce, max_states):
                     # Siblings pushed after this one are popped
                     # (explored) first; their orderings cover this
                     # child's, so they sleep here if independent.
-                    for later_index in range(index + 1, len(children)):
-                        later_key = children[later_index][1]
-                        if _independent(later_key, akey):
-                            child_sleep.add(later_key)
+                    if sleep_on:
+                        for later_index in range(index + 1, len(children)):
+                            later_key = children[later_index][1]
+                            if _independent(later_key, akey):
+                                child_sleep.add(later_key)
                     stack.append((successor, frozenset(child_sleep)))
                 break
             # Unreduced: push every child, reusing the current state for
@@ -493,9 +622,10 @@ def _explore_clone(machine, result, stats, reduce, max_states):
             break
 
 
-def _explore_inplace(machine, result, stats, reduce, max_states):
+def _explore_inplace(machine, result, stats, sleep_on, macro_on, max_states):
     """Fast engine: one mutable state, undo-log reverts, incremental
-    digests.
+    digests.  ``sleep_on``/``macro_on`` split the reduction exactly as
+    in :func:`_explore_clone`.
 
     The traversal is move-for-move identical to :func:`_explore_clone`;
     only the substrate differs.  The DFS stack holds *descriptors*
@@ -512,6 +642,7 @@ def _explore_inplace(machine, result, stats, reduce, max_states):
     reverting to its own mark, which unwinds whatever the previous
     subtree left behind.
     """
+    reduce = sleep_on or macro_on
     interner = machine.ctx.interner
     digest_check = bool(os.environ.get("ATOMIG_DIGEST_CHECK"))
     try:
@@ -615,7 +746,7 @@ def _explore_inplace(machine, result, stats, reduce, max_states):
                 else:
                     explorable = pairs
 
-            if reduce and len(explorable) == 1:
+            if macro_on and len(explorable) == 1:
                 # Macro-step: apply directly; macro steps are never
                 # individually reverted (an ancestor's mark covers them).
                 action, akey = explorable[0]
@@ -631,7 +762,7 @@ def _explore_inplace(machine, result, stats, reduce, max_states):
                 continue
 
             node_mark = len(journal)
-            if reduce and not revisit:
+            if sleep_on and not revisit:
                 invisible = next(
                     (pair for pair in explorable
                      if machine.action_invisible(state, pair[0])),
@@ -678,7 +809,7 @@ def _explore_inplace(machine, result, stats, reduce, max_states):
                 if not children:
                     break  # nothing but spin retries (state may be
                     # dirty; the next pop reverts to its own mark)
-                if len(children) == 1:
+                if macro_on and len(children) == 1:
                     # The choice was illusory: continue as a macro-step.
                     action, akey, cdigest = children[0]
                     if applied_key is None:
@@ -700,10 +831,11 @@ def _explore_inplace(machine, result, stats, reduce, max_states):
                     for c in covered:
                         if _independent(akey, c):
                             child_sleep.add(c)
-                    for later_index in range(index + 1, len(children)):
-                        later_key = children[later_index][1]
-                        if _independent(later_key, akey):
-                            child_sleep.add(later_key)
+                    if sleep_on:
+                        for later_index in range(index + 1, len(children)):
+                            later_key = children[later_index][1]
+                            if _independent(later_key, akey):
+                                child_sleep.add(later_key)
                     if index == last and applied_key is not None:
                         # Still applied from probing: popped first, so
                         # hand it its own post-apply mark and no action.

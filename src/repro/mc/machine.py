@@ -34,6 +34,7 @@ from repro.ir.values import Argument, Constant, GlobalVar
 from repro.mc.encode import Interner, cell_hash
 from repro.mc.undo import (
     OP_ALLOC,
+    OP_CLK,
     OP_ENV,
     OP_FBLK,
     OP_FIDX,
@@ -460,7 +461,8 @@ class State:
 
     __slots__ = ("memory", "threads", "next_tid", "heap_top", "reservations",
                  "violation", "trace_tail", "trace_len", "output",
-                 "token_counter", "mem_hash", "pending_mem", "probe_epoch")
+                 "token_counter", "mem_hash", "pending_mem", "probe_epoch",
+                 "clocks")
 
     def __init__(self):
         self.memory = {}
@@ -482,6 +484,16 @@ class State:
         # value (``Thread._bepoch``) is provably still stuck and its
         # re-probe is skipped (``Machine.run_quiescence``).
         self.probe_epoch = 0
+        # Happens-before bookkeeping for the DPOR backend
+        # (:mod:`repro.mc.dpor`): event-index table keyed by
+        # ``("t", tid)`` / ``("w", addr)`` / ``("r", addr)`` / ``("v",)``
+        # with immutable values.  Deliberately EXCLUDED from
+        # ``canonical()`` and the byte encoding — the clocks describe
+        # the execution path that produced the state, not the state
+        # itself, so two path-equivalent states must still digest
+        # equally.  Mutations flow through :meth:`clock_set` so the
+        # undo journal restores the table bit-identically on revert.
+        self.clocks = {}
 
     def clone(self):
         copy = State.__new__(State)
@@ -498,7 +510,23 @@ class State:
         copy.mem_hash = self.mem_hash
         copy.pending_mem = dict(self.pending_mem)
         copy.probe_epoch = self.probe_epoch
+        copy.clocks = dict(self.clocks)  # values immutable, safe to share
         return copy
+
+    def clock_set(self, key, value, journal=None):
+        """Bind one DPOR clock entry, journaled for bit-identical revert.
+
+        ``value`` must be immutable (an int event index or a tuple of
+        them): revert reinstates the old binding by reference.
+        """
+        clocks = self.clocks
+        old = clocks.get(key, _ABSENT)
+        if journal is not None:
+            if old is _ABSENT:
+                journal.append((OP_CLK, key, False, None))
+            else:
+                journal.append((OP_CLK, key, True, old))
+        clocks[key] = value
 
     # -- memory image (all mutation flows through these) ------------------
 
@@ -790,6 +818,44 @@ class Machine:
         self.run_quiescence(state)
 
     # -- partial-order reduction support -----------------------------------
+
+    def visible_footprint(self, state, tid):
+        """Memory footprint of a READY thread's pending visible step.
+
+        A thread is READY exactly when its next instruction is an
+        *immediate* memory operation (every ``_VISIBLE`` return sits in
+        ``_do_load``/``_do_store``/``_do_rmw``, after the address
+        resolved — a pending address blocks instead), so the footprint
+        can be peeked without executing anything.  Returns ``(kind,
+        addr)`` with ``kind`` in ``{"load", "store", "rmw"}`` and a
+        concrete address, or ``None`` when the instruction cannot be
+        classified — callers must then treat the step as conflicting
+        with everything.  The invisible burst that follows the
+        immediate op never touches shared memory (that is what makes
+        it invisible), so the footprint covers the whole action except
+        the global allocation counters, which the DPOR driver tracks
+        separately.
+        """
+        thread = state.threads.get(tid)
+        if thread is None or not thread.frames:
+            return None
+        frame = thread.frames[-1]
+        try:
+            instr = frame.block.instructions[frame.index]
+            if isinstance(instr, ins.Load):
+                kind = "load"
+            elif isinstance(instr, ins.Store):
+                kind = "store"
+            elif isinstance(instr, (ins.AtomicRMW, ins.Cmpxchg)):
+                kind = "rmw"
+            else:
+                return None
+            addr = self._value(frame, instr.pointer)
+        except (IndexError, KeyError, ExecutionError):
+            return None
+        if type(addr) is not int:
+            return None
+        return (kind, addr)
 
     def action_invisible(self, state, action):
         """Is ``action`` a commit no *other* thread could ever observe?

@@ -38,7 +38,13 @@ class CheckTask:
     entry: str = "main"
     max_steps: int = 2500
     max_states: int = 2_000_000
-    reduce: bool = True
+    #: Deprecated both-knobs alias (None = defer to ``por``/``macro``).
+    reduce: bool = None
+    #: Partial-order-reduction backend ("none"/"sleep"/"dpor"); None =
+    #: explorer default (sleep, unless ``reduce=False``).
+    por: str = None
+    #: Macro-stepping ("on"/"off"); None = explorer default.
+    macro: str = None
     #: Optional AtoMigConfig for the porting pipeline.
     config: object = None
     #: Parse ``source`` as IR text instead of Mini-C.
@@ -74,7 +80,8 @@ def run_task(task):
     return check_module(
         module, model=task.model, entry=task.entry,
         max_steps=task.max_steps, max_states=task.max_states,
-        reduce=task.reduce, robustness=task.robustness, **kwargs,
+        reduce=task.reduce, por=task.por, macro=task.macro,
+        robustness=task.robustness, **kwargs,
     )
 
 

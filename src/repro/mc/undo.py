@@ -42,6 +42,7 @@ OP_ALLOC = 16   # (op, thread, frame, key)               alloca registered
 OP_TNEW = 17    # (op, tid)                              thread spawned
 OP_OUT = 18     # (op,)                                  output append
 OP_FSWAP = 19   # (op, thread, index, old_frame)         COW frame clone
+OP_CLK = 20     # (op, key, had, old)                    DPOR clock entry
 
 
 def revert(state, journal, mark):
@@ -140,6 +141,15 @@ def revert(state, journal, mark):
             _, thread, index, old_frame = record
             thread.frames[index] = old_frame
             thread.owned[index] = False
+        elif op == OP_CLK:
+            # DPOR happens-before bookkeeping (repro.mc.dpor): the
+            # values are immutable (ints / tuples), so reinstating the
+            # old binding restores the clock table bit-identically.
+            _, key, had, old = record
+            if had:
+                state.clocks[key] = old
+            else:
+                state.clocks.pop(key, None)
         else:  # pragma: no cover - opcode set is closed
             raise AssertionError(f"unknown journal opcode {op}")
 

@@ -52,13 +52,21 @@ class Oracle:
     STATE_FLOOR = 20_000
 
     def __init__(self, model="wmm", entry="main", max_steps=2500,
-                 max_states=400_000, reduce=True, jobs=1,
-                 robustness=True, engine=None, analyzer=None):
+                 max_states=400_000, reduce=None, jobs=1,
+                 robustness=True, engine=None, analyzer=None, por=None,
+                 macro=None):
         self.model = model
         self.entry = entry
         self.max_steps = max_steps
         self.max_states = max_states
         self.reduce = reduce
+        #: POR backend / macro-stepping for every probe.  Like
+        #: ``engine``, deliberately *not* part of the verdict cache key:
+        #: all reduction backends are verdict-identical by construction
+        #: (the DPOR-vs-sleep identity property suite and the corpus CI
+        #: gate check it), so keying on them would only split the cache.
+        self.por = por
+        self.macro = macro
         self.jobs = jobs or 1
         self.robustness = robustness
         #: Exploration engine override ("inplace"/"clone"); None keeps
@@ -150,7 +158,8 @@ class Oracle:
                     name="opt-probe", source=text, model=self.model,
                     level=None, entry=self.entry,
                     max_steps=self.max_steps, max_states=self.budget,
-                    reduce=self.reduce, is_ir=True, engine=self.engine,
+                    reduce=self.reduce, por=self.por, macro=self.macro,
+                    is_ir=True, engine=self.engine,
                 )
                 for _key, text in pending
             ]
@@ -209,7 +218,7 @@ class Oracle:
         result = check_module(
             module, model=self.model, entry=self.entry,
             max_steps=self.max_steps, max_states=max_states,
-            reduce=self.reduce, **kwargs,
+            reduce=self.reduce, por=self.por, macro=self.macro, **kwargs,
         )
         self.states_total += result.states_explored
         return result
@@ -226,11 +235,15 @@ class Oracle:
         The budget component is the *configured* ``max_states`` ceiling,
         not the per-call adaptive budget: the adaptive budget is itself
         a function of (module, config), so including it would only
-        split the cache without adding discrimination.
+        split the cache without adding discrimination.  The reduction
+        knobs (``reduce``/``por``/``macro``) and the engine are
+        excluded for the same reason: every backend/engine combination
+        returns the same verdict by construction, so a verdict probed
+        under sleep sets is equally valid for a DPOR run.
         """
         prefix = (
             f"{self.model}|{self.entry}|{self.max_steps}|"
-            f"{self.max_states}|{int(self.reduce)}|"
+            f"{self.max_states}|"
         )
         return hashlib.blake2b(
             prefix.encode() + text.encode(), digest_size=16

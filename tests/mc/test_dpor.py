@@ -1,0 +1,246 @@
+"""Source-DPOR backend: verdict identity, reduction wins, plumbing.
+
+The DPOR explorer (``repro.mc.dpor``) must be a drop-in verdict oracle:
+same outcome as the sleep-set backend on every program, on both engines,
+under every model.  Where the two differ is *cost* — DPOR explores one
+interleaving per happens-before equivalence class, which wins big on
+conflict-light programs (locks, mostly-disjoint data) and loses to the
+stateful sleep+dedup engine on convergent spin loops (where distinct
+interleavings collapse into few unique states).  Both directions are
+pinned here.
+"""
+
+import json
+
+import pytest
+
+from repro.api import compile_source, port_module
+from repro.core.config import PortingLevel
+from repro.mc.explorer import (
+    ENGINES,
+    ExplorationStats,
+    check_module,
+    resolve_reduction,
+)
+from repro.mc.litmus import LITMUS_TESTS
+
+BOUNDS = dict(max_steps=600, max_states=400_000)
+CORPUS = ("message_passing", "ck_ring", "ck_spinlock_cas", "ck_sequence",
+          "lf_hash")
+
+
+def _ported(name):
+    from repro.bench.corpus import BENCHMARKS
+
+    bench = BENCHMARKS[name]
+    module, _report = port_module(
+        compile_source(bench.mc_source(), name), PortingLevel.ATOMIG
+    )
+    return module
+
+
+def _outcome(result):
+    if result.violation is not None:
+        return "violation"
+    if result.deadlock:
+        return "deadlock"
+    return "ok"
+
+
+# -- verdict identity -------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+def test_litmus_dpor_matches_expected(name):
+    source, expected = LITMUS_TESTS[name]
+    module = compile_source(source, f"litmus_{name}")
+    for model, want_ok in expected.items():
+        for engine in ENGINES:
+            result = check_module(
+                module, model=model, por="dpor", engine=engine, **BOUNDS
+            )
+            assert result.ok == want_ok, (name, model, engine)
+
+
+@pytest.mark.parametrize("name", CORPUS)
+@pytest.mark.parametrize("model", ["tso", "wmm"])
+def test_corpus_dpor_matches_sleep(name, model):
+    module = _ported(name)
+    sleep = check_module(module, model=model, por="sleep", **BOUNDS)
+    dpor = check_module(module, model=model, por="dpor", **BOUNDS)
+    assert _outcome(sleep) == _outcome(dpor), (name, model)
+    assert sleep.truncated == dpor.truncated, (name, model)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_dpor_engines_identical(engine):
+    """Both engines run the same DPOR traversal: identical counts."""
+    source, _expected = LITMUS_TESTS["SB"]
+    module = compile_source(source, "litmus_SB")
+    results = {
+        eng: check_module(module, model="wmm", por="dpor", engine=eng,
+                          **BOUNDS)
+        for eng in ENGINES
+    }
+    reference = results["clone"]
+    result = results[engine]
+    assert _outcome(result) == _outcome(reference)
+    assert result.states_explored == reference.states_explored
+    assert result.stats.states_visited == reference.stats.states_visited
+    assert result.stats.races_detected == reference.stats.races_detected
+
+
+# -- reduction behaviour ----------------------------------------------------
+
+
+def test_dpor_beats_sleep_on_conflict_light_program():
+    """The headline win: lock-based code has few reversible races."""
+    module = _ported("ck_spinlock_cas")
+    sleep = check_module(module, model="wmm", por="sleep", **BOUNDS)
+    dpor = check_module(module, model="wmm", por="dpor", **BOUNDS)
+    assert dpor.stats.states_visited < sleep.stats.states_visited
+    assert dpor.stats.equivalence_classes > 0
+
+
+def test_dpor_stutter_applies_cycle_proviso():
+    """A node whose only scheduled action spins must still expand.
+
+    Regression: on this *unported* racy message-passing program the
+    root's first pick is the reader's spin re-read — a self-loop.
+    Sleeping it without the cycle proviso exhausted the node with the
+    writer ignored forever, reporting ok where every other backend
+    finds the WMM violation.
+    """
+    source = """
+    int flag = 0;
+    int msg = 0;
+    void writer() {
+        msg = 42;
+        flag = 1;
+    }
+    int main() {
+        int t = thread_create(writer);
+        int data;
+        while (flag != 1) { }
+        data = msg;
+        assert(data == 42);
+        thread_join(t);
+        return 0;
+    }
+    """
+    module = compile_source(source, "mp_unported")
+    for model in ("sc", "tso", "wmm"):
+        sleep = check_module(module, model=model, por="sleep", **BOUNDS)
+        dpor = check_module(module, model=model, por="dpor", **BOUNDS)
+        assert _outcome(sleep) == _outcome(dpor), model
+    assert _outcome(check_module(module, model="wmm", por="dpor",
+                                 **BOUNDS)) == "violation"
+
+
+def test_dpor_counters_populated():
+    source, _expected = LITMUS_TESTS["SB"]
+    module = compile_source(source, "litmus_SB")
+    result = check_module(module, model="wmm", por="dpor", **BOUNDS)
+    stats = result.stats
+    assert stats.por == "dpor"
+    assert stats.engine == "inplace"
+    assert stats.equivalence_classes > 0
+    assert stats.races_detected > 0
+
+
+# -- knob resolution --------------------------------------------------------
+
+
+def test_resolve_reduction_defaults():
+    assert resolve_reduction() == ("sleep", True)
+    assert resolve_reduction(reduce=True) == ("sleep", True)
+    assert resolve_reduction(reduce=False) == ("none", False)
+
+
+def test_resolve_reduction_explicit_wins_over_alias():
+    assert resolve_reduction(reduce=False, por="dpor") == ("dpor", False)
+    assert resolve_reduction(reduce=False, macro="on") == ("none", True)
+    assert resolve_reduction(por="none", macro="off") == ("none", False)
+
+
+def test_resolve_reduction_rejects_unknown():
+    with pytest.raises(ValueError):
+        resolve_reduction(por="bogus")
+    with pytest.raises(ValueError):
+        resolve_reduction(macro="sometimes")
+
+
+def test_no_reduce_alias_still_enumerates():
+    source, _expected = LITMUS_TESTS["SB"]
+    module = compile_source(source, "litmus_SB")
+    legacy = check_module(module, model="sc", reduce=False, **BOUNDS)
+    explicit = check_module(module, model="sc", por="none", macro="off",
+                            **BOUNDS)
+    assert legacy.states_explored == explicit.states_explored
+    assert _outcome(legacy) == _outcome(explicit)
+
+
+# -- stats schema / provenance ----------------------------------------------
+
+
+def test_stats_json_schema_and_provenance():
+    source, _expected = LITMUS_TESTS["MP"]
+    module = compile_source(source, "litmus_MP")
+    result = check_module(module, model="wmm", por="dpor", **BOUNDS)
+    payload = json.loads(result.stats.to_json())
+    assert payload["schema"] == ExplorationStats.SCHEMA
+    assert payload["por"] == "dpor"
+    assert payload["engine"] == "inplace"
+    assert payload["macro"] == "on"
+    for key in ("races_detected", "backtrack_points",
+                "wakeup_reexplorations", "equivalence_classes"):
+        assert key in payload
+    assert "[inplace/dpor" in str(result.stats)
+
+
+def test_format_exploration_stats_shows_dpor_rows():
+    from repro.core.report import format_exploration_stats
+
+    source, _expected = LITMUS_TESTS["MP"]
+    module = compile_source(source, "litmus_MP")
+    result = check_module(module, model="wmm", por="dpor", **BOUNDS)
+    text = format_exploration_stats(result.stats)
+    assert "races detected" in text
+    assert "equivalence classes" in text
+    assert "por=dpor" in text
+
+
+# -- plumbing ---------------------------------------------------------------
+
+
+def test_check_task_carries_por():
+    from repro.mc.litmus import LITMUS_TESTS as GALLERY
+    from repro.mc.parallel import CheckTask, run_task
+
+    source, expected = GALLERY["SB"]
+    task = CheckTask(name="sb", source=source, model="wmm", level=None,
+                     por="dpor", max_steps=600)
+    result = run_task(task)
+    assert result.ok == expected["wmm"]
+    assert result.stats.por == "dpor"
+
+
+def test_oracle_cache_key_ignores_por():
+    """A verdict probed under one backend serves every backend."""
+    from repro.opt.oracle import Oracle
+
+    sleep = Oracle(model="wmm", por="sleep")
+    dpor = Oracle(model="wmm", por="dpor")
+    none = Oracle(model="wmm", reduce=False)
+    text = "@main { entry0: ret 0 }"
+    assert sleep._digest(text) == dpor._digest(text) == none._digest(text)
+
+
+def test_api_check_module_accepts_por():
+    from repro import api
+
+    source, _expected = LITMUS_TESTS["MP"]
+    module = compile_source(source, "litmus_MP")
+    result = api.check_module(module, model="wmm", por="dpor",
+                              max_steps=600)
+    assert result.stats.por == "dpor"

@@ -56,7 +56,11 @@ def _release_store_candidate(ported):
 
 
 def test_digest_keys_on_every_configuration_parameter():
-    """Two oracles differing in any knob must never share verdicts."""
+    """Two oracles differing in any verdict-relevant knob must never
+    share verdicts.  Backend knobs (``reduce``/``por``/``macro``/
+    ``engine``) are deliberately NOT keyed: every backend is
+    verdict-identical by the gated identity contract, so their
+    verdicts are interchangeable cache entries."""
     text = print_module(_ported())
     base = dict(model="wmm", entry="main", max_steps=2500,
                 max_states=400_000, reduce=True)
@@ -66,11 +70,14 @@ def test_digest_keys_on_every_configuration_parameter():
         {"entry": "worker"},
         {"max_steps": 1000},
         {"max_states": 50_000},
-        {"reduce": False},
     ]
     for override in variants:
         other = Oracle(**{**base, **override})._digest(text)
         assert other != reference, override
+    for override in [{"reduce": False}, {"por": "dpor"},
+                     {"macro": "off"}]:
+        other = Oracle(**{**base, **override})._digest(text)
+        assert other == reference, override
 
 
 def test_digest_is_stable_for_identical_configuration():
