@@ -143,6 +143,27 @@ def repair_module(module, **kwargs):
     return _repair(module, **kwargs)
 
 
+def start_service(host="127.0.0.1", port=0, job_dir=None, workers=None,
+                  fanout=1):
+    """Start the porting-as-a-service daemon in this process.
+
+    Everything the one-shot functions above produce —
+    :class:`PortingReport`, ``CheckResult``, ``OptimizationReport``,
+    ``RepairReport`` — becomes submittable as a persistent job: a
+    durable on-disk store (``ATOMIG_JOB_DIR``) that resumes across
+    restarts, content-addressed dedup on source+config (an unchanged
+    re-submission is an instant cache hit, never a re-port), and a
+    stdlib HTTP API with streaming per-stage progress.  Non-blocking;
+    returns a :class:`repro.serve.ServiceHandle` whose ``url`` is the
+    bound address and whose ``stop()`` drains gracefully.  ``atomig
+    serve`` is the CLI face of this function.
+    """
+    from repro.serve import start_service as _start
+
+    return _start(host=host, port=port, job_dir=job_dir, workers=workers,
+                  fanout=fanout)
+
+
 def optimize_module(module, **kwargs):
     """Weaken ``module``'s barriers under a model-checking oracle.
 
@@ -168,4 +189,5 @@ __all__ = [
     "port_module",
     "repair_module",
     "run_module",
+    "start_service",
 ]

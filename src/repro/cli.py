@@ -10,10 +10,28 @@ Subcommands mirror the library workflow:
 - ``atomig lint file.c``     — static race & portability linter;
 - ``atomig robustness f.c``  — static critical-cycle robustness report;
 - ``atomig litmus [NAME]``   — run the calibration litmus tests;
-- ``atomig tables [N ...]``  — regenerate the paper's evaluation tables.
+- ``atomig tables [N ...]``  — regenerate the paper's evaluation tables;
+- ``atomig serve``           — porting-as-a-service daemon (repro.serve);
+- ``atomig submit file.c``   — submit a job to a running daemon;
+- ``atomig status [ID]``     — job states from a running daemon;
+- ``atomig result ID``       — fetch (optionally await) a job's result.
+
+Exit codes are uniform across subcommands:
+
+- ``0`` — success, and every verdict in the output is clean;
+- ``1`` — the tool ran but found a bug verdict: a check
+  violation/deadlock, an optimize run that did not preserve the
+  verdict, a repair that left the module non-robust, a failed or
+  cancelled job;
+- ``2`` — usage error (bad arguments, unknown litmus/table name);
+- ``3`` — service errors: daemon unreachable, unknown job id, timeout.
+
+``--json`` subcommands print exactly one JSON document on stdout;
+diagnostics go to stderr so piped output stays parseable.
 """
 
 import argparse
+import json
 import sys
 
 from repro.api import (
@@ -117,28 +135,33 @@ def cmd_port(args):
         module, _LEVELS[args.level], config=config,
         optimize=args.optimize,
     )
-    print(report.summary())
-    if report.repair:
-        print(_repair_summary(report.repair))
-    if report.optimization:
-        print(_opt_summary(report.optimization))
-    if report.spinloops:
-        print(f"spinloops: {report.spinloops}")
-    if report.optimistic_loops:
-        print(f"optimistic loops: {report.optimistic_loops}")
-    if report.fences_inserted:
-        print(f"explicit fences inserted: {report.fences_inserted}")
-    if report.pruned_protected:
-        print(f"lock-protected accesses pruned: {report.pruned_protected}")
-    if report.pruned_thread_local:
-        print(f"thread-local accesses pruned: {report.pruned_thread_local}")
-    for note in report.notes:
-        print(f"note: {note}")
-    if args.profile:
-        from repro.core.profile import format_pipeline_stats
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        if report.repair:
+            print(_repair_summary(report.repair))
+        if report.optimization:
+            print(_opt_summary(report.optimization))
+        if report.spinloops:
+            print(f"spinloops: {report.spinloops}")
+        if report.optimistic_loops:
+            print(f"optimistic loops: {report.optimistic_loops}")
+        if report.fences_inserted:
+            print(f"explicit fences inserted: {report.fences_inserted}")
+        if report.pruned_protected:
+            print(f"lock-protected accesses pruned: "
+                  f"{report.pruned_protected}")
+        if report.pruned_thread_local:
+            print(f"thread-local accesses pruned: "
+                  f"{report.pruned_thread_local}")
+        for note in report.notes:
+            print(f"note: {note}")
+        if args.profile:
+            from repro.core.profile import format_pipeline_stats
 
-        print("pipeline profile:")
-        print(format_pipeline_stats(report.stats))
+            print("pipeline profile:")
+            print(format_pipeline_stats(report.stats))
     if args.emit_ir:
         from repro.ir.printer import print_module
 
@@ -146,7 +169,11 @@ def cmd_port(args):
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
-            print(f"ported IR written to {args.output}")
+            print(f"ported IR written to {args.output}", file=sys.stderr)
+        elif args.json:
+            # IR on stdout would corrupt the JSON document.
+            print("port --json: --emit-ir needs -o/--output",
+                  file=sys.stderr)
         else:
             print(text)
     return 0
@@ -203,8 +230,6 @@ def cmd_optimize(args):
         robustness=args.robustness,
     )
     if args.json:
-        import json
-
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
@@ -264,7 +289,15 @@ def _check_results(args):
 
 def cmd_check(args):
     failures = 0
+    rows = []
     for model, result in _check_results(args):
+        if result.violation is not None or result.deadlock:
+            failures += 1
+        if args.json:
+            from repro.serve.queue import check_to_dict
+
+            rows.append(check_to_dict(result))
+            continue
         if result.violation is not None:
             status = f"VIOLATION: {result.violation}"
         elif result.deadlock:
@@ -280,16 +313,14 @@ def cmd_check(args):
             from repro.core.report import format_exploration_stats
 
             print(format_exploration_stats(result.stats))
-        if result.violation is not None:
-            failures += 1
-            if args.trace:
-                for step in result.trace[-args.trace:]:
-                    print(f"      {step}")
-        elif result.deadlock:
-            failures += 1
-            if args.trace:
-                for step in result.deadlock_trace[-args.trace:]:
-                    print(f"      {step}")
+        if result.violation is not None and args.trace:
+            for step in result.trace[-args.trace:]:
+                print(f"      {step}")
+        elif result.deadlock and args.trace:
+            for step in result.deadlock_trace[-args.trace:]:
+                print(f"      {step}")
+    if args.json:
+        print(json.dumps(rows, indent=2))
     return 1 if failures else 0
 
 
@@ -369,13 +400,12 @@ def cmd_lint(args):
     if args.corpus:
         return _lint_corpus(args)
     if not args.file:
-        print("lint: a FILE is required unless --corpus is given")
+        print("lint: a FILE is required unless --corpus is given",
+              file=sys.stderr)
         return 2
     module = _load(args.file)
     report = lint_module(module, name_heuristic=not args.no_name_heuristic)
     if args.json:
-        import json
-
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render(show=_lint_classes(args)))
@@ -418,7 +448,8 @@ def cmd_robustness(args):
     if args.corpus:
         return _robustness_corpus(args)
     if not args.file:
-        print("robustness: a FILE is required unless --corpus is given")
+        print("robustness: a FILE is required unless --corpus is given",
+              file=sys.stderr)
         return 2
     module = _load(args.file)
     if args.level != "original":
@@ -429,8 +460,6 @@ def cmd_robustness(args):
         module, model=args.model, max_witnesses=args.max_witnesses
     )
     if args.json:
-        import json
-
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.render())
@@ -476,8 +505,6 @@ def _robustness_corpus(args):
         if not args.json:
             print(f"{name:20s} [{args.model}] {'  '.join(fields)}")
     if args.json:
-        import json
-
         print(json.dumps(payloads, indent=2))
     return 0
 
@@ -489,7 +516,8 @@ def cmd_repair(args):
     if args.corpus:
         return _repair_corpus(args)
     if not args.file:
-        print("repair: a FILE is required unless --corpus is given")
+        print("repair: a FILE is required unless --corpus is given",
+              file=sys.stderr)
         return 2
     module = _load(args.file)
     if args.level != "original":
@@ -500,8 +528,6 @@ def cmd_repair(args):
         module, model=args.model, arch=args.arch, verify=args.verify,
     )
     if args.json:
-        import json
-
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
@@ -565,7 +591,8 @@ def cmd_litmus(args):
     for name in names:
         if name not in LITMUS_TESTS:
             print(f"unknown litmus test {name!r}; "
-                  f"available: {', '.join(sorted(LITMUS_TESTS))}")
+                  f"available: {', '.join(sorted(LITMUS_TESTS))}",
+                  file=sys.stderr)
             return 2
         verdicts = []
         for model in ("sc", "tso", "wmm"):
@@ -649,7 +676,7 @@ def cmd_tables(args):
     }
     for number in selected:
         if number not in specs:
-            print(f"no table {number}")
+            print(f"no table {number}", file=sys.stderr)
             return 2
         rows_fn, columns, title = specs[number]
         rows = rows_fn()
@@ -658,6 +685,168 @@ def cmd_tables(args):
             _print_table_profile(rows)
         print()
     return 0
+
+
+def cmd_serve(args):
+    """Run the porting-as-a-service daemon until SIGTERM/SIGINT.
+
+    Signals do not run ``atexit`` hooks, so shutdown is explicit: the
+    handlers only set an event, and the main thread then stops the
+    HTTP server, drains running jobs (queued ones stay ``queued`` on
+    disk and resume on the next start) and closes the persistent
+    process pools.
+    """
+    import signal
+    import threading
+
+    from repro.api import start_service
+
+    handle = start_service(
+        host=args.host, port=args.port, job_dir=args.dir,
+        workers=args.workers, fanout=args.fanout,
+    )
+    info = {
+        "url": handle.url,
+        "job_dir": handle.daemon.store.directory,
+        "workers": handle.daemon.workers,
+        "fanout": handle.daemon.fanout,
+    }
+    if args.json:
+        print(json.dumps(info), flush=True)
+    else:
+        print(f"atomig serve: listening on {info['url']} "
+              f"(jobs in {info['job_dir']}, workers={info['workers']}, "
+              f"fanout={info['fanout']})", flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, _frame):
+        print(f"atomig serve: caught signal {signum}, draining...",
+              file=sys.stderr, flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        handle.stop(drain=True)
+        print("atomig serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _client(args):
+    from repro.serve import ServeClient
+
+    return ServeClient(args.url, timeout=args.timeout)
+
+
+def _render_job(record):
+    """One-line human rendering of a job record."""
+    parts = [record["id"], record["kind"], record["state"]]
+    if record.get("cache_hit"):
+        parts.append("cache-hit")
+    if record.get("seconds") is not None:
+        parts.append(f"{record['seconds']:.2f}s")
+    if record.get("error"):
+        parts.append(f"error: {record['error']}")
+    return "  ".join(parts)
+
+
+def cmd_submit(args):
+    from repro.serve import ServeError, result_exit_code
+
+    with open(args.file) as handle:
+        source = handle.read()
+    module = {
+        "name": args.name or args.file,
+        "source": source,
+        "is_ir": args.file.endswith(".ir"),
+    }
+    client = _client(args)
+    try:
+        record = client.submit(
+            args.kind, [module], level=args.level, model=args.model,
+            priority=args.priority,
+        )
+        if args.wait:
+            record = client.result(
+                record["id"], wait=True, timeout=args.timeout
+            )
+    except ServeError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(_render_job(record))
+    return result_exit_code(record) if args.wait else 0
+
+
+def cmd_status(args):
+    from repro.serve import ServeError
+
+    client = _client(args)
+    try:
+        if args.job:
+            record = client.status(args.job)
+            if args.json:
+                print(json.dumps(record, indent=2))
+            else:
+                print(_render_job(record))
+            return 0
+        jobs = client.jobs()
+    except ServeError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(jobs, indent=2))
+    else:
+        for record in jobs:
+            print(_render_job(record))
+    return 0
+
+
+def cmd_result(args):
+    from repro.serve import TERMINAL_STATES, ServeError, result_exit_code
+
+    client = _client(args)
+    try:
+        record = client.result(
+            args.job, wait=args.wait, timeout=args.timeout
+        )
+    except ServeError as exc:
+        print(f"result: {exc}", file=sys.stderr)
+        return 3
+    if record.get("state") not in TERMINAL_STATES:
+        print(f"result: job {args.job} is {record.get('state')} "
+              f"(use --wait)", file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(_render_job(record))
+        result = record.get("result") or {}
+        for row in result.get("modules", result.get("checks", ())):
+            name = row.get("name", "?")
+            if "outcome" in row:
+                print(f"  {name} [{row.get('model')}]: {row['outcome']} "
+                      f"({row.get('states_explored')} states)")
+            elif row.get("report") is not None:
+                report = row["report"]
+                summary = (
+                    f"barriers {report.get('ported_explicit_barriers')}"
+                    f"+{report.get('ported_implicit_barriers')}i"
+                    if "ported_explicit_barriers" in report
+                    else "; ".join(
+                        f"{key}={report[key]}"
+                        for key in ("robust_after", "verdict_preserved",
+                                    "fences_added", "accesses_weakened")
+                        if key in report
+                    ) or "done"
+                )
+                print(f"  {name}: {summary}")
+    return result_exit_code(record)
 
 
 def build_parser():
@@ -683,6 +872,9 @@ def build_parser():
     port.add_argument("--optimize", action="store_true",
                       help="after porting, weaken barriers under the "
                            "model-checking oracle (verdict-preserving)")
+    port.add_argument("--json", action="store_true",
+                      help="emit the PortingReport as JSON on stdout "
+                           "(diagnostics go to stderr)")
     port.set_defaults(func=cmd_port)
 
     optimize = sub.add_parser(
@@ -759,6 +951,9 @@ def build_parser():
                             "reference copy-per-transition engine); "
                             "verdicts and state counts are identical "
                             "by construction")
+    check.add_argument("--json", action="store_true",
+                       help="emit one CheckResult JSON object per model "
+                            "on stdout")
     _add_level_arg(check)
     _add_config_args(check)
     check.set_defaults(func=cmd_check)
@@ -890,6 +1085,79 @@ def build_parser():
                              "tables 2 and 9 (default: per-table "
                              "defaults — off for 2, on for 9)")
     tables.set_defaults(func=cmd_tables)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the porting-as-a-service daemon (durable job store, "
+             "priority queue, HTTP API; see repro.serve)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8337,
+                       help="TCP port; 0 binds an ephemeral port "
+                            "(default: 8337)")
+    serve.add_argument("--dir", default=None, metavar="DIR",
+                       help="job store directory (default: ATOMIG_JOB_DIR "
+                            "or ~/.cache/atomig/jobs)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="job worker threads; 0 accepts jobs without "
+                            "executing them (default: min(4, cpus))")
+    serve.add_argument("--fanout", type=int, default=1, metavar="N",
+                       help="process-pool width multi-module jobs fan "
+                            "out with (default: 1)")
+    serve.add_argument("--json", action="store_true",
+                       help="print the listening info as one JSON line")
+    serve.set_defaults(func=cmd_serve)
+
+    def _add_client_args(parser):
+        parser.add_argument("--url", default=None,
+                            help="service URL (default: ATOMIG_SERVE_URL "
+                                 "or http://127.0.0.1:8337)")
+        parser.add_argument("--timeout", type=float, default=300.0,
+                            help="request / --wait timeout in seconds "
+                                 "(default: 300)")
+        parser.add_argument("--json", action="store_true",
+                            help="emit the job record(s) as JSON")
+
+    submit = sub.add_parser(
+        "submit", help="submit a file to a running atomig serve daemon"
+    )
+    submit.add_argument("file", help="Mini-C or .ir file to submit")
+    submit.add_argument("--kind", default="port",
+                        choices=["port", "check", "optimize", "repair"],
+                        help="job kind (default: port)")
+    submit.add_argument("--level", default=None, choices=sorted(_LEVELS),
+                        help="porting level (default: atomig)")
+    submit.add_argument("--model", default=None,
+                        choices=["sc", "tso", "wmm"],
+                        help="memory model for check/optimize/repair jobs")
+    submit.add_argument("--name", default=None,
+                        help="module name (default: the file path)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority; higher runs first "
+                             "(default: 0)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal and exit "
+                             "with its verdict code")
+    _add_client_args(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="show job states from a running daemon"
+    )
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit to list every job)")
+    _add_client_args(status)
+    status.set_defaults(func=cmd_status)
+
+    result = sub.add_parser(
+        "result", help="fetch a job's result from a running daemon"
+    )
+    result.add_argument("job", help="job id")
+    result.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal")
+    _add_client_args(result)
+    result.set_defaults(func=cmd_result)
 
     return parser
 

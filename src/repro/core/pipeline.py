@@ -21,6 +21,7 @@ from repro.core.annotations import analyze_annotations
 from repro.core.atomize import atomize_accesses, insert_optimistic_fences
 from repro.core.config import AtoMigConfig, PortingLevel
 from repro.core.optimistic import detect_optimistic_loops
+from repro.core.profile import notify_event
 from repro.core.prune import (
     prune_protected_accesses,
     prune_thread_local_accesses,
@@ -148,6 +149,12 @@ def run_porting(module, level=PortingLevel.ATOMIG, config=None,
     stats.total_seconds = time.perf_counter() - started
     report.porting_seconds = stats.transform_seconds
     ported.metadata["porting_report"] = report
+    notify_event(
+        "port_done", module=module.name, level=level.value,
+        seconds=stats.total_seconds,
+        barriers=[report.ported_explicit_barriers,
+                  report.ported_implicit_barriers],
+    )
     return ported, report
 
 

@@ -15,6 +15,7 @@ Stats objects are plain data: picklable (they ride inside
 aggregates one stats object per port into a per-stage total).
 """
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -40,6 +41,52 @@ STAGE_ORDER = (
     "count_barriers",
 )
 
+#: Thread-local stack of progress observers (see :func:`stage_observer`).
+#: Thread-local on purpose: the serve daemon runs concurrent ports on
+#: separate worker threads, and each job must only see its own stages.
+_OBSERVERS = threading.local()
+
+
+@contextmanager
+def stage_observer(callback):
+    """Receive pipeline progress events on this thread.
+
+    While the context is active, every :meth:`PipelineStats.stage`
+    boundary on this thread calls ``callback`` with an event dict —
+    ``{"type": "stage_start", "stage": name}`` on entry and
+    ``{"type": "stage_end", "stage": name, "seconds": s}`` on exit —
+    plus whatever :func:`notify_event` emits (e.g. the pipeline's
+    final ``port_done``).  This is how ``GET /jobs/<id>/events``
+    streams per-stage NDJSON without the pipeline knowing about HTTP.
+    Observers nest; every active one sees every event.
+    """
+    stack = getattr(_OBSERVERS, "stack", None)
+    if stack is None:
+        stack = _OBSERVERS.stack = []
+    stack.append(callback)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def notify_event(type_, **fields):
+    """Send one progress event to this thread's active observers.
+
+    A no-op without observers (the common, non-serve case); observer
+    exceptions are swallowed so a broken progress consumer can never
+    fail a port.
+    """
+    stack = getattr(_OBSERVERS, "stack", None)
+    if not stack:
+        return
+    event = {"type": type_, **fields}
+    for callback in stack:
+        try:
+            callback(dict(event))
+        except Exception:
+            pass
+
 
 @dataclass
 class PipelineStats:
@@ -58,11 +105,14 @@ class PipelineStats:
     @contextmanager
     def stage(self, name):
         """Time a stage; additive when the same stage runs twice."""
+        notify_event("stage_start", stage=name)
         started = time.perf_counter()
         try:
             yield
         finally:
-            self.add(name, time.perf_counter() - started)
+            seconds = time.perf_counter() - started
+            self.add(name, seconds)
+            notify_event("stage_end", stage=name, seconds=seconds)
 
     def add(self, name, seconds):
         self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds

@@ -163,8 +163,12 @@ class WorkerPool:
             results.append(result)
         return results
 
-    def close(self):
-        self._pool.close()
+    def close(self, terminate=False):
+        """Shut the pool down; ``terminate=True`` skips draining."""
+        if terminate:
+            self._pool.terminate()
+        else:
+            self._pool.close()
         self._pool.join()
 
 
@@ -194,11 +198,18 @@ def pool_stats():
     }
 
 
-def shutdown_pools():
-    """Close every persistent pool (registered with ``atexit``)."""
+def shutdown_pools(terminate=False):
+    """Close every persistent pool.
+
+    Registered with ``atexit`` for normal interpreter exit, but
+    ``atexit`` does not fire on signal death — long-lived daemons
+    (:mod:`repro.serve`) call this explicitly from their SIGTERM path.
+    ``terminate=True`` kills workers without draining in-flight tasks
+    (the non-graceful shutdown).  Idempotent.
+    """
     for pool in _POOLS.values():
         try:
-            pool.close()
+            pool.close(terminate=terminate)
         except Exception:  # pragma: no cover - teardown best-effort
             pass
     _POOLS.clear()

@@ -27,6 +27,12 @@ The cache is off unless explicitly enabled — pass ``cache=True`` or
 set ``ATOMIG_FRONTEND_CACHE=1``; ``ATOMIG_CACHE_DIR`` overrides the
 default ``~/.cache/atomig`` directory.  Timing benchmarks that want
 honest build times must leave it off.
+
+``ATOMIG_CACHE_MAX_MB`` bounds the on-disk size: after every store the
+oldest entries by mtime are evicted (LRU — disk hits refresh mtime)
+until the directory fits.  Unset means unbounded, which is fine for
+one-shot CLI runs but turns into a leak under a long-lived daemon
+(:mod:`repro.serve`), so the serve quickstart sets it.
 """
 
 import hashlib
@@ -41,6 +47,7 @@ CACHE_VERSION = 1
 
 _ENV_ENABLE = "ATOMIG_FRONTEND_CACHE"
 _ENV_DIR = "ATOMIG_CACHE_DIR"
+_ENV_MAX_MB = "ATOMIG_CACHE_MAX_MB"
 
 #: digest -> pickled module bytes (per-process layer over the disk).
 _memory = {}
@@ -89,6 +96,11 @@ def load(digest):
         except OSError:
             return None
         _memory[digest] = blob
+        try:
+            # Refresh mtime so size eviction is LRU, not FIFO.
+            os.utime(_entry_path(digest))
+        except OSError:
+            pass
     try:
         return pickle.loads(blob)
     except Exception:
@@ -128,4 +140,65 @@ def store(digest, module):
             raise
     except OSError:
         return False  # read-only disk etc.: memory layer still works
+    evict()
     return True
+
+
+def cache_max_bytes():
+    """Size limit from ``ATOMIG_CACHE_MAX_MB``; ``None`` = unbounded."""
+    raw = os.environ.get(_ENV_MAX_MB, "").strip()
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
+
+
+def evict(max_bytes=None):
+    """Delete least-recently-used entries until the cache fits.
+
+    ``max_bytes=None`` reads ``ATOMIG_CACHE_MAX_MB`` and is a no-op
+    when unset, so one-shot CLI runs pay nothing.  Eviction is LRU by
+    mtime (:func:`load` touches entries on disk hits).  Returns the
+    number of entries removed; races with concurrent workers are
+    benign — a vanished file is just skipped, and the entry would be
+    recompiled on the next miss anyway.
+    """
+    if max_bytes is None:
+        max_bytes = cache_max_bytes()
+    if max_bytes is None:
+        return 0
+    directory = cache_dir()
+    entries = []
+    total = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.endswith(".pkl"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            status = os.stat(path)
+        except OSError:
+            continue
+        entries.append((status.st_mtime, status.st_size, path))
+        total += status.st_size
+    if total <= max_bytes:
+        return 0
+    removed = 0
+    for _mtime, size, path in sorted(entries):
+        if total <= max_bytes:
+            break
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+    return removed

@@ -1,0 +1,202 @@
+"""urllib client for the serve API (``atomig submit/status/result``).
+
+Stdlib-only, mirroring the routes of :mod:`repro.serve.http`.  All
+methods raise :class:`ServeError` on transport failures and non-2xx
+responses (except the documented 202-pending answer of ``result``),
+carrying the HTTP status so the CLI can map it onto its documented
+exit codes.
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+DEFAULT_URL = "http://127.0.0.1:8337"
+_ENV_URL = "ATOMIG_SERVE_URL"
+
+
+def default_url():
+    """Service URL: ``ATOMIG_SERVE_URL`` or ``http://127.0.0.1:8337``."""
+    return os.environ.get(_ENV_URL, "").strip() or DEFAULT_URL
+
+
+class ServeError(Exception):
+    """Transport failure or error response from the service."""
+
+    def __init__(self, message, status=None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Thin JSON client over one service URL."""
+
+    def __init__(self, url=None, timeout=60.0):
+        self.url = (url or default_url()).rstrip("/")
+        self.timeout = timeout
+
+    # -- raw transport -----------------------------------------------------
+
+    def request(self, method, path, body=None):
+        """One JSON request; returns ``(status, payload)``.
+
+        4xx/5xx responses that carry JSON are returned, not raised —
+        callers decide what a 202 or 409 means; plumbing failures
+        (connection refused, timeouts, non-JSON bodies) raise
+        :class:`ServeError`.
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except ValueError:
+                raise ServeError(
+                    f"{method} {path}: HTTP {exc.code}", status=exc.code
+                ) from exc
+            return exc.code, payload
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ServeError(
+                f"cannot reach {self.url}: {exc}", status=None
+            ) from exc
+
+    def _expect(self, method, path, body=None, ok=(200,)):
+        status, payload = self.request(method, path, body=body)
+        if status not in ok:
+            raise ServeError(
+                f"{method} {path}: HTTP {status}: "
+                f"{payload.get('error', payload)}", status=status
+            )
+        return payload
+
+    # -- API surface -------------------------------------------------------
+
+    def healthz(self):
+        return self._expect("GET", "/healthz")
+
+    def stats(self):
+        return self._expect("GET", "/stats")
+
+    def submit(self, kind, modules, level=None, model=None, models=None,
+               options=None, config=None, priority=0):
+        """POST /jobs; returns the created job record."""
+        body = {"kind": kind, "modules": modules, "priority": priority}
+        for key, value in (("level", level), ("model", model),
+                           ("models", models), ("options", options),
+                           ("config", config)):
+            if value is not None:
+                body[key] = value
+        return self._expect("POST", "/jobs", body=body, ok=(201,))
+
+    def jobs(self):
+        return self._expect("GET", "/jobs")["jobs"]
+
+    def status(self, job_id):
+        return self._expect("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id, wait=False, timeout=300.0, poll=0.2):
+        """The job record with its result once terminal.
+
+        ``wait=False`` returns the pending record as-is (state tells
+        the caller it is not done yet); ``wait=True`` polls until the
+        job is terminal or ``timeout`` elapses (:class:`ServeError`
+        with ``status=None`` on timeout).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload = self.request("GET", f"/jobs/{job_id}/result")
+            if status == 200:
+                return payload
+            if status == 202:
+                if not wait:
+                    return payload
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"timed out waiting for job {job_id}", status=None
+                    )
+                time.sleep(poll)
+                continue
+            raise ServeError(
+                f"GET /jobs/{job_id}/result: HTTP {status}: "
+                f"{payload.get('error', payload)}", status=status
+            )
+
+    def events(self, job_id, follow=True):
+        """Yield NDJSON progress events; ends when the job is terminal."""
+        suffix = "" if follow else "?follow=0"
+        request = urllib.request.Request(
+            f"{self.url}/jobs/{job_id}/events{suffix}"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                if response.status != 200:
+                    raise ServeError(
+                        f"events: HTTP {response.status}",
+                        status=response.status,
+                    )
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            raise ServeError(
+                f"events: HTTP {exc.code}", status=exc.code
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeError(
+                f"cannot reach {self.url}: {exc}", status=None
+            ) from exc
+
+    def delete(self, job_id):
+        """Cancel a queued job / delete a terminal one."""
+        return self._expect("DELETE", f"/jobs/{job_id}")
+
+
+def result_exit_code(record):
+    """Documented CLI exit code for a finished job record.
+
+    0 — ``done`` and every verdict in the result is clean;
+    1 — the job ``failed``/``cancelled``, or the result carries a bug
+    verdict: a ``check`` violation/deadlock, an ``optimize`` run whose
+    verdict was not preserved, a ``repair`` that left a module
+    non-robust.
+    """
+    state = record.get("state")
+    if state != "done":
+        return 1
+    result = record.get("result") or {}
+    kind = result.get("kind")
+    if kind == "check":
+        bad = any(
+            row.get("violation") is not None or row.get("deadlock")
+            for row in result.get("checks", ())
+        )
+        return 1 if bad else 0
+    if kind == "optimize":
+        bad = any(
+            not row.get("report", {}).get("verdict_preserved", True)
+            for row in result.get("modules", ())
+        )
+        return 1 if bad else 0
+    if kind == "repair":
+        bad = any(
+            not row.get("report", {}).get("robust_after", True)
+            for row in result.get("modules", ())
+        )
+        return 1 if bad else 0
+    return 0

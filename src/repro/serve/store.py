@@ -1,0 +1,183 @@
+"""Durable on-disk job store: one JSON record per job, atomic writes.
+
+The store is the daemon's source of truth.  Every state transition is
+persisted with the same tempfile-and-rename discipline as
+:mod:`repro.modcache`, so a job record is always either the previous
+complete version or the new complete version — never a torn write —
+and a daemon killed at any point can :meth:`JobStore.recover` on the
+next start: ``running`` jobs (their worker died with the process) go
+back to ``queued`` and are re-executed from the stored payload.
+
+States move ``queued → running → done/failed/cancelled``; the three
+right-hand states are terminal.  Records are plain JSON dicts (see
+DESIGN.md §6i for the schema) so they can be served over HTTP verbatim.
+
+``ATOMIG_JOB_DIR`` overrides the default ``~/.cache/atomig/jobs``
+directory.
+"""
+
+import json
+import os
+import tempfile
+import time
+import uuid
+
+#: Legal job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Version of the on-disk record format; bump on incompatible changes
+#: (old records are still loaded — unknown fields are preserved).
+STORE_SCHEMA_VERSION = 1
+
+_ENV_DIR = "ATOMIG_JOB_DIR"
+
+
+def default_job_dir():
+    """Job directory: ``ATOMIG_JOB_DIR`` or ``~/.cache/atomig/jobs``."""
+    configured = os.environ.get(_ENV_DIR, "").strip()
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "atomig", "jobs")
+
+
+def new_job_id():
+    """Unique, time-sortable job id (creation-order ties in the queue)."""
+    return f"{int(time.time() * 1000):013x}-{uuid.uuid4().hex[:8]}"
+
+
+class JobStore:
+    """Directory of ``<job_id>.json`` records with atomic persistence."""
+
+    def __init__(self, directory=None):
+        self.directory = directory or default_job_dir()
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- record lifecycle --------------------------------------------------
+
+    def create(self, kind, payload, priority=0, dedup_key=None):
+        """Build and persist a fresh ``queued`` record."""
+        record = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "id": new_job_id(),
+            "kind": kind,
+            "state": "queued",
+            "priority": int(priority),
+            "dedup_key": dedup_key,
+            "created": time.time(),
+            "started": None,
+            "finished": None,
+            "seconds": None,
+            "cache_hit": False,
+            "cached_from": None,
+            "error": None,
+            "payload": payload,
+            "events": [],
+            "result": None,
+        }
+        self.save(record)
+        return record
+
+    def save(self, record):
+        """Persist ``record`` atomically (tempfile + rename)."""
+        blob = json.dumps(record, default=_jsonable).encode()
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(blob)
+            os.replace(temp_path, self._path(record["id"]))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def load(self, job_id):
+        """The record for ``job_id``, or ``None`` on miss/corruption."""
+        try:
+            with open(self._path(job_id), "rb") as handle:
+                return json.loads(handle.read())
+        except (OSError, ValueError):
+            return None
+
+    def delete(self, job_id):
+        """Remove the record; True when a file was deleted."""
+        try:
+            os.unlink(self._path(job_id))
+        except OSError:
+            return False
+        return True
+
+    def list_jobs(self):
+        """Every loadable record, oldest first (corrupt files skipped)."""
+        records = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
+            record = self.load(name[:-len(".json")])
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda r: (r.get("created") or 0, r.get("id", "")))
+        return records
+
+    # -- daemon restart support --------------------------------------------
+
+    def recover(self):
+        """Re-queue jobs orphaned by a dead daemon.
+
+        ``running`` records belong to a worker that no longer exists —
+        the state is only ever on disk while a live worker holds the
+        job — so they go back to ``queued`` with a note event.  Returns
+        ``(requeued_ids, queued_records)`` where the second element is
+        every record now waiting to run, oldest first.
+        """
+        requeued = []
+        queued = []
+        for record in self.list_jobs():
+            if record["state"] == "running":
+                record["state"] = "queued"
+                record["started"] = None
+                record.setdefault("events", []).append({
+                    "ts": round(time.time(), 3),
+                    "type": "requeued",
+                    "reason": "daemon restarted while the job was running",
+                })
+                self.save(record)
+                requeued.append(record["id"])
+            if record["state"] == "queued":
+                queued.append(record)
+        return requeued, queued
+
+    def dedup_index(self):
+        """``{dedup_key: job_id}`` over completed jobs (newest wins).
+
+        Only ``done`` jobs that carry a result participate — a failed
+        or cancelled job must not satisfy a later identical submission.
+        """
+        index = {}
+        for record in self.list_jobs():  # oldest first: newest wins below
+            if (record["state"] == "done" and record.get("dedup_key")
+                    and record.get("result") is not None):
+                index[record["dedup_key"]] = record["id"]
+        return index
+
+    def counts(self):
+        """``{state: number_of_jobs}`` histogram over the store."""
+        histogram = {state: 0 for state in JOB_STATES}
+        for record in self.list_jobs():
+            histogram[record["state"]] = histogram.get(record["state"], 0) + 1
+        return histogram
+
+    def _path(self, job_id):
+        return os.path.join(self.directory, f"{job_id}.json")
+
+
+def _jsonable(value):
+    """JSON fallback: tuples/sets become lists, everything else reprs."""
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    return repr(value)

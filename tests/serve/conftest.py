@@ -1,0 +1,62 @@
+"""Shared fixtures for the porting-as-a-service tests."""
+
+import pytest
+
+from repro.serve import JobDaemon, JobStore
+
+#: Message-passing idiom: one spinloop, two implicit barriers at the
+#: atomig level — small enough that a port job finishes in well under a
+#: second, rich enough that every job kind has something to do.
+MP_SOURCE = """
+int flag = 0;
+int msg = 0;
+void writer() { msg = 42; flag = 1; }
+int main() {
+    int t = thread_create(writer);
+    while (flag != 1) { }
+    assert(msg == 42);
+    thread_join(t);
+    return 0;
+}
+"""
+
+
+def _port_payload(source=MP_SOURCE, name="mp.c", level="atomig", **extra):
+    payload = {"modules": [{"name": name, "source": source}],
+               "level": level}
+    payload.update(extra)
+    return payload
+
+
+@pytest.fixture
+def mp_source():
+    return MP_SOURCE
+
+
+@pytest.fixture
+def port_payload():
+    """Factory for a port-job payload over the shared MP source."""
+    return _port_payload
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "jobs"))
+
+
+@pytest.fixture
+def daemon(store):
+    """A started single-worker daemon, shut down after the test."""
+    daemon = JobDaemon(store, workers=1)
+    daemon.start()
+    yield daemon
+    daemon.shutdown(drain=True)
+
+
+@pytest.fixture
+def idle_daemon(store):
+    """Accept-only daemon (workers=0): jobs queue but never execute."""
+    daemon = JobDaemon(store, workers=0)
+    daemon.start()
+    yield daemon
+    daemon.shutdown(drain=True)

@@ -1,0 +1,132 @@
+"""Crash-resume: jobs survive daemon death and finish after restart."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import repro
+from repro.serve import JobDaemon, JobStore, ServeClient
+
+
+def test_queued_jobs_resume_in_process(store, port_payload):
+    # Accept-only daemon takes the job, then dies without running it.
+    accept = JobDaemon(store, workers=0)
+    accept.start()
+    record = accept.submit("port", port_payload())
+    accept.shutdown(drain=True)
+    assert store.load(record["id"])["state"] == "queued"
+
+    # A fresh daemon over the same directory picks the job up.
+    worker = JobDaemon(store, workers=1)
+    worker.start()
+    try:
+        final = worker.wait(record["id"], timeout=60)
+        assert final["state"] == "done"
+        assert final["result"]["modules"][0]["report"]["level"] == "atomig"
+    finally:
+        worker.shutdown(drain=True)
+
+
+def test_running_jobs_are_requeued_and_rerun(store, port_payload):
+    # Simulate a daemon killed mid-job: the record says ``running`` but
+    # no worker holds it (exactly what SIGKILL leaves behind).
+    record = store.create("port", port_payload())
+    record["state"] = "running"
+    record["started"] = time.time()
+    store.save(record)
+
+    daemon = JobDaemon(store, workers=1)
+    requeued = daemon.start()
+    assert requeued == [record["id"]]
+    try:
+        final = daemon.wait(record["id"], timeout=60)
+        assert final["state"] == "done"
+        types = [event["type"] for event in final["events"]]
+        assert "requeued" in types
+    finally:
+        daemon.shutdown(drain=True)
+    assert daemon.counters["requeued"] == 1
+
+
+def _spawn_serve(job_dir, workers, env):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", str(workers), "--dir", job_dir, "--json"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+    )
+    line = process.stdout.readline()
+    if not line:
+        process.kill()
+        raise AssertionError(
+            f"serve printed nothing: {process.stderr.read().decode()}"
+        )
+    return process, json.loads(line)["url"]
+
+
+def test_daemon_killed_mid_queue_resumes_after_restart(
+    tmp_path, mp_source,
+):
+    """The ISSUE's crash-resume scenario, with real processes.
+
+    An accept-only daemon (workers=0) takes a job and is SIGKILLed —
+    no drain, no atexit.  A second daemon over the same job directory
+    must recover the record and complete it.
+    """
+    job_dir = str(tmp_path / "jobs")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+
+    process, url = _spawn_serve(job_dir, workers=0, env=env)
+    try:
+        client = ServeClient(url, timeout=20)
+        record = client.submit(
+            "port", [{"name": "mp.c", "source": mp_source}],
+            level="atomig",
+        )
+        assert record["state"] == "queued"
+    finally:
+        process.kill()
+        process.wait(timeout=10)
+    assert JobStore(job_dir).load(record["id"])["state"] == "queued"
+
+    process, url = _spawn_serve(job_dir, workers=2, env=env)
+    try:
+        client = ServeClient(url, timeout=20)
+        final = client.result(record["id"], wait=True, timeout=60)
+        assert final["state"] == "done"
+        assert final["result"]["modules"][0]["report"]["level"] == "atomig"
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise
+    assert process.returncode == 0  # graceful SIGTERM drain
+
+
+def test_sigterm_drains_and_preserves_queue(tmp_path, mp_source):
+    job_dir = str(tmp_path / "jobs")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+
+    process, url = _spawn_serve(job_dir, workers=0, env=env)
+    try:
+        client = ServeClient(url, timeout=20)
+        record = client.submit(
+            "port", [{"name": "mp.c", "source": mp_source}],
+            level="atomig",
+        )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise
+    assert process.returncode == 0
+    # The queued job was persisted, not lost, by the graceful path.
+    assert JobStore(job_dir).load(record["id"])["state"] == "queued"

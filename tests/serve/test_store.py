@@ -1,0 +1,128 @@
+"""JobStore: durability, atomicity, recovery, dedup indexing."""
+
+import json
+import os
+
+from repro.serve.store import (
+    STORE_SCHEMA_VERSION,
+    JobStore,
+    new_job_id,
+)
+
+
+def payload(**extra):
+    base = {"modules": [{"name": "m", "source": "int main(){return 0;}"}],
+            "level": "atomig"}
+    base.update(extra)
+    return base
+
+
+def test_create_persists_a_queued_record(store):
+    record = store.create("port", payload(), priority=3, dedup_key="k1")
+    assert record["state"] == "queued"
+    assert record["schema_version"] == STORE_SCHEMA_VERSION
+    assert record["priority"] == 3
+    assert record["dedup_key"] == "k1"
+    assert record["result"] is None and record["error"] is None
+    on_disk = store.load(record["id"])
+    assert on_disk == json.loads(json.dumps(record))
+
+
+def test_save_leaves_no_temp_files(store):
+    record = store.create("port", payload())
+    record["state"] = "running"
+    store.save(record)
+    names = os.listdir(store.directory)
+    assert names == [f"{record['id']}.json"]
+
+
+def test_load_miss_and_corruption_return_none(store):
+    assert store.load("no-such-job") is None
+    path = os.path.join(store.directory, "broken.json")
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    assert store.load("broken") is None
+
+
+def test_list_jobs_skips_corrupt_and_sorts_oldest_first(store):
+    first = store.create("port", payload())
+    second = store.create("check", payload())
+    with open(os.path.join(store.directory, "zzz.json"), "w") as handle:
+        handle.write("torn write")
+    listed = store.list_jobs()
+    assert [r["id"] for r in listed] == [first["id"], second["id"]]
+
+
+def test_delete(store):
+    record = store.create("port", payload())
+    assert store.delete(record["id"]) is True
+    assert store.load(record["id"]) is None
+    assert store.delete(record["id"]) is False
+
+
+def test_recover_requeues_running_jobs(store):
+    orphan = store.create("port", payload())
+    orphan["state"] = "running"
+    orphan["started"] = 123.0
+    store.save(orphan)
+    waiting = store.create("port", payload())
+    done = store.create("port", payload())
+    done["state"] = "done"
+    store.save(done)
+
+    requeued, queued = store.recover()
+    assert requeued == [orphan["id"]]
+    assert {r["id"] for r in queued} == {orphan["id"], waiting["id"]}
+    reloaded = store.load(orphan["id"])
+    assert reloaded["state"] == "queued"
+    assert reloaded["started"] is None
+    assert reloaded["events"][-1]["type"] == "requeued"
+
+
+def test_dedup_index_only_done_with_result_newest_wins(store):
+    failed = store.create("port", payload(), dedup_key="k")
+    failed["state"] = "failed"
+    store.save(failed)
+    older = store.create("port", payload(), dedup_key="k")
+    older["state"] = "done"
+    older["result"] = {"kind": "port"}
+    store.save(older)
+    newer = store.create("port", payload(), dedup_key="k")
+    newer["state"] = "done"
+    newer["result"] = {"kind": "port"}
+    store.save(newer)
+
+    assert store.dedup_index() == {"k": newer["id"]}
+
+
+def test_counts_histogram(store):
+    store.create("port", payload())
+    record = store.create("port", payload())
+    record["state"] = "cancelled"
+    store.save(record)
+    counts = store.counts()
+    assert counts["queued"] == 1
+    assert counts["cancelled"] == 1
+    assert counts["done"] == 0
+
+
+def test_job_ids_are_unique_and_time_sortable():
+    ids = [new_job_id() for _ in range(64)]
+    assert len(set(ids)) == len(ids)
+    # The millisecond prefix sorts by creation time (the random suffix
+    # only breaks ties within one millisecond).
+    stamps = [job_id.split("-")[0] for job_id in ids]
+    assert stamps == sorted(stamps)
+
+
+def test_save_handles_tuples_in_payload(store):
+    record = store.create("port", payload(config={"knobs": (1, 2)}))
+    reloaded = store.load(record["id"])
+    assert reloaded["payload"]["config"]["knobs"] == [1, 2]
+
+
+def test_stores_are_independent(tmp_path):
+    one = JobStore(str(tmp_path / "a"))
+    two = JobStore(str(tmp_path / "b"))
+    record = one.create("port", payload())
+    assert two.load(record["id"]) is None

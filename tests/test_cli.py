@@ -314,7 +314,10 @@ def test_repair_emit_ir_round_trips(tas_file, tmp_path, capsys):
 
 def test_repair_requires_file_or_corpus(capsys):
     assert main(["repair"]) == 2
-    assert "FILE is required" in capsys.readouterr().out
+    captured = capsys.readouterr()
+    # Diagnostics go to stderr so --json pipelines stay parseable.
+    assert "FILE is required" in captured.err
+    assert captured.out == ""
 
 
 def test_repair_power_arch_reported(tas_file, capsys):
@@ -335,6 +338,45 @@ def test_check_repair_flag_keeps_verdict(mp_file, capsys):
     assert main(["check", mp_file, "--models", "wmm", "--repair"]) == 0
     out = capsys.readouterr().out
     assert "violation" not in out
+
+
+def test_port_json_output(mp_file, capsys):
+    assert main(["port", mp_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["level"] == "atomig"
+    assert payload["ported_implicit_barriers"] >= 1
+    assert "stats" in payload
+
+
+def test_port_json_emit_ir_without_output_warns(mp_file, capsys):
+    assert main(["port", mp_file, "--json", "--emit-ir"]) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout is still exactly one document
+    assert "--emit-ir needs -o" in captured.err
+
+
+def test_check_json_output(mp_file, capsys):
+    code = main(["check", mp_file, "--models", "tso", "wmm",
+                 "--level", "original", "--max-steps", "400", "--json"])
+    assert code == 1  # the wmm violation still drives the exit code
+    rows = json.loads(capsys.readouterr().out)
+    by_model = {row["model"]: row for row in rows}
+    assert by_model["tso"]["ok"]
+    assert by_model["wmm"]["violation"] is not None
+
+
+def test_litmus_unknown_name_diagnoses_on_stderr(capsys):
+    assert main(["litmus", "NOPE"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown litmus test" in captured.err
+    assert captured.out == ""
+
+
+def test_status_unreachable_daemon_exits_3(capsys):
+    code = main(["status", "--url", "http://127.0.0.1:9",
+                 "--timeout", "2"])
+    assert code == 3
+    assert "cannot reach" in capsys.readouterr().err
 
 
 def test_robustness_corpus_json(capsys):

@@ -118,3 +118,72 @@ def test_entries_are_plain_pickles(isolated_cache):
     with open(path, "rb") as handle:
         module = pickle.load(handle)
     assert "main" in module.functions
+
+
+# -- size eviction (ATOMIG_CACHE_MAX_MB) ------------------------------------
+
+
+def _fill(isolated_cache, count):
+    """Store ``count`` distinct entries; returns their digests in order."""
+    digests = []
+    for i in range(count):
+        source = SOURCE + f"\n// variant {i}\n"
+        compile_source(source, "m", cache=True)
+        digests.append(modcache.source_digest(source, "m"))
+    return digests
+
+
+def test_cache_max_bytes_parsing(monkeypatch):
+    monkeypatch.delenv("ATOMIG_CACHE_MAX_MB", raising=False)
+    assert modcache.cache_max_bytes() is None
+    monkeypatch.setenv("ATOMIG_CACHE_MAX_MB", "2")
+    assert modcache.cache_max_bytes() == 2 * 1024 * 1024
+    monkeypatch.setenv("ATOMIG_CACHE_MAX_MB", "0.5")
+    assert modcache.cache_max_bytes() == 512 * 1024
+    for bogus in ("", "nan-ish", "-3", "0"):
+        monkeypatch.setenv("ATOMIG_CACHE_MAX_MB", bogus)
+        assert modcache.cache_max_bytes() is None
+
+
+def test_evict_noop_when_unbounded(isolated_cache, monkeypatch):
+    monkeypatch.delenv("ATOMIG_CACHE_MAX_MB", raising=False)
+    _fill(isolated_cache, 3)
+    assert modcache.evict() == 0
+    assert len(list(isolated_cache.glob("*.pkl"))) == 3
+
+
+def test_evict_drops_oldest_first(isolated_cache):
+    digests = _fill(isolated_cache, 4)
+    paths = [os.path.join(str(isolated_cache), f"{d}.pkl")
+             for d in digests]
+    # Make mtimes deterministic: digests[0] oldest .. digests[3] newest.
+    for i, path in enumerate(paths):
+        os.utime(path, (1000 + i, 1000 + i))
+    keep = os.path.getsize(paths[2]) + os.path.getsize(paths[3])
+    removed = modcache.evict(max_bytes=keep)
+    assert removed == 2
+    assert not os.path.exists(paths[0]) and not os.path.exists(paths[1])
+    assert os.path.exists(paths[2]) and os.path.exists(paths[3])
+
+
+def test_disk_hit_refreshes_mtime_for_lru(isolated_cache):
+    digests = _fill(isolated_cache, 2)
+    paths = [os.path.join(str(isolated_cache), f"{d}.pkl")
+             for d in digests]
+    for i, path in enumerate(paths):
+        os.utime(path, (1000 + i, 1000 + i))
+    modcache.clear_memory_cache()
+    assert modcache.load(digests[0]) is not None  # touch the older entry
+    removed = modcache.evict(max_bytes=os.path.getsize(paths[0]))
+    assert removed == 1
+    # The freshly-used entry survived; the untouched one was evicted.
+    assert os.path.exists(paths[0])
+    assert not os.path.exists(paths[1])
+
+
+def test_store_evicts_when_env_set(isolated_cache, monkeypatch):
+    monkeypatch.setenv("ATOMIG_CACHE_MAX_MB", "0.0001")  # ~105 bytes
+    _fill(isolated_cache, 3)
+    # Every entry is bigger than the budget, so at most one remains
+    # (the one just written is eligible too — budget is a hard cap).
+    assert len(list(isolated_cache.glob("*.pkl"))) <= 1
